@@ -1,0 +1,69 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+- abl-oracle:   distance backend inside IncBMatch (landmark vs bfs vs matrix);
+  covered per-backend in bench_fig19; here we ablate on *unit* updates.
+- abl-mindelta: IncMatch batch (with minDelta + single sweep) vs the naive
+  one-update-at-a-time loop — the Section 5.2 optimization.
+- abl-scc:      insertion handling on DAG patterns (pure worklist, the
+  IncMatch+dag fast path of Theorem 5.1(2b)) vs cyclic patterns (the full
+  propCS+propCC sweep).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.incremental.incbsim import BoundedSimulationIndex
+from repro.incremental.incsim import SimulationIndex
+from repro.patterns.generator import random_pattern
+
+ROUNDS = 3
+
+
+def test_abl_mindelta_batch(benchmark, syn_graph, normal_pattern, mixed_batch):
+    def setup():
+        return (SimulationIndex(normal_pattern, syn_graph.copy()),), {}
+
+    benchmark.pedantic(
+        lambda idx: idx.apply_batch(mixed_batch), setup=setup, rounds=ROUNDS
+    )
+
+
+def test_abl_mindelta_naive(benchmark, syn_graph, normal_pattern, mixed_batch):
+    def setup():
+        return (SimulationIndex(normal_pattern, syn_graph.copy()),), {}
+
+    benchmark.pedantic(
+        lambda idx: idx.apply_batch_naive(mixed_batch), setup=setup, rounds=ROUNDS
+    )
+
+
+@pytest.mark.parametrize("dag", [True, False], ids=["dag", "cyclic"])
+def test_abl_scc_insertions(benchmark, syn_graph, insertions, dag):
+    pattern = random_pattern(
+        syn_graph, 4, 5, preds_per_node=1, max_bound=1, dag=dag, seed=23
+    )
+
+    def setup():
+        return (SimulationIndex(pattern, syn_graph.copy()),), {}
+
+    benchmark.pedantic(
+        lambda idx: idx.apply_batch_naive(insertions), setup=setup, rounds=ROUNDS
+    )
+
+
+@pytest.mark.parametrize("mode", ["bfs", "landmark", "matrix"])
+def test_abl_oracle_unit_inserts(benchmark, syn_graph, b_pattern, insertions, mode):
+    few = insertions[: max(3, len(insertions) // 10)]
+
+    def setup():
+        idx = BoundedSimulationIndex(
+            b_pattern, syn_graph.copy(), distance_mode=mode
+        )
+        return (idx,), {}
+
+    def run(idx):
+        for u in few:
+            idx.insert_edge(u.source, u.target)
+
+    benchmark.pedantic(run, setup=setup, rounds=ROUNDS)

@@ -1,0 +1,38 @@
+"""Fig. 16(b)/(c): bounded-simulation Match vs VF2 subgraph isomorphism.
+
+Paper shape: Match is much faster than VF2 and finds more (relation-style)
+matches; Match(k=3) costs slightly more than Match(k=1).
+Full series: ``python -m repro.bench --figure fig16b`` / ``fig16c``.
+"""
+
+from __future__ import annotations
+
+from repro.matching.bounded import bounded_match
+from repro.matching.isomorphism import isomorphic_embeddings
+from repro.matching.oracles import BFSOracle
+from repro.patterns.generator import random_pattern
+
+CAP = 2_000
+
+
+def test_fig16_vf2(benchmark, youtube_graph):
+    pattern = random_pattern(
+        youtube_graph, 5, 5, preds_per_node=1, max_bound=1, seed=5
+    )
+    benchmark(lambda: isomorphic_embeddings(pattern, youtube_graph, max_count=CAP))
+
+
+def test_fig16_match_k1(benchmark, youtube_graph):
+    pattern = random_pattern(
+        youtube_graph, 5, 5, preds_per_node=1, max_bound=1, seed=5
+    )
+    oracle = BFSOracle(youtube_graph)
+    benchmark(lambda: bounded_match(pattern, youtube_graph, oracle=oracle))
+
+
+def test_fig16_match_k3(benchmark, youtube_graph):
+    pattern = random_pattern(
+        youtube_graph, 5, 5, preds_per_node=1, max_bound=3, seed=5
+    )
+    oracle = BFSOracle(youtube_graph)
+    benchmark(lambda: bounded_match(pattern, youtube_graph, oracle=oracle))

@@ -1,0 +1,49 @@
+"""Fig. 17(a)-(d): Match efficiency across distance oracles + scalability.
+
+Paper shape: matrix-backed Match is fastest once the matrix exists, BFS
+scales to graphs where the matrix is infeasible, larger k / larger patterns
+cost more.  Full series: ``python -m repro.bench --figure fig17a`` etc.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.generators import synthetic_graph
+from repro.matching.bounded import bounded_match
+from repro.matching.oracles import BFSOracle, MatrixOracle, TwoHopOracle
+from repro.patterns.generator import random_pattern
+
+
+@pytest.fixture(scope="module")
+def pattern_463(youtube_graph):
+    return random_pattern(youtube_graph, 4, 6, preds_per_node=1, max_bound=3, seed=43)
+
+
+def test_fig17_match_matrix(benchmark, youtube_graph, pattern_463):
+    oracle = MatrixOracle(youtube_graph)
+    benchmark(lambda: bounded_match(pattern_463, youtube_graph, oracle=oracle))
+
+
+def test_fig17_match_twohop(benchmark, youtube_graph, pattern_463):
+    oracle = TwoHopOracle(youtube_graph)
+    benchmark(lambda: bounded_match(pattern_463, youtube_graph, oracle=oracle))
+
+
+def test_fig17_match_bfs(benchmark, youtube_graph, pattern_463):
+    oracle = BFSOracle(youtube_graph)
+    benchmark(lambda: bounded_match(pattern_463, youtube_graph, oracle=oracle))
+
+
+def test_fig17_bfs_scalability_pattern_size(benchmark, syn_graph):
+    oracle = BFSOracle(syn_graph)
+    pattern = random_pattern(syn_graph, 8, 8, preds_per_node=1, max_bound=3, seed=8)
+    benchmark(lambda: bounded_match(pattern, syn_graph, oracle=oracle))
+
+
+def test_fig17_bfs_scalability_graph_size(benchmark, scale):
+    n = max(300, int(300_000 * scale))
+    graph = synthetic_graph(n, 2 * n, seed=5)
+    oracle = BFSOracle(graph)
+    pattern = random_pattern(graph, 3, 3, preds_per_node=1, max_bound=3, seed=31)
+    benchmark(lambda: bounded_match(pattern, graph, oracle=oracle))

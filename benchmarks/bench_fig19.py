@@ -1,0 +1,74 @@
+"""Fig. 19(a)-(d): incremental bounded simulation vs batch.
+
+Paper shape: IncBMatch (landmark vectors) beats batch Match_bs up to ~10%
+changed edges and beats the distance-matrix variant IncBMatch_m.
+Full series: ``python -m repro.bench --figure fig19a`` etc.
+"""
+
+from __future__ import annotations
+
+from repro.incremental.incbsim import BoundedSimulationIndex
+from repro.matching.bounded import bounded_match
+from repro.matching.oracles import BFSOracle
+
+ROUNDS = 3
+
+
+def _final_graph(graph, updates):
+    g2 = graph.copy()
+    for u in updates:
+        if u.op == "insert":
+            g2.add_edge(u.source, u.target)
+        else:
+            g2.remove_edge(u.source, u.target)
+    return g2
+
+
+def test_fig19_batch_match_bs(benchmark, syn_graph, b_pattern, insertions):
+    g2 = _final_graph(syn_graph, insertions)
+    oracle = BFSOracle(g2)
+    benchmark(lambda: bounded_match(b_pattern, g2, oracle=oracle))
+
+
+def test_fig19_incbmatch_landmark(benchmark, syn_graph, b_pattern, insertions):
+    def setup():
+        idx = BoundedSimulationIndex(
+            b_pattern, syn_graph.copy(), distance_mode="landmark"
+        )
+        return (idx,), {}
+
+    benchmark.pedantic(
+        lambda idx: idx.apply_batch(insertions), setup=setup, rounds=ROUNDS
+    )
+
+
+def test_fig19_incbmatch_bfs(benchmark, syn_graph, b_pattern, insertions):
+    def setup():
+        idx = BoundedSimulationIndex(b_pattern, syn_graph.copy())
+        return (idx,), {}
+
+    benchmark.pedantic(
+        lambda idx: idx.apply_batch(insertions), setup=setup, rounds=ROUNDS
+    )
+
+
+def test_fig19_incbmatch_matrix(benchmark, syn_graph, b_pattern, insertions):
+    def setup():
+        idx = BoundedSimulationIndex(
+            b_pattern, syn_graph.copy(), distance_mode="matrix"
+        )
+        return (idx,), {}
+
+    benchmark.pedantic(
+        lambda idx: idx.apply_batch(insertions), setup=setup, rounds=ROUNDS
+    )
+
+
+def test_fig19_incbmatch_deletions(benchmark, syn_graph, b_pattern, deletions):
+    def setup():
+        idx = BoundedSimulationIndex(b_pattern, syn_graph.copy())
+        return (idx,), {}
+
+    benchmark.pedantic(
+        lambda idx: idx.apply_batch(deletions), setup=setup, rounds=ROUNDS
+    )

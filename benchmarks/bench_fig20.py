@@ -1,0 +1,87 @@
+"""Fig. 20(a)-(f): optimization techniques.
+
+Paper shape: minDelta removes a large fraction of updates; InsLM/DelLM/
+IncLM beat recomputing landmark vectors from scratch (BatchLM); IncLM
+beats per-update InsLM+DelLM.  Full series:
+``python -m repro.bench --figure fig20a`` etc.
+"""
+
+from __future__ import annotations
+
+from repro.incremental.incsim import SimulationIndex
+from repro.landmarks.vector import LandmarkIndex
+
+ROUNDS = 3
+
+
+def test_fig20_mindelta(benchmark, syn_graph, normal_pattern, mixed_batch):
+    idx = SimulationIndex(normal_pattern, syn_graph.copy())
+    result = benchmark(lambda: idx.min_delta(mixed_batch))
+    assert len(result) <= len(mixed_batch)
+
+
+def test_fig20_inslm(benchmark, youtube_graph, scale):
+    from repro.workloads.updates import degree_biased_insertions
+
+    count = max(10, youtube_graph.num_edges() // 20)
+
+    def setup():
+        g = youtube_graph.copy()
+        lm = LandmarkIndex(g)
+        ups = degree_biased_insertions(g, count, seed=50)
+        return (g, lm, ups), {}
+
+    def run(g, lm, ups):
+        for u in ups:
+            g.add_edge(u.source, u.target)
+            lm.insert_edge(u.source, u.target)
+
+    benchmark.pedantic(run, setup=setup, rounds=ROUNDS)
+
+
+def test_fig20_dellm(benchmark, youtube_graph):
+    from repro.workloads.updates import degree_biased_deletions
+
+    count = max(10, youtube_graph.num_edges() // 20)
+
+    def setup():
+        g = youtube_graph.copy()
+        lm = LandmarkIndex(g)
+        ups = degree_biased_deletions(g, count, seed=51)
+        return (g, lm, ups), {}
+
+    def run(g, lm, ups):
+        for u in ups:
+            g.remove_edge(u.source, u.target)
+            lm.delete_edge(u.source, u.target)
+
+    benchmark.pedantic(run, setup=setup, rounds=ROUNDS)
+
+
+def test_fig20_inclm_batch(benchmark, youtube_graph):
+    from repro.workloads.updates import mixed_updates
+
+    count = max(10, youtube_graph.num_edges() // 20)
+
+    def setup():
+        g = youtube_graph.copy()
+        lm = LandmarkIndex(g)
+        ups = mixed_updates(g, count // 2, count // 2, seed=60)
+        ins = [u.edge for u in ups if u.op == "insert"]
+        dels = [u.edge for u in ups if u.op == "delete"]
+        for e in dels:
+            g.remove_edge(*e)
+        for e in ins:
+            g.add_edge(*e)
+        return (lm, ins, dels), {}
+
+    benchmark.pedantic(
+        lambda lm, ins, dels: lm.apply_batch(inserted=ins, deleted=dels),
+        setup=setup,
+        rounds=ROUNDS,
+    )
+
+
+def test_fig20_batchlm_rebuild(benchmark, youtube_graph):
+    g = youtube_graph.copy()
+    benchmark(lambda: LandmarkIndex(g))

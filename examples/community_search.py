@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Community search on a YouTube-style graph (paper Exp-1, Fig. 16(a)).
+
+Reproduces the flavour of the paper's effectiveness study: patterns like
+"music videos rated above 3 that link to videos of uploader X within 2
+hops, which reach videos of uploader Y within 3 hops" are expressed as
+b-patterns; bounded simulation finds whole communities where subgraph
+isomorphism finds few or none.
+
+Run:  python examples/community_search.py
+"""
+
+from repro import Matcher, Pattern
+from repro.matching.relation import relation_size
+from repro.workloads.datasets import youtube_like
+
+
+def main() -> None:
+    graph = youtube_like(scale=0.05, seed=7)
+    print(f"YouTube-like graph: {graph}")
+
+    # P1 of Fig. 16(a): music videos with rating > 3, linked to videos of
+    # uploader FWPB within 2 hops; those reach videos of uploader Ascrodin
+    # (younger than 500 days) within 3 hops, which loop back within 4.
+    p1 = Pattern.from_spec(
+        {
+            "p1": "category = 'Music' & rate > 3",
+            "p2": "uploader = 'FWPB'",
+            "p3": "uploader = 'Ascrodin' & age < 500",
+        },
+        [("p1", "p2", 2), ("p2", "p3", 3), ("p3", "p2", 4)],
+    )
+
+    # P2 of Fig. 16(a): comedy videos by Gisburgh referenced by politics
+    # and science videos within 3 hops, linking to people videos in 2.
+    p2 = Pattern.from_spec(
+        {
+            "p4": "category = 'Politics'",
+            "p5": "category = 'Science'",
+            "p6": "uploader = 'Gisburgh' & category = 'Comedy'",
+            "p7": "category = 'People'",
+        },
+        [("p4", "p6", 3), ("p5", "p6", 3), ("p6", "p7", 2)],
+    )
+
+    for name, pattern in (("P1", p1), ("P2", p2)):
+        bounded = Matcher(pattern, graph, semantics="bounded")
+        match = bounded.matches()
+        found = relation_size(match)
+        print(f"\n{name}: bounded simulation found {found} (node, match) pairs")
+        for u, vs in sorted(match.items()):
+            print(f"  {u}: {len(vs)} matching videos")
+
+        # The 1-bounded reading under subgraph isomorphism.
+        normal = Pattern.from_spec(
+            {u: pattern.predicate(u) for u in pattern.nodes()},
+            [(a, b, 1) for a, b in pattern.edges()],
+        )
+        iso = Matcher(normal, graph, semantics="isomorphism", max_embeddings=500)
+        print(f"  VF2 on the edge-to-edge reading: {len(iso.embeddings())} embeddings")
+
+    print(
+        "\nAs in the paper's Exp-1, edge-to-path semantics surface whole "
+        "communities that strict isomorphism misses."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy shim so `pip install -e .` works without network access.
+
+All real metadata lives in pyproject.toml; this file only enables the
+setuptools develop-mode fallback on environments without the `wheel`
+package (offline build isolation disabled).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,64 @@
+"""repro — Incremental graph pattern matching via (bounded) simulation.
+
+A faithful, from-scratch reproduction of Fan, Wang & Wu, *Incremental Graph
+Pattern Matching* (SIGMOD 2011; ACM TODS 38(3), 2013): bounded simulation
+matching (cubic-time ``Match``), incremental simulation (``IncMatch``
+family), incremental bounded simulation (``IncBMatch`` with landmark /
+distance vectors), incremental subgraph isomorphism, and the full
+experimental harness of the paper's Section 8.
+
+Quickstart::
+
+    from repro import DiGraph, Pattern, Matcher
+
+    g = DiGraph()
+    g.add_node("Ann", job="CTO")
+    g.add_node("Pat", job="DB")
+    g.add_edge("Ann", "Pat")
+
+    p = Pattern.from_spec(
+        {"CTO": "job = CTO", "DB": "job = DB"}, [("CTO", "DB", 2)]
+    )
+    m = Matcher(p, g, semantics="bounded")
+    print(m.matches())          # {'CTO': {'Ann'}, 'DB': {'Pat'}}
+    m.insert_edge("Pat", "Ann") # incremental repair
+"""
+
+from .core.engine import Matcher
+from .graphs.digraph import DiGraph, GraphError
+from .incremental.incbsim import BoundedSimulationIndex
+from .incremental.incsim import SimulationIndex
+from .incremental.inciso import IsoIndex
+from .incremental.types import Update, delete, insert
+from .landmarks.vector import LandmarkIndex
+from .matching.bounded import bounded_match
+from .matching.isomorphism import isomorphic_embeddings
+from .matching.relation import totalize
+from .matching.simulation import maximum_simulation
+from .patterns.pattern import STAR, Pattern, PatternError
+from .patterns.predicate import Predicate, parse_predicate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Matcher",
+    "DiGraph",
+    "GraphError",
+    "Pattern",
+    "PatternError",
+    "Predicate",
+    "parse_predicate",
+    "STAR",
+    "Update",
+    "insert",
+    "delete",
+    "maximum_simulation",
+    "bounded_match",
+    "isomorphic_embeddings",
+    "totalize",
+    "SimulationIndex",
+    "BoundedSimulationIndex",
+    "IsoIndex",
+    "LandmarkIndex",
+    "__version__",
+]

@@ -1,0 +1,5 @@
+"""Module entry point: ``python -m repro match --graph g.json ...``."""
+
+from .cli import main
+
+raise SystemExit(main())

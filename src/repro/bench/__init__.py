@@ -1,0 +1,8 @@
+"""Experiment harness reproducing every figure of the paper's Section 8."""
+
+from .config import get_scale, scaled, timed
+from .experiments import ABLATIONS
+from .figures import FIGURES
+from .summary import summary
+
+__all__ = ["FIGURES", "ABLATIONS", "summary", "get_scale", "scaled", "timed"]

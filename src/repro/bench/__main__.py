@@ -1,0 +1,80 @@
+"""CLI: ``python -m repro.bench --figure fig18a [--scale 0.1]``.
+
+Prints the series the corresponding paper figure plots.  ``--figure all``
+runs everything; ``--figure summary`` re-derives the Section-8 findings
+table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List
+
+from .experiments import ABLATIONS
+from .figures import FIGURES
+from .summary import summary
+
+
+def _print_table(title: str, rows: List[Dict[str, object]]) -> None:
+    print(f"\n== {title} ==")
+    if not rows:
+        print("(no rows)")
+        return
+    cols = list(rows[0].keys())
+    widths = {
+        c: max(len(str(c)), *(len(str(r.get(c, ""))) for r in rows)) for c in cols
+    }
+    header = "  ".join(str(c).ljust(widths[c]) for c in cols)
+    print(header)
+    print("-" * len(header))
+    for r in rows:
+        print("  ".join(str(r.get(c, "")).ljust(widths[c]) for c in cols))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Reproduce the figures of Fan et al., Incremental Graph "
+        "Pattern Matching (Section 8).",
+    )
+    parser.add_argument(
+        "--figure",
+        default="all",
+        help="figure id (e.g. fig18a), 'summary', or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="workload scale relative to paper size (default: REPRO_SCALE or 0.05)",
+    )
+    parser.add_argument("--list", action="store_true", help="list figure ids")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name, fn in sorted({**FIGURES, **ABLATIONS}.items()):
+            doc = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{name}: {doc}")
+        return 0
+
+    if args.figure == "summary":
+        _print_table("Section 8 summary", summary(args.scale))
+        return 0
+
+    if args.figure == "all":
+        for name in sorted(FIGURES):
+            _print_table(name, FIGURES[name](args.scale))
+        _print_table("Section 8 summary", summary(args.scale))
+        return 0
+
+    fn = FIGURES.get(args.figure) or ABLATIONS.get(args.figure)
+    if fn is None:
+        print(f"unknown figure {args.figure!r}; use --list", file=sys.stderr)
+        return 2
+    _print_table(args.figure, fn(args.scale))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

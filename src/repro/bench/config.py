@@ -1,0 +1,33 @@
+"""Benchmark configuration: scaling and timing helpers.
+
+Paper-scale runs use graphs of 14K-20K nodes; the default ``REPRO_SCALE``
+(0.05) shrinks every workload proportionally so the whole harness finishes
+on a laptop in minutes.  Set ``REPRO_SCALE=1.0`` (or pass ``--scale 1.0``)
+for paper-size runs; the *shapes* of the curves are stable across scales.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Callable, Tuple
+
+DEFAULT_SCALE = 0.05
+
+
+def get_scale(override: float = None) -> float:
+    if override is not None:
+        return float(override)
+    return float(os.environ.get("REPRO_SCALE", DEFAULT_SCALE))
+
+
+def scaled(value: int, scale: float, minimum: int = 20) -> int:
+    """A paper-scale quantity shrunk by ``scale`` with a sane floor."""
+    return max(minimum, int(round(value * scale)))
+
+
+def timed(fn: Callable[[], Any]) -> Tuple[float, Any]:
+    """(elapsed seconds, result) of calling ``fn``."""
+    t0 = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - t0, result

@@ -1,0 +1,5 @@
+"""Core facade wiring patterns, graphs, semantics and incremental indexes."""
+
+from .engine import Matcher
+
+__all__ = ["Matcher"]

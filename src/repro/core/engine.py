@@ -1,0 +1,159 @@
+"""The :class:`Matcher` facade — one object for batch + incremental matching.
+
+This is the public entry point a downstream user reaches for::
+
+    from repro import Matcher, Pattern
+
+    pattern = Pattern.from_spec(
+        {"CTO": "job = CTO", "DB": "job = DB", "Bio": "job = Bio"},
+        [("CTO", "DB", 2), ("DB", "Bio", 1), ("DB", "CTO", "*"),
+         ("CTO", "Bio", 1)],
+    )
+    matcher = Matcher(pattern, graph, semantics="bounded")
+    matcher.matches()                  # maximum match (dict)
+    matcher.insert_edge("Don", "Tom")  # incremental repair
+    matcher.apply(updates)             # batch incremental repair
+
+Semantics:
+
+- ``"simulation"``  — graph simulation (normal patterns), maintained by
+  :class:`SimulationIndex` (IncMatch family);
+- ``"bounded"``     — bounded simulation (b-patterns), maintained by
+  :class:`BoundedSimulationIndex` (IncBMatch family);
+- ``"isomorphism"`` — subgraph isomorphism (normal patterns), maintained by
+  :class:`IsoIndex` (embedding index; unbounded worst case per Thm. 7.1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Union
+
+from ..graphs.digraph import DiGraph, Node
+from ..incremental.incbsim import BoundedSimulationIndex
+from ..incremental.inciso import IsoIndex
+from ..incremental.incsim import SimulationIndex
+from ..incremental.types import Update
+from ..matching.isomorphism import Embedding
+from ..matching.relation import MatchRelation
+from ..matching.result_graph import (
+    isomorphism_result_graph,
+    simulation_result_graph,
+)
+from ..patterns.pattern import Pattern, PatternError
+
+SEMANTICS = ("simulation", "bounded", "isomorphism")
+
+
+class Matcher:
+    """Graph pattern matching with incremental maintenance."""
+
+    def __init__(
+        self,
+        pattern: Pattern,
+        graph: DiGraph,
+        semantics: str = "bounded",
+        distance_mode: str = "bfs",
+        max_embeddings: Optional[int] = None,
+    ) -> None:
+        if semantics not in SEMANTICS:
+            raise ValueError(
+                f"semantics must be one of {SEMANTICS}, got {semantics!r}"
+            )
+        if semantics in ("simulation", "isomorphism") and not pattern.is_normal():
+            raise PatternError(
+                f"{semantics} requires a normal pattern; "
+                "use semantics='bounded' for b-patterns"
+            )
+        pattern.validate()
+        self.pattern = pattern
+        self.graph = graph
+        self.semantics = semantics
+        if semantics == "simulation":
+            self._index: Union[
+                SimulationIndex, BoundedSimulationIndex, IsoIndex
+            ] = SimulationIndex(pattern, graph)
+        elif semantics == "bounded":
+            self._index = BoundedSimulationIndex(
+                pattern, graph, distance_mode=distance_mode
+            )
+        else:
+            self._index = IsoIndex(pattern, graph, max_embeddings=max_embeddings)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def matches(self) -> MatchRelation:
+        """The maximum match relation (simulation semantics).
+
+        For isomorphism semantics, use :meth:`embeddings` instead; this
+        raises to avoid silently conflating the two output types.
+        """
+        if isinstance(self._index, IsoIndex):
+            raise PatternError(
+                "isomorphism semantics yields embeddings, not a relation; "
+                "call .embeddings()"
+            )
+        return self._index.matches()
+
+    def embeddings(self) -> List[Embedding]:
+        """All isomorphic embeddings (isomorphism semantics only)."""
+        if not isinstance(self._index, IsoIndex):
+            raise PatternError(
+                f"{self.semantics} semantics yields a relation; call .matches()"
+            )
+        return self._index.embeddings()
+
+    def is_match(self) -> bool:
+        """``P |> G`` under the chosen semantics?"""
+        if isinstance(self._index, IsoIndex):
+            return self._index.has_match()
+        return any(vs for vs in self._index.matches().values())
+
+    def result_graph(self) -> DiGraph:
+        """The result graph ``Gr`` (paper Section 4)."""
+        if isinstance(self._index, IsoIndex):
+            return isomorphism_result_graph(
+                self.pattern, self.graph, self._index.embeddings()
+            )
+        if isinstance(self._index, BoundedSimulationIndex):
+            return self._index.result_graph()
+        return simulation_result_graph(
+            self.pattern, self.graph, self._index.matches()
+        )
+
+    @property
+    def stats(self):
+        """Work counters of the underlying incremental index (if any)."""
+        return getattr(self._index, "stats", None)
+
+    @property
+    def index(self):
+        """The underlying index — escape hatch for advanced use."""
+        return self._index
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def insert_edge(self, v: Node, w: Node) -> bool:
+        """Insert a data edge and incrementally repair the match."""
+        return self._index.insert_edge(v, w)
+
+    def delete_edge(self, v: Node, w: Node) -> bool:
+        """Delete a data edge and incrementally repair the match."""
+        return self._index.delete_edge(v, w)
+
+    def add_node(self, v: Node, **attrs) -> None:
+        """Add/refresh a node (isomorphism indexes re-anchor lazily)."""
+        if isinstance(self._index, IsoIndex):
+            self.graph.add_node(v, **attrs)
+        else:
+            self._index.add_node(v, **attrs)
+
+    def update_node_attrs(self, v: Node, **attrs) -> None:
+        """Merge new attributes into ``v`` and repair the match — the
+        "user edits her profile" update class the paper motivates."""
+        self._index.update_node_attrs(v, **attrs)
+
+    def apply(self, updates: Iterable[Update]) -> None:
+        """Apply a batch of updates with the batch incremental algorithm."""
+        self._index.apply_batch(updates)

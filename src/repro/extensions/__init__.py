@@ -1,0 +1,17 @@
+"""Extensions the paper sketches: edge colors, dual simulation, weights."""
+
+from .colored import ColoredGraph, ColoredPattern, colored_bounded_match
+from .distributed import DistributedSimulation, distributed_simulation
+from .dual import dual_simulation
+from .weighted import WeightedMatrixOracle, bounded_match_weighted
+
+__all__ = [
+    "ColoredGraph",
+    "ColoredPattern",
+    "colored_bounded_match",
+    "DistributedSimulation",
+    "distributed_simulation",
+    "dual_simulation",
+    "WeightedMatrixOracle",
+    "bounded_match_weighted",
+]

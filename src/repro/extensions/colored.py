@@ -1,0 +1,161 @@
+"""Edge-colored bounded simulation (paper Remark in Section 2.2).
+
+"One can readily extend data graphs and patterns by incorporating edge
+colors to specify, e.g., various relationships ... We can extend bounded
+simulation by requiring match on edge colors, to enforce relationships in a
+pattern to be mapped to the same relationships in a data graph."
+
+A :class:`ColoredGraph` wraps a :class:`DiGraph` with an edge-color map; a
+:class:`ColoredPattern` wraps a :class:`Pattern` with per-edge colors.  The
+semantics: a pattern edge ``(u, u')`` with bound ``k`` and color ``c`` maps
+to a nonempty path of length <= k **all of whose edges carry color c**
+(``color=None`` places no constraint).  Matching runs the usual greatest
+fixpoint, with distances computed on the color-filtered subgraphs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Iterable, Mapping, Optional, Set, Tuple
+
+from ..graphs.digraph import DiGraph, Node
+from ..graphs.traversal import descendants_within
+from ..matching.relation import MatchRelation
+from ..matching.simulation import candidate_sets
+from ..patterns.pattern import Bound, Pattern, PatternError, PatternNode
+
+Color = Hashable
+EdgeKey = Tuple[Node, Node]
+
+
+class ColoredGraph:
+    """A digraph whose edges carry a color (relationship type)."""
+
+    def __init__(self, graph: Optional[DiGraph] = None) -> None:
+        self.graph = graph if graph is not None else DiGraph()
+        self._colors: Dict[EdgeKey, Color] = {}
+        self._by_color: Dict[Color, DiGraph] = {}
+
+    def add_node(self, v: Node, **attrs: Any) -> None:
+        self.graph.add_node(v, **attrs)
+
+    def add_edge(self, v: Node, w: Node, color: Color) -> bool:
+        added = self.graph.add_edge(v, w)
+        old = self._colors.get((v, w))
+        self._colors[(v, w)] = color
+        if old != color:
+            self._by_color.clear()  # invalidate cached filtered views
+        return added
+
+    def remove_edge(self, v: Node, w: Node) -> bool:
+        removed = self.graph.remove_edge(v, w)
+        if removed:
+            self._colors.pop((v, w), None)
+            self._by_color.clear()
+        return removed
+
+    def color(self, v: Node, w: Node) -> Color:
+        try:
+            return self._colors[(v, w)]
+        except KeyError:
+            raise KeyError(f"edge ({v!r}, {w!r}) has no color") from None
+
+    def colors(self) -> Set[Color]:
+        return set(self._colors.values())
+
+    def filtered(self, color: Optional[Color]) -> DiGraph:
+        """The subgraph keeping only ``color``-edges (all edges if None).
+
+        Views are cached; mutations invalidate the cache.
+        """
+        if color is None:
+            return self.graph
+        cached = self._by_color.get(color)
+        if cached is not None:
+            return cached
+        view = DiGraph()
+        for v in self.graph.nodes():
+            view.add_node(v, **dict(self.graph.attrs(v)))
+        for (v, w), c in self._colors.items():
+            if c == color:
+                view.add_edge(v, w)
+        self._by_color[color] = view
+        return view
+
+
+class ColoredPattern:
+    """A b-pattern whose edges additionally require a relationship color."""
+
+    def __init__(self, pattern: Optional[Pattern] = None) -> None:
+        self.pattern = pattern if pattern is not None else Pattern()
+        self._colors: Dict[Tuple[PatternNode, PatternNode], Optional[Color]] = {}
+
+    def add_node(self, u: PatternNode, predicate=None) -> None:
+        self.pattern.add_node(u, predicate)
+
+    def add_edge(
+        self,
+        u: PatternNode,
+        u2: PatternNode,
+        bound: Bound = 1,
+        color: Optional[Color] = None,
+    ) -> None:
+        self.pattern.add_edge(u, u2, bound)
+        self._colors[(u, u2)] = color
+
+    def color(self, u: PatternNode, u2: PatternNode) -> Optional[Color]:
+        if (u, u2) not in self._colors:
+            raise PatternError(f"pattern edge ({u!r}, {u2!r}) not present")
+        return self._colors[(u, u2)]
+
+    @staticmethod
+    def from_spec(
+        nodes: Mapping[PatternNode, Any],
+        edges: Iterable[Tuple[PatternNode, PatternNode, Bound, Optional[Color]]],
+    ) -> "ColoredPattern":
+        cp = ColoredPattern()
+        for u, pred in nodes.items():
+            cp.add_node(u, pred)
+        for u, u2, bound, color in edges:
+            cp.add_edge(u, u2, bound, color)
+        return cp
+
+
+def colored_bounded_match(
+    cpattern: ColoredPattern, cgraph: ColoredGraph
+) -> MatchRelation:
+    """Maximum color-respecting bounded simulation (pre-totalization).
+
+    Greatest-fixpoint refinement where the ``desc`` test for a pattern edge
+    runs on the subgraph of matching-color edges.
+    """
+    pattern = cpattern.pattern
+    graph = cgraph.graph
+    mat = candidate_sets(pattern, graph)
+    # Precompute, per pattern edge, the reachable target sets under the
+    # edge's color constraint.
+    desc: Dict[Tuple[PatternNode, PatternNode, Node], Set[Node]] = {}
+    for u, u2 in pattern.edges():
+        bound = pattern.bound(u, u2)
+        color = cpattern.color(u, u2)
+        view = cgraph.filtered(color)
+        for v in mat[u]:
+            ball = descendants_within(view, v, bound)
+            desc[(u, u2, v)] = {
+                c
+                for c, d in ball.items()
+                if bound is None or d <= bound
+            }
+    changed = True
+    while changed:
+        changed = False
+        for u, u2 in pattern.edges():
+            targets = mat[u2]
+            bad = [
+                v
+                for v in mat[u]
+                if not (desc.get((u, u2, v), set()) & targets)
+            ]
+            if bad:
+                mat[u].difference_update(bad)
+                changed = True
+    return mat

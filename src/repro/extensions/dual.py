@@ -1,0 +1,65 @@
+"""Dual simulation (Ma et al. 2011, cited in the paper's Section 2.3).
+
+The paper's remark: "variants of simulation that preserve more topology,
+e.g., bisimulation or dual simulation, may induce results that approximate
+isomorphic subgraphs."  Dual simulation adds the *backward* condition to
+graph simulation: for each ``(u, v)`` in the relation and each pattern edge
+``(u', u)``, some parent ``v'`` of ``v`` must match ``u'``.
+
+The maximum dual simulation is computed by refining forward and backward
+obligations to a common greatest fixpoint; it always sits between subgraph
+isomorphism's node images and plain simulation:
+
+    nodes(Miso)  subseteq  M_dual  subseteq  M_sim   (per pattern node)
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Set, Tuple
+
+from ..graphs.digraph import DiGraph, Node
+from ..matching.relation import MatchRelation
+from ..matching.simulation import candidate_sets
+from ..patterns.pattern import Pattern, PatternError, PatternNode
+
+
+def dual_simulation(pattern: Pattern, graph: DiGraph) -> MatchRelation:
+    """Maximum dual simulation sets (pre-totalization)."""
+    if not pattern.is_normal():
+        raise PatternError("dual simulation is defined on normal patterns")
+    sim = candidate_sets(pattern, graph)
+
+    def ok(u: PatternNode, v: Node) -> bool:
+        for u2 in pattern.children(u):
+            if not any(w in sim[u2] for w in graph.children(v)):
+                return False
+        for u0 in pattern.parents(u):
+            if not any(p in sim[u0] for p in graph.parents(v)):
+                return False
+        return True
+
+    # Worklist refinement over both directions.
+    dirty: Deque[PatternNode] = deque(pattern.nodes())
+    queued: Set[PatternNode] = set(dirty)
+    while dirty:
+        u = dirty.popleft()
+        queued.discard(u)
+        bad = [v for v in sim[u] if not ok(u, v)]
+        if not bad:
+            continue
+        sim[u].difference_update(bad)
+        for neighbour in set(pattern.children(u)) | set(pattern.parents(u)):
+            if neighbour not in queued:
+                queued.add(neighbour)
+                dirty.append(neighbour)
+    return sim
+
+
+def dual_contains_isomorphism_images(
+    pattern: Pattern, graph: DiGraph, embeddings
+) -> bool:
+    """Sanity relation used by the tests: every embedding image lies inside
+    the maximum dual simulation."""
+    dual = dual_simulation(pattern, graph)
+    return all(v in dual[u] for emb in embeddings for u, v in emb.items())

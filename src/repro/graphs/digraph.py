@@ -1,0 +1,236 @@
+"""Attributed directed graph — the data-graph substrate of the paper.
+
+A data graph is ``G = (V, E, fA)`` (paper Section 2.1): a finite set of
+nodes, a set of directed edges, and a function ``fA`` assigning each node a
+tuple of attribute/value pairs.  This module provides a compact adjacency
+representation with O(1) amortized edge insertion/deletion and O(1) parent
+and child set access — the operations every algorithm in this repository is
+built on.
+
+The class deliberately stores *sets* of successors and predecessors: the
+incremental algorithms of Sections 5 and 6 repeatedly ask "is (v, v') an
+edge" and "iterate the parents of v", both of which must be cheap.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
+
+Node = Hashable
+Edge = Tuple[Node, Node]
+
+
+class GraphError(Exception):
+    """Raised for structurally invalid graph operations."""
+
+
+class DiGraph:
+    """A directed graph with per-node attribute tuples.
+
+    Nodes may be any hashable value.  Attributes are stored as a plain
+    ``dict`` per node (the paper's ``fA(v)`` tuple).  Parallel edges are not
+    supported (the paper's model is a simple digraph); self-loops are
+    allowed, since they matter for the "nonempty path" semantics of bounded
+    simulation.
+    """
+
+    __slots__ = ("_succ", "_pred", "_attrs", "_num_edges")
+
+    def __init__(
+        self,
+        edges: Optional[Iterable[Edge]] = None,
+        attrs: Optional[Mapping[Node, Mapping[str, Any]]] = None,
+    ) -> None:
+        self._succ: Dict[Node, Set[Node]] = {}
+        self._pred: Dict[Node, Set[Node]] = {}
+        self._attrs: Dict[Node, Dict[str, Any]] = {}
+        self._num_edges = 0
+        if edges is not None:
+            for v, w in edges:
+                self.add_edge(v, w)
+        if attrs is not None:
+            for node, node_attrs in attrs.items():
+                self.add_node(node, **dict(node_attrs))
+
+    # ------------------------------------------------------------------
+    # Node operations
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node, **attrs: Any) -> None:
+        """Add ``node`` (idempotent) and merge ``attrs`` into its tuple."""
+        if node not in self._succ:
+            self._succ[node] = set()
+            self._pred[node] = set()
+            self._attrs[node] = {}
+        if attrs:
+            self._attrs[node].update(attrs)
+
+    def remove_node(self, node: Node) -> None:
+        """Remove ``node`` and every incident edge."""
+        if node not in self._succ:
+            raise GraphError(f"node {node!r} not in graph")
+        for child in list(self._succ[node]):
+            self.remove_edge(node, child)
+        for parent in list(self._pred[node]):
+            self.remove_edge(parent, node)
+        del self._succ[node]
+        del self._pred[node]
+        del self._attrs[node]
+
+    def has_node(self, node: Node) -> bool:
+        return node in self._succ
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._succ
+
+    def nodes(self) -> Iterator[Node]:
+        return iter(self._succ)
+
+    def num_nodes(self) -> int:
+        return len(self._succ)
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    # ------------------------------------------------------------------
+    # Attribute access (the paper's fA)
+    # ------------------------------------------------------------------
+    def attrs(self, node: Node) -> Dict[str, Any]:
+        """The attribute tuple ``fA(node)``; mutating it mutates the graph."""
+        try:
+            return self._attrs[node]
+        except KeyError:
+            raise GraphError(f"node {node!r} not in graph") from None
+
+    def get_attr(self, node: Node, name: str, default: Any = None) -> Any:
+        return self.attrs(node).get(name, default)
+
+    def set_attr(self, node: Node, name: str, value: Any) -> None:
+        self.attrs(node)[name] = value
+
+    # ------------------------------------------------------------------
+    # Edge operations
+    # ------------------------------------------------------------------
+    def add_edge(self, v: Node, w: Node) -> bool:
+        """Insert edge ``(v, w)``; returns False if it already existed.
+
+        Endpoints are created on demand, matching the update model of
+        Section 4 where an inserted edge may reference fresh nodes.
+        """
+        self.add_node(v)
+        self.add_node(w)
+        if w in self._succ[v]:
+            return False
+        self._succ[v].add(w)
+        self._pred[w].add(v)
+        self._num_edges += 1
+        return True
+
+    def remove_edge(self, v: Node, w: Node) -> bool:
+        """Delete edge ``(v, w)``; returns False if it was absent."""
+        succ = self._succ.get(v)
+        if succ is None or w not in succ:
+            return False
+        succ.remove(w)
+        self._pred[w].remove(v)
+        self._num_edges -= 1
+        return True
+
+    def has_edge(self, v: Node, w: Node) -> bool:
+        succ = self._succ.get(v)
+        return succ is not None and w in succ
+
+    def edges(self) -> Iterator[Edge]:
+        for v, children in self._succ.items():
+            for w in children:
+                yield (v, w)
+
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    # ------------------------------------------------------------------
+    # Adjacency (the paper's Cr(u) / Pr(u))
+    # ------------------------------------------------------------------
+    def children(self, node: Node) -> Set[Node]:
+        """``Cr(node)``: direct successors.  Do not mutate the result."""
+        try:
+            return self._succ[node]
+        except KeyError:
+            raise GraphError(f"node {node!r} not in graph") from None
+
+    def parents(self, node: Node) -> Set[Node]:
+        """``Pr(node)``: direct predecessors.  Do not mutate the result."""
+        try:
+            return self._pred[node]
+        except KeyError:
+            raise GraphError(f"node {node!r} not in graph") from None
+
+    def out_degree(self, node: Node) -> int:
+        return len(self.children(node))
+
+    def in_degree(self, node: Node) -> int:
+        return len(self.parents(node))
+
+    # ------------------------------------------------------------------
+    # Bulk helpers
+    # ------------------------------------------------------------------
+    def copy(self) -> "DiGraph":
+        g = DiGraph()
+        for node in self._succ:
+            g.add_node(node, **self._attrs[node])
+        for v, w in self.edges():
+            g.add_edge(v, w)
+        return g
+
+    def subgraph(self, nodes: Iterable[Node]) -> "DiGraph":
+        """The induced subgraph on ``nodes`` (attributes copied)."""
+        keep = set(nodes)
+        g = DiGraph()
+        for node in keep:
+            if node not in self._succ:
+                raise GraphError(f"node {node!r} not in graph")
+            g.add_node(node, **self._attrs[node])
+        for v in keep:
+            for w in self._succ[v]:
+                if w in keep:
+                    g.add_edge(v, w)
+        return g
+
+    def reverse(self) -> "DiGraph":
+        """A copy with every edge flipped."""
+        g = DiGraph()
+        for node in self._succ:
+            g.add_node(node, **self._attrs[node])
+        for v, w in self.edges():
+            g.add_edge(w, v)
+        return g
+
+    def edge_set(self) -> FrozenSet[Edge]:
+        return frozenset(self.edges())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DiGraph):
+            return NotImplemented
+        return (
+            set(self._succ) == set(other._succ)
+            and self.edge_set() == other.edge_set()
+            and all(self._attrs[n] == other._attrs[n] for n in self._succ)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - mutable, identity hash
+        return id(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"DiGraph(|V|={self.num_nodes()}, |E|={self.num_edges()})"
+        )

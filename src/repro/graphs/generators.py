@@ -1,0 +1,209 @@
+"""Synthetic graph generators.
+
+The paper's synthetic data comes from "the Java boost graph generator ...
+with 3 parameters: the number of nodes, the number of edges, and a set of
+node attributes", producing "sequences of data graphs following the
+densification law [Leskovec et al. 2007] and linkage generation models
+[Garg et al. 2009]".  We reproduce those knobs:
+
+- :func:`synthetic_graph` — n nodes, m edges, attributes drawn from a given
+  attribute universe, with preferential attachment so that degree is skewed
+  (the linkage-generation flavour);
+- :func:`densification_sequence` — snapshots with ``|E| = |V| ** alpha``;
+- :func:`random_dag` — DAG-shaped graphs for the DAG-pattern experiments;
+- :func:`chain`, :func:`cycle_graph`, :func:`complete_graph` — the shapes
+  used in the paper's unboundedness constructions (Figs. 6, 11, 15).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .digraph import DiGraph, Node
+
+AttributeUniverse = Mapping[str, Sequence[Any]]
+
+DEFAULT_ATTRIBUTES: Dict[str, Sequence[Any]] = {
+    "label": ["A", "B", "C", "D", "E"],
+    "rating": [1, 2, 3, 4, 5],
+}
+
+
+def _assign_attributes(
+    graph: DiGraph,
+    universe: AttributeUniverse,
+    rng: random.Random,
+) -> None:
+    for v in graph.nodes():
+        for attr, values in universe.items():
+            graph.set_attr(v, attr, rng.choice(list(values)))
+
+
+def synthetic_graph(
+    num_nodes: int,
+    num_edges: int,
+    attributes: Optional[AttributeUniverse] = None,
+    seed: Optional[int] = None,
+    preferential: bool = True,
+) -> DiGraph:
+    """Random attributed digraph with ``num_nodes`` nodes, ``num_edges`` edges.
+
+    With ``preferential`` (default), edge endpoints are drawn with
+    probability proportional to ``degree + 1``, yielding the heavy-tailed
+    degree distributions of social networks; otherwise endpoints are
+    uniform.
+    """
+    if num_edges > num_nodes * num_nodes:
+        raise ValueError("more edges requested than a simple digraph allows")
+    rng = random.Random(seed)
+    graph = DiGraph()
+    nodes: List[int] = list(range(num_nodes))
+    for v in nodes:
+        graph.add_node(v)
+    if num_nodes == 0:
+        return graph
+    # Repeated-node list implements preferential attachment cheaply.
+    pool: List[int] = list(nodes)
+    added = 0
+    attempts = 0
+    max_attempts = 50 * num_edges + 100
+    while added < num_edges and attempts < max_attempts:
+        attempts += 1
+        if preferential:
+            v = rng.choice(pool)
+            w = rng.choice(pool)
+        else:
+            v = rng.choice(nodes)
+            w = rng.choice(nodes)
+        if v == w or graph.has_edge(v, w):
+            continue
+        graph.add_edge(v, w)
+        pool.append(v)
+        pool.append(w)
+        added += 1
+    if added < num_edges:
+        # Dense corner: fill deterministically.
+        for v in nodes:
+            for w in nodes:
+                if added >= num_edges:
+                    break
+                if v != w and not graph.has_edge(v, w):
+                    graph.add_edge(v, w)
+                    added += 1
+            if added >= num_edges:
+                break
+    _assign_attributes(graph, attributes or DEFAULT_ATTRIBUTES, rng)
+    return graph
+
+
+def densification_sequence(
+    num_nodes_list: Sequence[int],
+    alpha: float = 1.1,
+    attributes: Optional[AttributeUniverse] = None,
+    seed: Optional[int] = None,
+) -> List[DiGraph]:
+    """Snapshots obeying the densification law ``|E| = |V| ** alpha``."""
+    graphs = []
+    for i, n in enumerate(num_nodes_list):
+        m = int(round(n**alpha))
+        m = min(m, n * (n - 1))
+        graphs.append(
+            synthetic_graph(
+                n, m, attributes=attributes, seed=None if seed is None else seed + i
+            )
+        )
+    return graphs
+
+
+def random_dag(
+    num_nodes: int,
+    num_edges: int,
+    attributes: Optional[AttributeUniverse] = None,
+    seed: Optional[int] = None,
+) -> DiGraph:
+    """Random DAG: edges only go from lower to higher node index."""
+    max_edges = num_nodes * (num_nodes - 1) // 2
+    if num_edges > max_edges:
+        raise ValueError("too many edges for a DAG of this size")
+    rng = random.Random(seed)
+    graph = DiGraph()
+    for v in range(num_nodes):
+        graph.add_node(v)
+    added = 0
+    attempts = 0
+    while added < num_edges and attempts < 50 * num_edges + 100:
+        attempts += 1
+        v = rng.randrange(num_nodes)
+        w = rng.randrange(num_nodes)
+        if v == w:
+            continue
+        if v > w:
+            v, w = w, v
+        if graph.has_edge(v, w):
+            continue
+        graph.add_edge(v, w)
+        added += 1
+    if added < num_edges:
+        for v in range(num_nodes):
+            for w in range(v + 1, num_nodes):
+                if added >= num_edges:
+                    break
+                if not graph.has_edge(v, w):
+                    graph.add_edge(v, w)
+                    added += 1
+            if added >= num_edges:
+                break
+    _assign_attributes(graph, attributes or DEFAULT_ATTRIBUTES, rng)
+    return graph
+
+
+def chain(length: int, label: Any = "a", attr: str = "label") -> DiGraph:
+    """A path (v0 -> v1 -> ... ) with a uniform label — paper Fig. 6 shape."""
+    graph = DiGraph()
+    for v in range(length):
+        graph.add_node(v, **{attr: label})
+    for v in range(length - 1):
+        graph.add_edge(v, v + 1)
+    return graph
+
+
+def cycle_graph(length: int, label: Any = "a", attr: str = "label") -> DiGraph:
+    """A directed cycle of ``length`` nodes with a uniform label."""
+    graph = chain(length, label=label, attr=attr)
+    if length > 0:
+        graph.add_edge(length - 1, 0)
+    return graph
+
+
+def complete_graph(
+    num_nodes: int, label: Any = "a", attr: str = "label"
+) -> DiGraph:
+    """Complete digraph (no self loops) — the clique of Theorem 7.1."""
+    graph = DiGraph()
+    for v in range(num_nodes):
+        graph.add_node(v, **{attr: label})
+    for v in range(num_nodes):
+        for w in range(num_nodes):
+            if v != w:
+                graph.add_edge(v, w)
+    return graph
+
+
+def star(
+    num_leaves: int,
+    hub_label: Any = "h",
+    leaf_label: Any = "l",
+    attr: str = "label",
+    outward: bool = True,
+) -> DiGraph:
+    """A star with the hub as node 0."""
+    graph = DiGraph()
+    graph.add_node(0, **{attr: hub_label})
+    for v in range(1, num_leaves + 1):
+        graph.add_node(v, **{attr: leaf_label})
+        if outward:
+            graph.add_edge(0, v)
+        else:
+            graph.add_edge(v, 0)
+    return graph

@@ -1,0 +1,70 @@
+"""Graph serialization: JSON documents and edge-list text.
+
+Real deployments of the paper's system would load crawled snapshots from
+disk; these helpers provide a stable on-disk format for the synthetic
+stand-ins so experiments are replayable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from .digraph import DiGraph, GraphError
+
+PathLike = Union[str, Path]
+
+
+def graph_to_dict(graph: DiGraph) -> Dict[str, Any]:
+    """A JSON-serializable document: nodes with attributes, plus edges."""
+    nodes = [
+        {"id": node, "attrs": dict(graph.attrs(node))} for node in graph.nodes()
+    ]
+    edges = [[v, w] for v, w in graph.edges()]
+    return {"nodes": nodes, "edges": edges}
+
+
+def graph_from_dict(doc: Dict[str, Any]) -> DiGraph:
+    """Inverse of :func:`graph_to_dict` (ids must be hashable JSON scalars)."""
+    if "nodes" not in doc or "edges" not in doc:
+        raise GraphError("document must contain 'nodes' and 'edges'")
+    graph = DiGraph()
+    for entry in doc["nodes"]:
+        graph.add_node(entry["id"], **entry.get("attrs", {}))
+    for edge in doc["edges"]:
+        if len(edge) != 2:
+            raise GraphError(f"malformed edge entry: {edge!r}")
+        v, w = edge
+        if v not in graph or w not in graph:
+            raise GraphError(f"edge {edge!r} references unknown node")
+        graph.add_edge(v, w)
+    return graph
+
+
+def save_json(graph: DiGraph, path: PathLike) -> None:
+    Path(path).write_text(json.dumps(graph_to_dict(graph)))
+
+
+def load_json(path: PathLike) -> DiGraph:
+    return graph_from_dict(json.loads(Path(path).read_text()))
+
+
+def save_edge_list(graph: DiGraph, path: PathLike) -> None:
+    """Whitespace-separated ``src dst`` lines (attributes are dropped)."""
+    lines = [f"{v} {w}" for v, w in graph.edges()]
+    Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))
+
+
+def load_edge_list(path: PathLike) -> DiGraph:
+    """Parse ``src dst`` lines; node ids are strings."""
+    graph = DiGraph()
+    for lineno, line in enumerate(Path(path).read_text().splitlines(), 1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise GraphError(f"line {lineno}: expected 'src dst', got {line!r}")
+        graph.add_edge(parts[0], parts[1])
+    return graph

@@ -1,0 +1,93 @@
+"""cc / cs / ss classification of data edges and node pairs.
+
+Paper Table II (simulation, edges) and Table III (bounded simulation, node
+pairs): with respect to a pattern edge ``(u', u)``,
+
+- a data edge/pair ``(v', v)`` is **ss** when ``v' in match(u')`` and
+  ``v in match(u)``;
+- **cs** when ``v' in candt(u')`` and ``v in match(u)``;
+- **cc** when ``v' in candt(u')`` and ``v in candt(u)``.
+
+Propositions 5.1/5.2: only deletions of ss edges can shrink the match, only
+insertions of cs/cc edges can grow it (cc only inside pattern SCCs).  The
+classifier is what lets ``minDelta`` drop irrelevant updates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Set, Tuple
+
+from ..graphs.digraph import Node
+from ..patterns.pattern import Pattern, PatternNode
+
+PairKind = str  # 'ss' | 'cs' | 'cc' | 'sc' | 'none'
+
+
+def classify_pair(
+    v_src: Node,
+    v_dst: Node,
+    u_src: PatternNode,
+    u_dst: PatternNode,
+    match: Mapping[PatternNode, Set[Node]],
+    candt: Mapping[PatternNode, Set[Node]],
+) -> PairKind:
+    """Classify ``(v_src, v_dst)`` w.r.t. pattern edge ``(u_src, u_dst)``."""
+    src_match = v_src in match[u_src]
+    src_cand = v_src in candt[u_src]
+    dst_match = v_dst in match[u_dst]
+    dst_cand = v_dst in candt[u_dst]
+    if src_match and dst_match:
+        return "ss"
+    if src_cand and dst_match:
+        return "cs"
+    if src_cand and dst_cand:
+        return "cc"
+    if src_match and dst_cand:
+        return "sc"
+    return "none"
+
+
+def classify_edge(
+    edge: Tuple[Node, Node],
+    pattern: Pattern,
+    match: Mapping[PatternNode, Set[Node]],
+    candt: Mapping[PatternNode, Set[Node]],
+) -> List[Tuple[Tuple[PatternNode, PatternNode], PairKind]]:
+    """All (pattern edge, kind) classifications of one data edge."""
+    v_src, v_dst = edge
+    out = []
+    for u_src, u_dst in pattern.edges():
+        kind = classify_pair(v_src, v_dst, u_src, u_dst, match, candt)
+        if kind != "none":
+            out.append(((u_src, u_dst), kind))
+    return out
+
+
+def is_relevant_deletion(
+    edge: Tuple[Node, Node],
+    pattern: Pattern,
+    match: Mapping[PatternNode, Set[Node]],
+    candt: Mapping[PatternNode, Set[Node]],
+) -> bool:
+    """Prop. 5.1: a deletion matters only if the edge is ss somewhere."""
+    return any(
+        kind == "ss" for _, kind in classify_edge(edge, pattern, match, candt)
+    )
+
+
+def is_relevant_insertion(
+    edge: Tuple[Node, Node],
+    pattern: Pattern,
+    match: Mapping[PatternNode, Set[Node]],
+    candt: Mapping[PatternNode, Set[Node]],
+    scc_edges: Iterable[Tuple[PatternNode, PatternNode]] = (),
+) -> bool:
+    """Prop. 5.2: an insertion matters only if cs somewhere, or cc on a
+    pattern edge inside an SCC of P."""
+    scc_set = set(scc_edges)
+    for pedge, kind in classify_edge(edge, pattern, match, candt):
+        if kind == "cs":
+            return True
+        if kind == "cc" and pedge in scc_set:
+            return True
+    return False

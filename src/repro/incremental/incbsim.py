@@ -1,0 +1,508 @@
+"""Incremental bounded simulation (paper Section 6).
+
+Proposition 6.1 is the load-bearing insight: ``P |>bsim G`` iff ``P``
+(read as a normal pattern) simulates the *result graph* over the matches
+and candidates.  :class:`BoundedSimulationIndex` therefore maintains a
+**pair graph**: one node ``(u, v)`` per pattern node ``u`` and
+predicate-eligible data node ``v``, and one edge
+``(u, a) -> (u', c)`` per pattern edge ``(u, u')`` whose bound admits a
+nonempty path from ``a`` to ``c`` in the data graph.  These edges are
+exactly the paper's ss / cs / cc *pairs* (Table III).  An inner
+:class:`~repro.incremental.incsim.SimulationIndex` then runs incremental
+*simulation* over the pair graph — IncBMatch+/-/batch reduce to pair-level
+insertions and deletions fed to IncMatch+/-/batch.
+
+What remains is distance maintenance: which pairs appear or disappear when
+a data edge changes.
+
+- **Insertion** of ``(x, y)``: any pair newly within bound ``k`` has its new
+  shortest path through ``(x, y)``, so it decomposes as
+  ``d(a, x) + 1 + d(y, c) <= k`` with both legs avoiding ``(x, y)``; the
+  legs come from one backward ball around ``x`` and one forward ball around
+  ``y`` of radius ``k - 1`` (per distinct bound).
+- **Deletion** of ``(x, y)``: a broken pair's old path decomposes the same
+  way *on the pre-deletion graph*, so suspects are collected from balls
+  computed before the edit and rechecked afterwards (one bounded BFS per
+  suspect source, or landmark / matrix distance queries depending on
+  ``distance_mode``).
+
+``distance_mode``:
+
+- ``'bfs'``       — rechecks by grouped bounded BFS (default IncBMatch);
+- ``'landmark'``  — maintains a :class:`LandmarkIndex` (``IncLM``) and
+  answers rechecks from the vectors — the paper's Section 6.3 algorithm;
+- ``'matrix'``    — maintains a full all-pairs matrix (min-plus updates on
+  insert, rebuild on delete): the ``IncBMatch_m`` baseline of Exp-2, whose
+  heavier auxiliary structure is exactly what Fig. 19 measures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..graphs.digraph import DiGraph, Node
+from ..graphs.distance import DistanceMatrix
+from ..graphs.traversal import INF, ancestors_within, descendants_within
+from ..landmarks.vector import LandmarkIndex
+from ..matching.relation import MatchRelation, totalize
+from ..matching.simulation import candidate_sets
+from ..patterns.pattern import Bound, Pattern, PatternNode
+from ..patterns.predicate import Predicate
+from .incsim import IncStats, SimulationIndex
+from .types import Update, delete as upd_delete, insert as upd_insert, net_updates
+
+PatternEdge = Tuple[PatternNode, PatternNode]
+LAYER_ATTR = "__layer__"
+
+
+def _layered_pattern(pattern: Pattern) -> Pattern:
+    """The pattern with predicates replaced by layer-membership tests."""
+    layered = Pattern()
+    for u in pattern.nodes():
+        layered.add_node(u, Predicate.label(u, attribute=LAYER_ATTR))
+    for u, u2 in pattern.edges():
+        layered.add_edge(u, u2, 1)
+    return layered
+
+
+class BoundedSimulationIndex:
+    """Maximum bounded simulation maintained under edge updates."""
+
+    def __init__(
+        self,
+        pattern: Pattern,
+        graph: DiGraph,
+        distance_mode: str = "bfs",
+        landmark_strategy: str = "matching",
+    ) -> None:
+        if distance_mode not in ("bfs", "landmark", "matrix"):
+            raise ValueError(f"unknown distance_mode {distance_mode!r}")
+        self.pattern = pattern
+        self.graph = graph
+        self.distance_mode = distance_mode
+        self._bounds: Dict[PatternEdge, Bound] = {
+            (u, u2): pattern.bound(u, u2) for u, u2 in pattern.edges()
+        }
+        self.eligible: MatchRelation = candidate_sets(pattern, graph)
+        self._pair_graph = DiGraph()
+        self._build_pair_graph()
+        self._inner = SimulationIndex(_layered_pattern(pattern), self._pair_graph)
+        self._lm: Optional[LandmarkIndex] = None
+        self._matrix: Optional[DistanceMatrix] = None
+        if distance_mode == "landmark":
+            self._lm = LandmarkIndex(graph, strategy=landmark_strategy)
+        elif distance_mode == "matrix":
+            self._matrix = DistanceMatrix(graph)
+
+    # ------------------------------------------------------------------
+    # Pair graph construction
+    # ------------------------------------------------------------------
+    def _build_pair_graph(self) -> None:
+        for u, vs in self.eligible.items():
+            for v in vs:
+                self._pair_graph.add_node((u, v), **{LAYER_ATTR: u})
+        for (u, u2), bound in self._bounds.items():
+            targets = self.eligible[u2]
+            for a in self.eligible[u]:
+                ball = descendants_within(self.graph, a, bound)
+                for c, d in ball.items():
+                    if c in targets and (bound is None or d <= bound):
+                        self._pair_graph.add_edge((u, a), (u2, c))
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> IncStats:
+        return self._inner.stats
+
+    def matches(self) -> MatchRelation:
+        """The maximum bounded-simulation match (totalized)."""
+        return totalize(self.raw_match_sets())
+
+    def raw_match_sets(self) -> MatchRelation:
+        raw = self._inner.raw_match_sets()
+        return {u: {v for (_, v) in raw[u]} for u in raw}
+
+    def candidates(self) -> MatchRelation:
+        return {
+            u: {v for (_, v) in self._inner.candt[u]}
+            for u in self._inner.candt
+        }
+
+    def has_pair(self, edge: PatternEdge, a: Node, c: Node) -> bool:
+        u, u2 = edge
+        return self._pair_graph.has_edge((u, a), (u2, c))
+
+    def result_graph(self) -> DiGraph:
+        """The paper's ``Gr``: matched data nodes and their pair edges."""
+        raw = self.raw_match_sets()
+        gr = DiGraph()
+        if not all(raw.values()):
+            return gr
+        for u, vs in raw.items():
+            for v in vs:
+                gr.add_node(v, **dict(self.graph.attrs(v)))
+        for (u, a), (u2, c) in self._pair_graph.edges():
+            if a in raw.get(u, ()) and c in raw.get(u2, ()):
+                gr.add_edge(a, c)
+        return gr
+
+    def landmark_index(self) -> Optional[LandmarkIndex]:
+        return self._lm
+
+    # ------------------------------------------------------------------
+    # Node registration
+    # ------------------------------------------------------------------
+    def add_node(self, v: Node, **attrs) -> None:
+        self.graph.add_node(v, **attrs)
+        self._register_node(v)
+
+    def _register_node(self, v: Node) -> None:
+        attrs = self.graph.attrs(v)
+        for u in self.pattern.nodes():
+            if v in self.eligible[u]:
+                continue
+            if self.pattern.predicate(u).satisfied_by(attrs):
+                self.eligible[u].add(v)
+                self._inner.add_node((u, v), **{LAYER_ATTR: u})
+
+    def update_node_attrs(self, v: Node, **attrs) -> None:
+        """Change ``v``'s attributes and repair the match.
+
+        Eligibility per pattern node is re-evaluated: a lost layer retires
+        the pair node (its pair edges are deleted with the usual cascade);
+        a gained layer materializes the node's pairs in both directions and
+        feeds them to the inner incremental simulation.
+        """
+        if v not in self.graph:
+            self.add_node(v, **attrs)
+            return
+        self.graph.add_node(v, **attrs)
+        node_attrs = self.graph.attrs(v)
+        pair_updates: List[Update] = []
+        gained: List[PatternNode] = []
+        lost: List[PatternNode] = []
+        for u in self.pattern.nodes():
+            ok = self.pattern.predicate(u).satisfied_by(node_attrs)
+            was = v in self.eligible[u]
+            if ok and not was:
+                gained.append(u)
+            elif not ok and was:
+                lost.append(u)
+                pv = (u, v)
+                for child in list(self._pair_graph.children(pv)):
+                    pair_updates.append(upd_delete(pv, child))
+                for parent in list(self._pair_graph.parents(pv)):
+                    pair_updates.append(upd_delete(parent, pv))
+                self.eligible[u].remove(v)
+        if pair_updates:
+            self._inner.apply_batch(pair_updates)
+        # Retire after the edges are gone so leaf-layer matches drop too.
+        for u in lost:
+            self._inner.retire_node((u, v))
+        if not gained:
+            return
+        inserts: List[Update] = []
+        # Register all gained layers first so pairs between two layers
+        # gained in the same call (e.g. via a pattern self-cycle) are seen.
+        for u in gained:
+            self.eligible[u].add(v)
+            self._inner.add_node((u, v), **{LAYER_ATTR: u})
+        for u in gained:
+            # Outgoing pairs: targets within bound of v, per edge from u.
+            for u2 in self.pattern.children(u):
+                bound = self._bounds[(u, u2)]
+                ball = descendants_within(self.graph, v, bound)
+                for c, d in ball.items():
+                    if c in self.eligible[u2] and (bound is None or d <= bound):
+                        inserts.append(upd_insert((u, v), (u2, c)))
+            # Incoming pairs: sources reaching v, per edge into u.
+            for u0 in self.pattern.parents(u):
+                bound = self._bounds[(u0, u)]
+                ball = ancestors_within(self.graph, v, bound)
+                for a, d in ball.items():
+                    if a in self.eligible[u0] and (bound is None or d <= bound):
+                        inserts.append(upd_insert((u0, a), (u, v)))
+        if inserts:
+            self._inner.apply_batch(inserts)
+
+    # ------------------------------------------------------------------
+    # Distance-structure maintenance helpers
+    # ------------------------------------------------------------------
+    def _distinct_bounds(self) -> Set[Bound]:
+        return set(self._bounds.values())
+
+    def _balls_around(
+        self, x: Node, y: Node
+    ) -> Tuple[Dict[Bound, Dict[Node, int]], Dict[Bound, Dict[Node, int]]]:
+        """Backward balls at x and forward balls at y, per distinct bound.
+
+        Radius is ``bound - 1`` (a leg of a path through the edge); the
+        anchor itself is included at distance 0.
+        """
+        bins: Dict[Bound, Dict[Node, int]] = {}
+        bouts: Dict[Bound, Dict[Node, int]] = {}
+        for bound in self._distinct_bounds():
+            radius = None if bound is None else bound - 1
+            bin_ball = dict(ancestors_within(self.graph, x, radius))
+            bin_ball[x] = 0
+            bout_ball = dict(descendants_within(self.graph, y, radius))
+            bout_ball[y] = 0
+            bins[bound] = bin_ball
+            bouts[bound] = bout_ball
+        return bins, bouts
+
+    def _pairs_created_by_insert(
+        self,
+        x: Node,
+        y: Node,
+        bins: Dict[Bound, Dict[Node, int]],
+        bouts: Dict[Bound, Dict[Node, int]],
+        pending_deletes: Optional[Set[Tuple[Tuple, Tuple]]] = None,
+    ) -> List[Update]:
+        """Pair insertions unlocked by data edge (x, y) — balls are on the
+        graph that already contains the edge.
+
+        ``pending_deletes`` holds pair edges scheduled for removal in the
+        same batch but not yet applied to the pair graph: a pair that is
+        still present *and* pending deletion must be re-emitted so the
+        deletion and the re-insertion cancel (the pair genuinely survives
+        the batch).
+        """
+        pending = pending_deletes or ()
+        out: List[Update] = []
+        for (u, u2), bound in self._bounds.items():
+            bin_ball = bins[bound]
+            bout_ball = bouts[bound]
+            sources = [a for a in bin_ball if a in self.eligible[u]]
+            targets = [c for c in bout_ball if c in self.eligible[u2]]
+            if not sources or not targets:
+                continue
+            for a in sources:
+                da = bin_ball[a]
+                pa = (u, a)
+                for c in targets:
+                    if bound is not None and da + 1 + bout_ball[c] > bound:
+                        continue
+                    pc = (u2, c)
+                    if not self._pair_graph.has_edge(pa, pc) or (pa, pc) in pending:
+                        out.append(upd_insert(pa, pc))
+        return out
+
+    def _collect_suspects(
+        self,
+        bins: Dict[Bound, Dict[Node, int]],
+        bouts: Dict[Bound, Dict[Node, int]],
+        suspects: Dict[PatternEdge, Set[Tuple[Node, Node]]],
+    ) -> None:
+        """Gather pairs whose old witness path may have used a deleted edge.
+
+        ``bins``/``bouts`` were computed on the pre-deletion graph: the old
+        path's prefix/suffix around the deleted edge survives in them, so
+        every broken pair lands in ``suspects``.
+        """
+        for (u, u2), bound in self._bounds.items():
+            bin_ball = bins[bound]
+            bout_ball = bouts[bound]
+            bucket = suspects.setdefault((u, u2), set())
+            for a in bin_ball:
+                if a not in self.eligible[u]:
+                    continue
+                pa = (u, a)
+                if pa not in self._pair_graph:
+                    continue
+                for layer, c in self._pair_graph.children(pa):
+                    if layer == u2 and c in bout_ball:
+                        bucket.add((a, c))
+
+    def _recheck_suspects(
+        self, suspects: Dict[PatternEdge, Set[Tuple[Node, Node]]]
+    ) -> List[Update]:
+        """Pair deletions among ``suspects``, rechecked on the current graph.
+
+        With a landmark index / distance matrix each pair is an O(|lm|)
+        early-exit query; otherwise suspects are grouped by source so each
+        source pays a single bounded BFS regardless of how many deleted
+        edges implicated it.
+        """
+        out: List[Update] = []
+        if self._lm is not None or self._matrix is not None:
+            for (u, u2), pairs in suspects.items():
+                bound = self._bounds[(u, u2)]
+                for a, c in pairs:
+                    if self._lm is not None:
+                        ok = self._lm.within(a, c, bound)
+                    else:
+                        d = self._matrix.dist(a, c)
+                        ok = d != INF and (bound is None or d <= bound)
+                    if not ok:
+                        out.append(upd_delete((u, a), (u2, c)))
+            return out
+        by_source: Dict[Node, List[Tuple[PatternNode, PatternNode, Bound, Node]]] = {}
+        for (u, u2), pairs in suspects.items():
+            bound = self._bounds[(u, u2)]
+            for a, c in pairs:
+                by_source.setdefault(a, []).append((u, u2, bound, c))
+        for a, entries in by_source.items():
+            has_star = any(b is None for _, _, b, _ in entries)
+            radius: Bound
+            if has_star:
+                radius = None
+            else:
+                radius = max(b for _, _, b, _ in entries)
+            ball = descendants_within(self.graph, a, radius)
+            for u, u2, bound, c in entries:
+                d = ball.get(c)
+                if d is None or (bound is not None and d > bound):
+                    out.append(upd_delete((u, a), (u2, c)))
+        return out
+
+    def _pairs_broken_by_delete(
+        self,
+        x: Node,
+        y: Node,
+        bins: Dict[Bound, Dict[Node, int]],
+        bouts: Dict[Bound, Dict[Node, int]],
+    ) -> List[Update]:
+        """Pair deletions caused by removing a single edge (x, y)."""
+        suspects: Dict[PatternEdge, Set[Tuple[Node, Node]]] = {}
+        self._collect_suspects(bins, bouts, suspects)
+        return self._recheck_suspects(suspects)
+
+    def _matrix_insert(self, x: Node, y: Node) -> None:
+        """Min-plus update of the all-pairs matrix for an inserted edge."""
+        assert self._matrix is not None
+        self._matrix.apply_insert(x, y)
+
+    def _matrix_delete(self, edges: List[Tuple[Node, Node]]) -> None:
+        assert self._matrix is not None
+        self._matrix.apply_deletions(edges)
+
+    # ------------------------------------------------------------------
+    # IncBMatch+ / IncBMatch- : unit updates
+    # ------------------------------------------------------------------
+    def insert_edge(self, x: Node, y: Node) -> bool:
+        """IncBMatch+: insert data edge (x, y) and repair the match."""
+        self.graph.add_node(x)
+        self.graph.add_node(y)
+        self._register_node(x)
+        self._register_node(y)
+        if not self.graph.add_edge(x, y):
+            return False
+        if self._lm is not None:
+            self._lm.insert_edge(x, y)
+        if self._matrix is not None:
+            self._matrix_insert(x, y)
+        bins, bouts = self._balls_around(x, y)
+        pair_updates = self._pairs_created_by_insert(x, y, bins, bouts)
+        if pair_updates:
+            self._inner.apply_batch(pair_updates)
+        return True
+
+    def delete_edge(self, x: Node, y: Node) -> bool:
+        """IncBMatch-: delete data edge (x, y) and repair the match."""
+        if not self.graph.has_edge(x, y):
+            return False
+        bins, bouts = self._balls_around(x, y)  # pre-deletion balls
+        self.graph.remove_edge(x, y)
+        if self._lm is not None:
+            self._lm.delete_edge(x, y)
+        if self._matrix is not None:
+            self._matrix_delete([(x, y)])
+        pair_updates = self._pairs_broken_by_delete(x, y, bins, bouts)
+        if pair_updates:
+            self._inner.apply_batch(pair_updates)
+        return True
+
+    # ------------------------------------------------------------------
+    # IncBMatch : batch updates
+    # ------------------------------------------------------------------
+    def apply_batch(self, updates: Iterable[Update]) -> None:
+        """IncBMatch: one deletion phase, one insertion phase, one pair-level
+        IncMatch pass (which itself applies minDelta at the pair level)."""
+        updates = list(updates)
+        self.stats.original_updates += len(updates)
+        net = net_updates(self.graph, updates)
+        self.stats.reduced_updates += len(net)
+        deletions = [u for u in net if u.op == "delete"]
+        insertions = [u for u in net if u.op == "insert"]
+        pair_updates: List[Update] = []
+
+        # Phase D: balls on the pre-deletion graph, then edit, then recheck.
+        del_balls = [
+            (u.source, u.target, *self._balls_around(u.source, u.target))
+            for u in deletions
+        ]
+        for u in deletions:
+            self.graph.remove_edge(u.source, u.target)
+        if deletions:
+            if self._lm is not None:
+                self._lm.apply_batch(deleted=[u.edge for u in deletions])
+            if self._matrix is not None:
+                self._matrix_delete([u.edge for u in deletions])
+        suspects: Dict[PatternEdge, Set[Tuple[Node, Node]]] = {}
+        for x, y, bins, bouts in del_balls:
+            self._collect_suspects(bins, bouts, suspects)
+        if suspects:
+            pair_updates.extend(self._recheck_suspects(suspects))
+
+        # Phase I: apply all insertions first so balls see the final graph.
+        for u in insertions:
+            self.graph.add_node(u.source)
+            self.graph.add_node(u.target)
+            self._register_node(u.source)
+            self._register_node(u.target)
+            self.graph.add_edge(u.source, u.target)
+        if insertions:
+            if self._lm is not None:
+                self._lm.apply_batch(inserted=[u.edge for u in insertions])
+            if self._matrix is not None:
+                for u in insertions:
+                    self._matrix.apply_insert(u.source, u.target)
+        pending = {
+            (pu.source, pu.target) for pu in pair_updates if pu.op == "delete"
+        }
+        for u in insertions:
+            bins, bouts = self._balls_around(u.source, u.target)
+            pair_updates.extend(
+                self._pairs_created_by_insert(
+                    u.source, u.target, bins, bouts, pending_deletes=pending
+                )
+            )
+
+        if pair_updates:
+            self._inner.apply_batch(pair_updates)
+
+    def apply_batch_naive(self, updates: Iterable[Update]) -> None:
+        """Unit-at-a-time processing (the IncBMatch_n-style baseline)."""
+        for u in updates:
+            if u.op == "insert":
+                self.insert_edge(u.source, u.target)
+            else:
+                self.delete_edge(u.source, u.target)
+
+    # ------------------------------------------------------------------
+    # Invariants (tests)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Pair graph must mirror true bounded distances; inner invariants
+        must hold."""
+        self._inner.check_invariants()
+        for (u, u2), bound in self._bounds.items():
+            for a in self.eligible[u]:
+                ball = descendants_within(self.graph, a, bound)
+                expected = {
+                    c
+                    for c, d in ball.items()
+                    if c in self.eligible[u2] and (bound is None or d <= bound)
+                }
+                actual = {
+                    c
+                    for (layer, c) in self._pair_graph.children((u, a))
+                    if layer == u2
+                }
+                assert actual == expected, (
+                    f"pair drift at edge ({u}, {u2}), node {a}: "
+                    f"{actual ^ expected}"
+                )

@@ -1,0 +1,258 @@
+"""Incremental subgraph isomorphism (paper Section 7).
+
+Theorem 7.1 proves IncIsoMat is unbounded (even trees/forests) and IncIso
+NP-complete for fixed data graphs — there is no good incremental algorithm.
+What *can* be built is an embedding index that avoids recomputing matches
+that cannot have changed:
+
+- every current embedding is indexed by the data edges it uses;
+- a deleted data edge invalidates exactly the embeddings in its posting
+  list (O(|affected|));
+- an inserted data edge can only create embeddings that *use* it, so the
+  search is re-run anchored on the new edge (each pattern edge is pinned to
+  the new data edge in turn and VF2 completes the mapping) — correct, but
+  with the exponential worst case the theorem promises.
+
+``IsoIndex`` is the comparison point the experiments use to show why the
+simulation family is the practical choice on evolving graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..graphs.digraph import DiGraph, Node
+from ..matching.isomorphism import Embedding, iter_embeddings
+from ..patterns.pattern import Pattern, PatternError, PatternNode
+from .types import Update
+
+EdgeKey = Tuple[Node, Node]
+EmbKey = FrozenSet[Tuple[PatternNode, Node]]
+
+
+def _undirected_ball(graph: DiGraph, sources, radius: int):
+    """Nodes within ``radius`` undirected hops of any source."""
+    seen = set(sources)
+    frontier = list(seen)
+    for _ in range(radius):
+        nxt = []
+        for v in frontier:
+            for w in graph.children(v):
+                if w not in seen:
+                    seen.add(w)
+                    nxt.append(w)
+            for w in graph.parents(v):
+                if w not in seen:
+                    seen.add(w)
+                    nxt.append(w)
+        if not nxt:
+            break
+        frontier = nxt
+    return seen
+
+
+class IsoIndex:
+    """The set ``Miso(P, G)`` maintained under edge updates."""
+
+    def __init__(
+        self,
+        pattern: Pattern,
+        graph: DiGraph,
+        max_embeddings: Optional[int] = None,
+    ) -> None:
+        if not pattern.is_normal():
+            raise PatternError("IsoIndex requires a normal pattern")
+        self.pattern = pattern
+        self.graph = graph
+        self.max_embeddings = max_embeddings
+        self._embeddings: Dict[EmbKey, Embedding] = {}
+        self._by_edge: Dict[EdgeKey, Set[EmbKey]] = {}
+        for emb in iter_embeddings(pattern, graph):
+            self._store(emb)
+            if (
+                max_embeddings is not None
+                and len(self._embeddings) >= max_embeddings
+            ):
+                break
+
+    # ------------------------------------------------------------------
+    # Index bookkeeping
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _key(emb: Embedding) -> EmbKey:
+        return frozenset(emb.items())
+
+    def _used_edges(self, emb: Embedding) -> List[EdgeKey]:
+        return [(emb[u1], emb[u2]) for u1, u2 in self.pattern.edges()]
+
+    def _store(self, emb: Embedding) -> bool:
+        key = self._key(emb)
+        if key in self._embeddings:
+            return False
+        self._embeddings[key] = dict(emb)
+        for edge in self._used_edges(emb):
+            self._by_edge.setdefault(edge, set()).add(key)
+        return True
+
+    def _discard(self, key: EmbKey) -> None:
+        emb = self._embeddings.pop(key, None)
+        if emb is None:
+            return
+        for edge in self._used_edges(emb):
+            postings = self._by_edge.get(edge)
+            if postings is not None:
+                postings.discard(key)
+                if not postings:
+                    del self._by_edge[edge]
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def embeddings(self) -> List[Embedding]:
+        return [dict(e) for e in self._embeddings.values()]
+
+    def count(self) -> int:
+        return len(self._embeddings)
+
+    def has_match(self) -> bool:
+        return bool(self._embeddings)
+
+    # ------------------------------------------------------------------
+    # Incremental updates
+    # ------------------------------------------------------------------
+    def delete_edge(self, v: Node, w: Node) -> bool:
+        """Drop the embeddings whose image used (v, w)."""
+        if not self.graph.remove_edge(v, w):
+            return False
+        for key in list(self._by_edge.get((v, w), ())):
+            self._discard(key)
+        return True
+
+    def insert_edge(self, v: Node, w: Node) -> bool:
+        """Search for embeddings anchored on the new edge (v, w)."""
+        self.graph.add_node(v)
+        self.graph.add_node(w)
+        if not self.graph.add_edge(v, w):
+            return False
+        self._search_anchored(v, w)
+        return True
+
+    def _search_anchored(self, v: Node, w: Node) -> None:
+        for u1, u2 in self.pattern.edges():
+            if (
+                self.max_embeddings is not None
+                and len(self._embeddings) >= self.max_embeddings
+            ):
+                return
+            if u1 == u2:
+                if v != w:
+                    continue  # a self-loop pattern edge needs a data self-loop
+                seed: Embedding = {u1: v}
+            else:
+                if v == w:
+                    continue  # injectivity forbids mapping two nodes to one
+                seed = {u1: v, u2: w}
+            for emb in iter_embeddings(self.pattern, self.graph, partial=seed):
+                self._store(emb)
+                if (
+                    self.max_embeddings is not None
+                    and len(self._embeddings) >= self.max_embeddings
+                ):
+                    return
+
+    def update_node_attrs(self, v: Node, **attrs) -> None:
+        """Change ``v``'s attributes and repair the embedding set.
+
+        Embeddings whose image of some pattern node no longer satisfies its
+        predicate are dropped; fresh embeddings that map a pattern node to
+        ``v`` are found by anchored search on ``v``.
+        """
+        self.graph.add_node(v, **attrs)
+        node_attrs = self.graph.attrs(v)
+        # Drop embeddings that stop satisfying a predicate at v.
+        for key in list(self._embeddings):
+            emb = self._embeddings[key]
+            for u, node in emb.items():
+                if node == v and not self.pattern.predicate(u).satisfied_by(
+                    node_attrs
+                ):
+                    self._discard(key)
+                    break
+        # Anchor a search at every pattern node v could now play.
+        for u in self.pattern.nodes():
+            if not self.pattern.predicate(u).satisfied_by(node_attrs):
+                continue
+            for emb in iter_embeddings(self.pattern, self.graph, partial={u: v}):
+                self._store(emb)
+                if (
+                    self.max_embeddings is not None
+                    and len(self._embeddings) >= self.max_embeddings
+                ):
+                    return
+
+    def apply_batch(self, updates: Iterable[Update]) -> None:
+        """Deletions drop postings; insertions anchor-search afterwards."""
+        updates = list(updates)
+        inserted: List[EdgeKey] = []
+        for upd in updates:
+            if upd.op == "delete":
+                if self.graph.remove_edge(upd.source, upd.target):
+                    for key in list(self._by_edge.get(upd.edge, ())):
+                        self._discard(key)
+            else:
+                self.graph.add_node(upd.source)
+                self.graph.add_node(upd.target)
+                if self.graph.add_edge(upd.source, upd.target):
+                    inserted.append(upd.edge)
+        for v, w in inserted:
+            if self.graph.has_edge(v, w):
+                self._search_anchored(v, w)
+
+
+class LocalizedIsoIndex(IsoIndex):
+    """IsoIndex with locality-bounded anchored search (paper Section 9).
+
+    The paper lists "bounded incremental heuristic algorithms for subgraph
+    isomorphism, with performance guarantees" as open work.  This variant
+    bounds the re-search after an insertion to the *undirected ball* of
+    radius ``radius`` around the new edge:
+
+    - any embedding that uses the edge maps every pattern node within
+      ``|Vp| - 1`` undirected hops of an endpoint **when the pattern is
+      weakly connected**, so ``radius >= |Vp| - 1`` (the default) is exact
+      for connected patterns while searching a far smaller subgraph;
+    - a smaller radius is a heuristic: cheaper still, but it may miss
+      embeddings whose far side lies outside the ball (deletions and
+      predicate checks remain exact either way).
+    """
+
+    def __init__(self, pattern, graph, radius=None, max_embeddings=None):
+        if radius is None:
+            radius = max(1, pattern.num_nodes() - 1)
+        self.radius = radius
+        super().__init__(pattern, graph, max_embeddings=max_embeddings)
+
+    def _search_anchored(self, v, w):
+        ball = _undirected_ball(self.graph, (v, w), self.radius)
+        local = self.graph.subgraph(ball)
+        for u1, u2 in self.pattern.edges():
+            if (
+                self.max_embeddings is not None
+                and len(self._embeddings) >= self.max_embeddings
+            ):
+                return
+            if u1 == u2:
+                if v != w:
+                    continue
+                seed = {u1: v}
+            else:
+                if v == w:
+                    continue
+                seed = {u1: v, u2: w}
+            for emb in iter_embeddings(self.pattern, local, partial=seed):
+                self._store(emb)
+                if (
+                    self.max_embeddings is not None
+                    and len(self._embeddings) >= self.max_embeddings
+                ):
+                    return

@@ -1,0 +1,68 @@
+"""Batch matching algorithms: simulation, bounded simulation, isomorphism."""
+
+from .bounded import bounded_match, bounded_match_naive
+from .isomorphism import (
+    Embedding,
+    brute_force_embeddings,
+    has_isomorphic_match,
+    isomorphic_embeddings,
+    iter_embeddings,
+)
+from .oracles import (
+    BFSOracle,
+    DistanceOracle,
+    MatrixOracle,
+    TwoHopOracle,
+    make_oracle,
+)
+from .relation import (
+    MatchRelation,
+    as_pairs,
+    copy_relation,
+    empty_relation,
+    is_total,
+    relation_size,
+    relations_equal,
+    totalize,
+)
+from .result_graph import (
+    delta_size,
+    isomorphism_result_graph,
+    result_graph_delta,
+    simulation_result_graph,
+)
+from .simulation import (
+    candidate_sets,
+    maximum_simulation,
+    maximum_simulation_naive,
+)
+
+__all__ = [
+    "MatchRelation",
+    "empty_relation",
+    "is_total",
+    "totalize",
+    "as_pairs",
+    "relation_size",
+    "copy_relation",
+    "relations_equal",
+    "candidate_sets",
+    "maximum_simulation",
+    "maximum_simulation_naive",
+    "bounded_match",
+    "bounded_match_naive",
+    "Embedding",
+    "iter_embeddings",
+    "isomorphic_embeddings",
+    "has_isomorphic_match",
+    "brute_force_embeddings",
+    "DistanceOracle",
+    "BFSOracle",
+    "MatrixOracle",
+    "TwoHopOracle",
+    "make_oracle",
+    "simulation_result_graph",
+    "isomorphism_result_graph",
+    "result_graph_delta",
+    "delta_size",
+]

@@ -1,0 +1,163 @@
+"""Distance oracles behind a single interface.
+
+Algorithm ``Match`` (paper Fig. 3) needs, for each candidate node, the set
+of candidates within a bounded *nonempty-path* distance.  Exp-2 of the
+paper compares three ways to provide this — a precomputed distance matrix,
+on-demand BFS, and a 2-hop cover — and Section 6 adds landmark vectors.
+Every oracle here answers:
+
+- ``pathdist(v, w)`` — shortest nonempty path length (INF when absent;
+  ``pathdist(v, v)`` is the shortest cycle through ``v``);
+- ``ball_out(v, k)`` / ``ball_in(v, k)`` — nodes within ``k`` hops forward /
+  backward, as ``{node: distance}`` with nonempty-path semantics
+  (``k=None`` means unbounded, the ``*`` edge bound).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Protocol
+
+from ..graphs.digraph import DiGraph, Node
+from ..graphs.distance import DistanceMatrix
+from ..graphs.traversal import (
+    INF,
+    ancestors_within,
+    descendants_within,
+    shortest_cycle_through,
+)
+from ..graphs.twohop import TwoHopLabels
+
+
+class DistanceOracle(Protocol):
+    """Shared query surface of all distance oracles."""
+
+    def pathdist(self, v: Node, w: Node) -> float: ...
+
+    def ball_out(self, v: Node, k: Optional[int]) -> Dict[Node, int]: ...
+
+    def ball_in(self, v: Node, k: Optional[int]) -> Dict[Node, int]: ...
+
+
+class BFSOracle:
+    """On-demand bounded BFS — no precomputation, no auxiliary memory.
+
+    The right choice for graphs too large for an all-pairs matrix
+    (paper Section 8.1, "Match with BFS").
+    """
+
+    def __init__(self, graph: DiGraph) -> None:
+        self._graph = graph
+
+    def pathdist(self, v: Node, w: Node) -> float:
+        if v == w:
+            cyc = shortest_cycle_through(self._graph, v)
+            return INF if cyc is None else cyc
+        ball = descendants_within(self._graph, v, None)
+        return ball.get(w, INF)
+
+    def ball_out(self, v: Node, k: Optional[int]) -> Dict[Node, int]:
+        return descendants_within(self._graph, v, k)
+
+    def ball_in(self, v: Node, k: Optional[int]) -> Dict[Node, int]:
+        return ancestors_within(self._graph, v, k)
+
+
+class MatrixOracle:
+    """Precomputed all-pairs distance matrix (paper Fig. 3 line 1)."""
+
+    def __init__(self, graph: DiGraph, matrix: Optional[DistanceMatrix] = None) -> None:
+        self._graph = graph
+        self._matrix = matrix if matrix is not None else DistanceMatrix(graph)
+
+    @property
+    def matrix(self) -> DistanceMatrix:
+        return self._matrix
+
+    def pathdist(self, v: Node, w: Node) -> float:
+        return self._matrix.dist(v, w)
+
+    def ball_out(self, v: Node, k: Optional[int]) -> Dict[Node, int]:
+        out: Dict[Node, int] = {}
+        for w, d in self._matrix.row(v).items():
+            if w == v:
+                continue
+            if k is None or d <= k:
+                out[w] = d
+        self_d = self._matrix.dist(v, v)
+        if self_d != INF and (k is None or self_d <= k):
+            out[v] = int(self_d)
+        return out
+
+    def ball_in(self, v: Node, k: Optional[int]) -> Dict[Node, int]:
+        # The matrix is row-oriented; fall back to a reverse scan.
+        out: Dict[Node, int] = {}
+        for w in self._graph.nodes():
+            if w == v:
+                continue
+            d = self._matrix.dist(w, v)
+            if d != INF and (k is None or d <= k):
+                out[w] = int(d)
+        self_d = self._matrix.dist(v, v)
+        if self_d != INF and (k is None or self_d <= k):
+            out[v] = int(self_d)
+        return out
+
+
+class TwoHopOracle:
+    """2-hop labelling oracle ("Match with 2-hop" of Exp-2).
+
+    The labels answer plain distances; nonempty-path self distances use a
+    bounded cycle search on the underlying graph.
+    """
+
+    def __init__(self, graph: DiGraph, labels: Optional[TwoHopLabels] = None) -> None:
+        self._graph = graph
+        self._labels = labels if labels is not None else TwoHopLabels(graph)
+
+    @property
+    def labels(self) -> TwoHopLabels:
+        return self._labels
+
+    def pathdist(self, v: Node, w: Node) -> float:
+        if v == w:
+            cyc = shortest_cycle_through(self._graph, v)
+            return INF if cyc is None else cyc
+        return self._labels.dist(v, w)
+
+    def ball_out(self, v: Node, k: Optional[int]) -> Dict[Node, int]:
+        out: Dict[Node, int] = {}
+        for w in self._graph.nodes():
+            d = self.pathdist(v, w)
+            if d != INF and (k is None or d <= k):
+                out[w] = int(d)
+        return out
+
+    def ball_in(self, v: Node, k: Optional[int]) -> Dict[Node, int]:
+        out: Dict[Node, int] = {}
+        for w in self._graph.nodes():
+            d = self.pathdist(w, v)
+            if d != INF and (k is None or d <= k):
+                out[w] = int(d)
+        return out
+
+
+def make_oracle(graph: DiGraph, kind: str = "auto") -> DistanceOracle:
+    """Factory: 'matrix', 'bfs', '2hop', 'landmark', or 'auto'.
+
+    'auto' picks the matrix for small graphs and BFS otherwise, mirroring
+    the paper's practical guidance (Section 8.1: matrices are infeasible on
+    large graphs, BFS scales).
+    """
+    if kind == "auto":
+        kind = "matrix" if graph.num_nodes() <= 2000 else "bfs"
+    if kind == "matrix":
+        return MatrixOracle(graph)
+    if kind == "bfs":
+        return BFSOracle(graph)
+    if kind in ("2hop", "twohop"):
+        return TwoHopOracle(graph)
+    if kind == "landmark":
+        from ..landmarks.vector import LandmarkIndex
+
+        return LandmarkIndex(graph)
+    raise ValueError(f"unknown oracle kind {kind!r}")

@@ -1,0 +1,56 @@
+"""Match relations: the output type of (bounded) simulation matching.
+
+A match is a binary relation ``S subseteq Vp x V`` represented as a dict
+``pattern node -> set of data nodes``.  Per paper Section 2.2, the *match*
+of ``P`` in ``G`` must be total (every pattern node has at least one data
+node); the unique maximum match is the union of all matches, and the empty
+relation stands for "no match".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Mapping, Set, Tuple
+
+from ..graphs.digraph import Node
+from ..patterns.pattern import PatternNode
+
+MatchRelation = Dict[PatternNode, Set[Node]]
+
+
+def empty_relation(pattern_nodes: Iterable[PatternNode]) -> MatchRelation:
+    return {u: set() for u in pattern_nodes}
+
+
+def is_total(relation: Mapping[PatternNode, Set[Node]]) -> bool:
+    """Every pattern node has at least one match."""
+    return bool(relation) and all(relation.values())
+
+
+def totalize(relation: MatchRelation) -> MatchRelation:
+    """Apply the paper's convention: a non-total relation collapses to empty.
+
+    If some pattern node has no match then ``P !|> G`` and the maximum match
+    is the empty set.
+    """
+    if is_total(relation):
+        return relation
+    return {u: set() for u in relation}
+
+def as_pairs(relation: Mapping[PatternNode, Set[Node]]) -> FrozenSet[Tuple[PatternNode, Node]]:
+    """The relation as a set of ``(u, v)`` pairs — handy for comparisons."""
+    return frozenset((u, v) for u, vs in relation.items() for v in vs)
+
+
+def relation_size(relation: Mapping[PatternNode, Set[Node]]) -> int:
+    """``|S|``: number of pairs (paper: ``|S_M| <= |V| * |Vp|``)."""
+    return sum(len(vs) for vs in relation.values())
+
+
+def copy_relation(relation: Mapping[PatternNode, Set[Node]]) -> MatchRelation:
+    return {u: set(vs) for u, vs in relation.items()}
+
+
+def relations_equal(
+    a: Mapping[PatternNode, Set[Node]], b: Mapping[PatternNode, Set[Node]]
+) -> bool:
+    return as_pairs(a) == as_pairs(b)

@@ -1,0 +1,33 @@
+"""Pattern graphs: predicates, b-patterns, and the random generator."""
+
+from .generator import pattern_suite, random_pattern
+from .io import (
+    load_pattern,
+    pattern_from_dict,
+    pattern_to_dict,
+    save_pattern,
+)
+from .minimize import equivalence_classes, minimize_pattern, pattern_self_simulation
+from .pattern import STAR, Bound, Pattern, PatternError, PatternNode
+from .predicate import Atom, Predicate, PredicateError, parse_predicate
+
+__all__ = [
+    "Atom",
+    "Predicate",
+    "PredicateError",
+    "parse_predicate",
+    "Pattern",
+    "PatternError",
+    "PatternNode",
+    "Bound",
+    "STAR",
+    "random_pattern",
+    "pattern_suite",
+    "pattern_to_dict",
+    "pattern_from_dict",
+    "save_pattern",
+    "load_pattern",
+    "minimize_pattern",
+    "equivalence_classes",
+    "pattern_self_simulation",
+]

@@ -1,0 +1,148 @@
+"""Random pattern generator — the paper's ``(|Vp|, |Ep|, |pred|, k)`` knob.
+
+Section 8.1(3): "We designed a generator to produce meaningful pattern
+graphs ... controlled by 4 parameters: the number of nodes |Vp|, the number
+of edges |Ep|, the average number |pred| of predicates carried by each node,
+and an upper bound k such that each pattern edge has a bound k' with
+k - c <= k' <= k, for a small constant c."
+
+To produce patterns that actually match a given data graph (rather than
+being vacuously empty), predicates are sampled from attribute values that
+occur in the graph.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..graphs.digraph import DiGraph
+from .pattern import Pattern, STAR
+from .predicate import Atom, Predicate
+
+
+def _attribute_samples(
+    graph: DiGraph, rng: random.Random, sample_size: int = 200
+) -> Dict[str, List[Any]]:
+    """Attribute name -> observed values, from a node sample."""
+    nodes = list(graph.nodes())
+    if not nodes:
+        return {}
+    sample = rng.sample(nodes, min(sample_size, len(nodes)))
+    values: Dict[str, List[Any]] = {}
+    for v in sample:
+        for attr, val in graph.attrs(v).items():
+            values.setdefault(attr, []).append(val)
+    return values
+
+
+def random_pattern(
+    graph: DiGraph,
+    num_nodes: int,
+    num_edges: int,
+    preds_per_node: int = 1,
+    max_bound: int = 1,
+    bound_spread: int = 1,
+    star_probability: float = 0.0,
+    dag: bool = False,
+    seed: Optional[int] = None,
+    attributes: Optional[Sequence[str]] = None,
+) -> Pattern:
+    """A random connected pattern sampled against ``graph``'s attributes.
+
+    - each node gets ~``preds_per_node`` equality/inequality atoms on
+      attribute values observed in the data graph;
+    - each edge bound is drawn from ``[max(1, max_bound - bound_spread),
+      max_bound]``; with probability ``star_probability`` the edge is ``*``;
+    - ``dag=True`` restricts edges to go from lower to higher node index
+      (the DAG-pattern experiments of Section 5);
+    - ``attributes`` optionally restricts which node attributes predicates
+      may test (e.g. only the categorical ones, so patterns stay
+      satisfiable on skewed numeric domains).
+    """
+    if num_nodes < 1:
+        raise ValueError("pattern needs at least one node")
+    rng = random.Random(seed)
+    values = _attribute_samples(graph, rng)
+    if attributes is not None:
+        values = {a: vs for a, vs in values.items() if a in set(attributes)}
+    pattern = Pattern()
+    for u in range(num_nodes):
+        atoms = []
+        for _ in range(preds_per_node):
+            if not values:
+                break
+            attr = rng.choice(sorted(values))
+            val = rng.choice(values[attr])
+            if isinstance(val, (int, float)) and not isinstance(val, bool) and rng.random() < 0.5:
+                op = rng.choice(["<=", ">="])
+            else:
+                op = "="
+            atoms.append(Atom(attr, op, val))
+        pattern.add_node(u, Predicate(atoms))
+
+    lo = max(1, max_bound - bound_spread)
+
+    def draw_bound():
+        if rng.random() < star_probability:
+            return STAR
+        return rng.randint(lo, max_bound)
+
+    # Spanning structure first so the pattern is weakly connected.
+    order = list(range(num_nodes))
+    rng.shuffle(order)
+    edges: List[Tuple[int, int]] = []
+    seen = set()
+    for i in range(1, num_nodes):
+        u = order[rng.randrange(i)]
+        u2 = order[i]
+        if dag and u > u2:
+            u, u2 = u2, u
+        if (u, u2) not in seen and u != u2:
+            edges.append((u, u2))
+            seen.add((u, u2))
+    attempts = 0
+    while len(edges) < num_edges and attempts < 50 * num_edges + 100:
+        attempts += 1
+        u = rng.randrange(num_nodes)
+        u2 = rng.randrange(num_nodes)
+        if dag:
+            if u == u2:
+                continue
+            if u > u2:
+                u, u2 = u2, u
+        if u == u2 or (u, u2) in seen:
+            continue
+        edges.append((u, u2))
+        seen.add((u, u2))
+    for u, u2 in edges:
+        pattern.add_edge(u, u2, draw_bound())
+    return pattern
+
+
+def pattern_suite(
+    graph: DiGraph,
+    sizes: Sequence[Tuple[int, int]],
+    preds_per_node: int = 1,
+    max_bound: int = 1,
+    count_per_size: int = 1,
+    dag: bool = False,
+    seed: Optional[int] = None,
+) -> List[Pattern]:
+    """A batch of patterns, ``count_per_size`` for each ``(|Vp|, |Ep|)``."""
+    rng = random.Random(seed)
+    suite = []
+    for nv, ne in sizes:
+        for _ in range(count_per_size):
+            suite.append(
+                random_pattern(
+                    graph,
+                    nv,
+                    ne,
+                    preds_per_node=preds_per_node,
+                    max_bound=max_bound,
+                    dag=dag,
+                    seed=rng.randrange(1 << 30),
+                )
+            )
+    return suite

@@ -1,0 +1,78 @@
+"""Pattern serialization: JSON documents for patterns and predicates.
+
+Enables replayable query workloads and the command-line interface: a
+pattern document carries node predicates (as atom triples) and edges with
+bounds (``null`` encodes ``*``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from .pattern import Pattern, PatternError
+from .predicate import Atom, Predicate
+
+PathLike = Union[str, Path]
+
+
+def predicate_to_list(pred: Predicate) -> list:
+    return [[a.attribute, a.op, a.value] for a in pred.atoms]
+
+
+def predicate_from_list(doc: Any) -> Predicate:
+    if not isinstance(doc, list):
+        raise PatternError(f"predicate document must be a list: {doc!r}")
+    atoms = []
+    for entry in doc:
+        if not isinstance(entry, list) or len(entry) != 3:
+            raise PatternError(f"malformed predicate atom: {entry!r}")
+        attribute, op, value = entry
+        atoms.append(Atom(attribute, op, value))
+    return Predicate(atoms)
+
+
+def pattern_to_dict(pattern: Pattern) -> Dict[str, Any]:
+    """JSON-serializable pattern document."""
+    return {
+        "nodes": [
+            {"id": u, "predicate": predicate_to_list(pattern.predicate(u))}
+            for u in pattern.nodes()
+        ],
+        "edges": [
+            {"source": u, "target": u2, "bound": pattern.bound(u, u2)}
+            for u, u2 in pattern.edges()
+        ],
+    }
+
+
+def pattern_from_dict(doc: Dict[str, Any]) -> Pattern:
+    """Inverse of :func:`pattern_to_dict`.
+
+    Node predicates may be atom lists or the compact string form accepted
+    by :func:`repro.patterns.predicate.parse_predicate`.
+    """
+    if "nodes" not in doc:
+        raise PatternError("pattern document must contain 'nodes'")
+    pattern = Pattern()
+    for entry in doc["nodes"]:
+        pred = entry.get("predicate", [])
+        if isinstance(pred, str):
+            pattern.add_node(entry["id"], pred)
+        else:
+            pattern.add_node(entry["id"], predicate_from_list(pred))
+    for entry in doc.get("edges", []):
+        u, u2 = entry["source"], entry["target"]
+        if u not in pattern.graph() or u2 not in pattern.graph():
+            raise PatternError(f"edge references unknown node: {entry!r}")
+        pattern.add_edge(u, u2, entry.get("bound", 1))
+    return pattern
+
+
+def save_pattern(pattern: Pattern, path: PathLike) -> None:
+    Path(path).write_text(json.dumps(pattern_to_dict(pattern)))
+
+
+def load_pattern(path: PathLike) -> Pattern:
+    return pattern_from_dict(json.loads(Path(path).read_text()))

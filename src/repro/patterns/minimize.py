@@ -1,0 +1,97 @@
+"""Pattern minimization for simulation queries.
+
+Fan et al.'s companion work ("Graph pattern matching: from intractable to
+polynomial time", PVLDB 2010) shows that patterns can be *minimized* before
+matching: pattern nodes that simulate each other have identical match sets
+in every data graph, so the query can run on the quotient pattern.  The
+paper reproduced here lists optimization of (incremental) matching as open
+work (Section 9); this module supplies the classic batch-side optimization.
+
+Formally, let ``R`` be the maximum relation on ``Vp x Vp`` with
+``(x, y) in R`` iff ``fV(x) = fV(y)`` and every pattern edge ``(x, x')``
+is matched by some ``(y, y')`` with ``(x', y') in R`` ("y simulates x").
+If ``(x, y)`` and ``(y, x)`` are both in ``R`` then ``match(x) = match(y)``
+in every graph, and the quotient by this equivalence — with an edge between
+classes whenever any members have one — has the same per-class match sets.
+
+Minimization is defined on *normal* patterns (uniform bounds); b-patterns
+would additionally need bound dominance in ``R``, which the companion paper
+develops but this query class does not require.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from .pattern import Pattern, PatternError, PatternNode
+
+
+def pattern_self_simulation(pattern: Pattern) -> Set[Tuple[PatternNode, PatternNode]]:
+    """The maximum 'y simulates x' relation on the pattern's own nodes."""
+    nodes = list(pattern.nodes())
+    rel: Set[Tuple[PatternNode, PatternNode]] = {
+        (x, y)
+        for x in nodes
+        for y in nodes
+        if pattern.predicate(x) == pattern.predicate(y)
+    }
+    changed = True
+    while changed:
+        changed = False
+        for x, y in list(rel):
+            ok = True
+            for x2 in pattern.children(x):
+                if not any(
+                    (x2, y2) in rel for y2 in pattern.children(y)
+                ):
+                    ok = False
+                    break
+            if not ok:
+                rel.discard((x, y))
+                changed = True
+    return rel
+
+
+def equivalence_classes(pattern: Pattern) -> List[FrozenSet[PatternNode]]:
+    """Mutual-simulation equivalence classes of the pattern's nodes."""
+    rel = pattern_self_simulation(pattern)
+    nodes = list(pattern.nodes())
+    assigned: Dict[PatternNode, int] = {}
+    classes: List[Set[PatternNode]] = []
+    for x in nodes:
+        if x in assigned:
+            continue
+        cls = {x}
+        for y in nodes:
+            if y != x and (x, y) in rel and (y, x) in rel:
+                cls.add(y)
+        idx = len(classes)
+        classes.append(cls)
+        for member in cls:
+            assigned[member] = idx
+    return [frozenset(c) for c in classes]
+
+
+def minimize_pattern(pattern: Pattern) -> Tuple[Pattern, Dict[PatternNode, PatternNode]]:
+    """The quotient pattern and a mapping original node -> representative.
+
+    The minimized pattern has one node per equivalence class (named by a
+    canonical representative) and an edge between classes whenever any of
+    their members are connected; ``match(representative)`` in the quotient
+    equals ``match(u)`` in the original for every class member ``u``.
+    """
+    if not pattern.is_normal():
+        raise PatternError("pattern minimization is defined on normal patterns")
+    classes = equivalence_classes(pattern)
+    rep: Dict[PatternNode, PatternNode] = {}
+    for cls in classes:
+        representative = sorted(cls, key=repr)[0]
+        for member in cls:
+            rep[member] = representative
+    minimized = Pattern()
+    for cls in classes:
+        representative = rep[next(iter(cls))]
+        minimized.add_node(representative, pattern.predicate(representative))
+    for x, x2 in pattern.edges():
+        minimized.add_edge(rep[x], rep[x2], 1)
+    return minimized, rep

@@ -1,0 +1,245 @@
+"""Pattern graphs: b-patterns and normal patterns.
+
+Paper Section 2.1: a b-pattern is ``P = (Vp, Ep, fV, fE)`` where ``fV``
+assigns each pattern node a predicate and ``fE`` assigns each pattern edge
+either a positive integer bound ``k`` or ``*`` (unbounded).  A *normal*
+pattern has every bound equal to 1 — the setting of graph simulation and
+subgraph isomorphism.
+
+``*`` is represented as ``None`` in the API; the constant :data:`STAR` is
+provided for readability.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+    Union,
+)
+
+from ..graphs.digraph import DiGraph, Node
+from ..graphs.scc import is_dag as _graph_is_dag
+from .predicate import Predicate, parse_predicate
+
+PatternNode = Hashable
+Bound = Optional[int]  # None encodes the paper's '*'
+
+STAR: Bound = None
+
+
+class PatternError(ValueError):
+    """Raised for structurally invalid patterns."""
+
+
+def _coerce_predicate(pred: Union[str, Predicate, None]) -> Predicate:
+    if pred is None:
+        return Predicate.true()
+    if isinstance(pred, str):
+        return parse_predicate(pred)
+    if isinstance(pred, Predicate):
+        return pred
+    raise PatternError(f"not a predicate: {pred!r}")
+
+
+def _validate_bound(bound: Union[Bound, str]) -> Bound:
+    if bound is None or bound == "*":
+        return STAR
+    if isinstance(bound, bool) or not isinstance(bound, int):
+        raise PatternError(f"edge bound must be a positive int or '*': {bound!r}")
+    if bound < 1:
+        raise PatternError(f"edge bound must be >= 1, got {bound}")
+    return bound
+
+
+class Pattern:
+    """A b-pattern: predicate-labelled nodes, bound-labelled edges."""
+
+    def __init__(self) -> None:
+        self._graph = DiGraph()
+        self._predicates: Dict[PatternNode, Predicate] = {}
+        self._bounds: Dict[Tuple[PatternNode, PatternNode], Bound] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(
+        self, node: PatternNode, predicate: Union[str, Predicate, None] = None
+    ) -> None:
+        """Add a pattern node with predicate ``fV(node)`` (default TRUE)."""
+        self._graph.add_node(node)
+        if node not in self._predicates or predicate is not None:
+            self._predicates[node] = _coerce_predicate(predicate)
+
+    def add_edge(
+        self,
+        u: PatternNode,
+        u2: PatternNode,
+        bound: Union[Bound, str] = 1,
+    ) -> None:
+        """Add pattern edge ``(u, u2)`` with ``fE = bound`` (int or '*')."""
+        checked = _validate_bound(bound)
+        for node in (u, u2):
+            if node not in self._graph:
+                self.add_node(node)
+        self._graph.add_edge(u, u2)
+        self._bounds[(u, u2)] = checked
+
+    @staticmethod
+    def from_spec(
+        nodes: Mapping[PatternNode, Union[str, Predicate, None]],
+        edges: Iterable[Tuple[PatternNode, PatternNode, Union[Bound, str]]],
+    ) -> "Pattern":
+        """Build a pattern from literal node and edge specs.
+
+        >>> Pattern.from_spec(
+        ...     {"CS": "dept = CS", "Bio": "dept = Bio"},
+        ...     [("CS", "Bio", 2)],
+        ... )  # doctest: +ELLIPSIS
+        Pattern(...)
+        """
+        p = Pattern()
+        for node, pred in nodes.items():
+            p.add_node(node, pred)
+        for u, u2, bound in edges:
+            if u not in p._graph or u2 not in p._graph:
+                raise PatternError(f"edge ({u!r}, {u2!r}) references unknown node")
+            p.add_edge(u, u2, bound)
+        return p
+
+    @staticmethod
+    def normal_from_labels(
+        labels: Mapping[PatternNode, Any],
+        edges: Iterable[Tuple[PatternNode, PatternNode]],
+        attribute: str = "label",
+    ) -> "Pattern":
+        """A normal pattern whose predicates are label-equality tests."""
+        p = Pattern()
+        for node, label in labels.items():
+            p.add_node(node, Predicate.label(label, attribute=attribute))
+        for u, u2 in edges:
+            p.add_edge(u, u2, 1)
+        return p
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def nodes(self) -> Iterator[PatternNode]:
+        return self._graph.nodes()
+
+    def edges(self) -> Iterator[Tuple[PatternNode, PatternNode]]:
+        return self._graph.edges()
+
+    def num_nodes(self) -> int:
+        return self._graph.num_nodes()
+
+    def num_edges(self) -> int:
+        return self._graph.num_edges()
+
+    def size(self) -> int:
+        """``|P| = |Vp| + |Ep|`` — the size measure of the complexity bounds."""
+        return self.num_nodes() + self.num_edges()
+
+    def predicate(self, node: PatternNode) -> Predicate:
+        try:
+            return self._predicates[node]
+        except KeyError:
+            raise PatternError(f"pattern node {node!r} not present") from None
+
+    def bound(self, u: PatternNode, u2: PatternNode) -> Bound:
+        try:
+            return self._bounds[(u, u2)]
+        except KeyError:
+            raise PatternError(f"pattern edge ({u!r}, {u2!r}) not present") from None
+
+    def children(self, node: PatternNode) -> Set[PatternNode]:
+        return self._graph.children(node)
+
+    def parents(self, node: PatternNode) -> Set[PatternNode]:
+        return self._graph.parents(node)
+
+    def out_degree(self, node: PatternNode) -> int:
+        return self._graph.out_degree(node)
+
+    def has_edge(self, u: PatternNode, u2: PatternNode) -> bool:
+        return self._graph.has_edge(u, u2)
+
+    def graph(self) -> DiGraph:
+        """The underlying unlabelled digraph (shared, do not mutate)."""
+        return self._graph
+
+    def is_normal(self) -> bool:
+        """All bounds equal 1 — the simulation / isomorphism setting."""
+        return all(b == 1 for b in self._bounds.values())
+
+    def is_dag(self) -> bool:
+        return _graph_is_dag(self._graph)
+
+    def max_finite_bound(self) -> int:
+        """``km``: the largest finite bound (1 when none exist)."""
+        finite = [b for b in self._bounds.values() if b is not None]
+        return max(finite) if finite else 1
+
+    def has_star_edge(self) -> bool:
+        return any(b is None for b in self._bounds.values())
+
+    def satisfies(self, attrs: Mapping[str, Any], node: PatternNode) -> bool:
+        """``v |= u``: does an attribute tuple satisfy ``fV(node)``?"""
+        return self.predicate(node).satisfied_by(attrs)
+
+    def as_normal_on(self) -> "Pattern":
+        """This pattern reinterpreted with every bound set to 1.
+
+        Used by Proposition 6.1: bounded simulation in ``G`` equals plain
+        simulation of the *normalized* pattern over the result graph.
+        """
+        p = Pattern()
+        for node in self.nodes():
+            p.add_node(node, self._predicates[node])
+        for u, u2 in self.edges():
+            p.add_edge(u, u2, 1)
+        return p
+
+    def copy(self) -> "Pattern":
+        p = Pattern()
+        for node in self.nodes():
+            p.add_node(node, self._predicates[node])
+        for u, u2 in self.edges():
+            p.add_edge(u, u2, self._bounds[(u, u2)])
+        return p
+
+    def validate(self) -> None:
+        """Raise :class:`PatternError` on structural problems."""
+        if self.num_nodes() == 0:
+            raise PatternError("pattern must have at least one node")
+        for edge, bound in self._bounds.items():
+            _validate_bound(bound)
+            u, u2 = edge
+            if not self._graph.has_edge(u, u2):
+                raise PatternError(f"bound recorded for missing edge {edge!r}")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Pattern):
+            return NotImplemented
+        return (
+            set(self.nodes()) == set(other.nodes())
+            and self._bounds == other._bounds
+            and self._predicates == other._predicates
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - mutable, identity hash
+        return id(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"Pattern(|Vp|={self.num_nodes()}, |Ep|={self.num_edges()}, "
+            f"normal={self.is_normal()})"
+        )

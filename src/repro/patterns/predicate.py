@@ -1,0 +1,188 @@
+"""Node predicates: conjunctions of atomic attribute comparisons.
+
+Paper Section 2.1: the predicate ``fV(u)`` of a pattern node is a
+conjunction of atomic formulas ``A op a`` where ``A`` is an attribute name,
+``a`` a constant, and ``op`` one of ``< <= = != > >=``.  A data node ``v``
+satisfies ``fV(u)`` (written ``v |= u``) iff for each atom there is an
+attribute ``A`` of ``v`` with ``v.A op a``.
+
+Besides the object API, :func:`parse_predicate` accepts the compact textual
+form used throughout the examples, e.g.::
+
+    parse_predicate("category = 'Music' & rating > 3")
+"""
+
+from __future__ import annotations
+
+import operator
+import re
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Tuple
+
+_OPS: Dict[str, Callable[[Any, Any], bool]] = {
+    "<": operator.lt,
+    "<=": operator.le,
+    "=": operator.eq,
+    "==": operator.eq,
+    "!=": operator.ne,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+class PredicateError(ValueError):
+    """Raised for malformed predicate expressions."""
+
+
+class Atom:
+    """One atomic formula ``attribute op constant``."""
+
+    __slots__ = ("attribute", "op", "value")
+
+    def __init__(self, attribute: str, op: str, value: Any) -> None:
+        if op not in _OPS:
+            raise PredicateError(f"unknown comparison operator {op!r}")
+        self.attribute = attribute
+        self.op = "=" if op == "==" else op
+        self.value = value
+
+    def satisfied_by(self, attrs: Mapping[str, Any]) -> bool:
+        """Does an attribute tuple satisfy this atom?
+
+        A node lacking the attribute fails the atom (it cannot witness
+        ``v.A op a``).  Comparisons between incompatible types fail rather
+        than raise, since a data graph may mix attribute domains.
+        """
+        if self.attribute not in attrs:
+            return False
+        try:
+            return bool(_OPS[self.op](attrs[self.attribute], self.value))
+        except TypeError:
+            return False
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Atom):
+            return NotImplemented
+        return (
+            self.attribute == other.attribute
+            and self.op == other.op
+            and self.value == other.value
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.attribute, self.op, self.value))
+
+    def __repr__(self) -> str:
+        value = f"'{self.value}'" if isinstance(self.value, str) else self.value
+        return f"{self.attribute} {self.op} {value}"
+
+
+class Predicate:
+    """A conjunction of :class:`Atom` (empty conjunction == always true)."""
+
+    __slots__ = ("atoms",)
+
+    def __init__(self, atoms: Iterable[Atom] = ()) -> None:
+        self.atoms: Tuple[Atom, ...] = tuple(atoms)
+
+    @staticmethod
+    def true() -> "Predicate":
+        return Predicate(())
+
+    @staticmethod
+    def label(value: Any, attribute: str = "label") -> "Predicate":
+        """The normal-pattern shorthand: ``A = l`` on the label attribute."""
+        return Predicate((Atom(attribute, "=", value),))
+
+    def satisfied_by(self, attrs: Mapping[str, Any]) -> bool:
+        return all(atom.satisfied_by(attrs) for atom in self.atoms)
+
+    def conjoin(self, other: "Predicate") -> "Predicate":
+        return Predicate(self.atoms + other.atoms)
+
+    def is_trivial(self) -> bool:
+        return not self.atoms
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Predicate):
+            return NotImplemented
+        return set(self.atoms) == set(other.atoms)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self.atoms))
+
+    def __repr__(self) -> str:
+        if not self.atoms:
+            return "TRUE"
+        return " & ".join(repr(a) for a in self.atoms)
+
+
+_TOKEN = re.compile(
+    r"\s*(?:(?P<op><=|>=|!=|==|=|<|>)"
+    r"|(?P<and>&&?|\bAND\b|\band\b)"
+    r"|(?P<str>'[^']*'|\"[^\"]*\")"
+    r"|(?P<num>-?\d+\.\d+|-?\d+)"
+    r"|(?P<ident>[A-Za-z_][A-Za-z_0-9.]*))"
+)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN.match(text, pos)
+        if match is None:
+            if text[pos:].strip():
+                raise PredicateError(
+                    f"cannot tokenize predicate at: {text[pos:]!r}"
+                )
+            break
+        pos = match.end()
+        kind = match.lastgroup
+        assert kind is not None
+        tokens.append((kind, match.group(kind)))
+    return tokens
+
+
+def _parse_value(kind: str, text: str) -> Any:
+    if kind == "str":
+        return text[1:-1]
+    if kind == "num":
+        return float(text) if "." in text else int(text)
+    if kind == "ident":
+        # Bare identifiers on the value side are treated as strings, so the
+        # terse form ``label = DB`` works.
+        return text
+    raise PredicateError(f"expected a constant, got {text!r}")
+
+
+def parse_predicate(text: str) -> Predicate:
+    """Parse ``attr op const (& attr op const)*``; empty text == TRUE."""
+    tokens = _tokenize(text)
+    if not tokens:
+        return Predicate.true()
+    atoms: List[Atom] = []
+    i = 0
+    while i < len(tokens):
+        kind, value = tokens[i]
+        if kind != "ident":
+            raise PredicateError(f"expected attribute name, got {value!r}")
+        attribute = value
+        if i + 1 >= len(tokens) or tokens[i + 1][0] != "op":
+            raise PredicateError(
+                f"expected comparison operator after {attribute!r}"
+            )
+        op = tokens[i + 1][1]
+        if i + 2 >= len(tokens):
+            raise PredicateError(f"dangling comparison for {attribute!r}")
+        vkind, vtext = tokens[i + 2]
+        atoms.append(Atom(attribute, op, _parse_value(vkind, vtext)))
+        i += 3
+        if i < len(tokens):
+            if tokens[i][0] != "and":
+                raise PredicateError(
+                    f"expected '&' between atoms, got {tokens[i][1]!r}"
+                )
+            i += 1
+            if i >= len(tokens):
+                raise PredicateError("trailing '&' in predicate")
+    return Predicate(atoms)

@@ -1,0 +1,5 @@
+"""Dynamic shortest-path substrate (Ramalingam–Reps)."""
+
+from .dynamic_sssp import DynamicSSSP, SSSPStats
+
+__all__ = ["DynamicSSSP", "SSSPStats"]

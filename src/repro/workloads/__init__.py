@@ -1,0 +1,18 @@
+"""Workloads: dataset stand-ins and update-stream generators."""
+
+from .datasets import citation_like, youtube_like
+from .updates import (
+    degree_biased_deletions,
+    degree_biased_insertions,
+    mixed_updates,
+    snapshot_diff,
+)
+
+__all__ = [
+    "youtube_like",
+    "citation_like",
+    "degree_biased_insertions",
+    "degree_biased_deletions",
+    "mixed_updates",
+    "snapshot_diff",
+]

@@ -1,0 +1,131 @@
+"""Synthetic stand-ins for the paper's real-life datasets.
+
+The paper evaluates on (a) a crawled YouTube graph — 14,829 video nodes
+with attributes (length, category, age, rate, ...) and 58,901
+recommendation edges — and (b) a citation network — 17,292 paper nodes with
+(title, author, year, ...) and 61,351 citation edges.  Neither crawl is
+redistributable, so we generate graphs with the same scale, attribute
+schema and topology statistics; every experiment only touches node
+attributes through predicates and topology through adjacency, so these
+stand-ins exercise identical code paths (see DESIGN.md, "Substitutions").
+
+``scale`` shrinks both datasets proportionally so tests and default
+benchmark runs stay fast; ``scale=1.0`` restores paper-size graphs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..graphs.digraph import DiGraph
+
+YOUTUBE_NODES = 14829
+YOUTUBE_EDGES = 58901
+CITATION_NODES = 17292
+CITATION_EDGES = 61351
+
+YOUTUBE_CATEGORIES = [
+    "Music",
+    "Comedy",
+    "Entertainment",
+    "Film",
+    "Sports",
+    "News",
+    "People",
+    "Politics",
+    "Science",
+    "Howto",
+]
+YOUTUBE_UPLOADERS = [
+    "FWPB",
+    "Ascrodin",
+    "Gisburgh",
+    "MrDuque",
+    "Vevo",
+    "Kurzgesagt",
+    "Lindsey",
+    "Numberphile",
+]
+CITATION_AREAS = ["DB", "AI", "Systems", "Theory", "Networks", "HCI", "Bio"]
+CITATION_VENUES = ["SIGMOD", "VLDB", "ICDE", "KDD", "NeurIPS", "SOSP", "STOC"]
+
+
+def youtube_like(scale: float = 0.05, seed: Optional[int] = 7) -> DiGraph:
+    """A YouTube-style recommendation graph.
+
+    Nodes carry ``category``, ``uploader``, ``age`` (days), ``rate`` and
+    ``length``; edges are degree-skewed recommendations (popular videos
+    accumulate links, per the preferential-attachment behaviour of
+    recommendation graphs).
+    """
+    rng = random.Random(seed)
+    n = max(50, int(YOUTUBE_NODES * scale))
+    m = max(120, int(YOUTUBE_EDGES * scale))
+    graph = DiGraph()
+    for v in range(n):
+        graph.add_node(
+            v,
+            category=rng.choice(YOUTUBE_CATEGORIES),
+            uploader=rng.choice(YOUTUBE_UPLOADERS),
+            age=rng.randint(1, 2000),
+            rate=round(rng.uniform(1.0, 5.0), 1),
+            length=rng.randint(30, 3600),
+        )
+    pool: List[int] = list(range(n))
+    added = 0
+    attempts = 0
+    while added < m and attempts < 60 * m:
+        attempts += 1
+        v = rng.choice(pool)
+        w = rng.choice(pool)
+        if v == w or graph.has_edge(v, w):
+            continue
+        graph.add_edge(v, w)
+        pool.append(w)  # popular targets attract more recommendations
+        added += 1
+    return graph
+
+
+def citation_like(scale: float = 0.05, seed: Optional[int] = 11) -> DiGraph:
+    """A citation-network-style graph.
+
+    Nodes carry ``year``, ``area``, ``venue`` and ``cites`` (out-degree
+    proxy); edges run mostly from newer papers to older ones, making the
+    graph DAG-leaning like a real citation network.
+    """
+    rng = random.Random(seed)
+    n = max(50, int(CITATION_NODES * scale))
+    m = max(120, int(CITATION_EDGES * scale))
+    graph = DiGraph()
+    years = {}
+    for v in range(n):
+        year = rng.randint(1990, 2012)
+        years[v] = year
+        graph.add_node(
+            v,
+            year=year,
+            area=rng.choice(CITATION_AREAS),
+            venue=rng.choice(CITATION_VENUES),
+            cites=0,
+        )
+    added = 0
+    attempts = 0
+    while added < m and attempts < 60 * m:
+        attempts += 1
+        v = rng.randrange(n)
+        w = rng.randrange(n)
+        if v == w or graph.has_edge(v, w):
+            continue
+        # Papers cite strictly older work, plus ~5% same-year citations
+        # (which keep a few *small* cycles around, as in real crawls);
+        # strictly-forward citations do not occur, so cycles stay within
+        # one year class and the graph remains DAG-leaning.
+        if years[w] > years[v]:
+            continue
+        if years[w] == years[v] and rng.random() > 0.05:
+            continue
+        graph.add_edge(v, w)
+        graph.set_attr(v, "cites", graph.get_attr(v, "cites", 0) + 1)
+        added += 1
+    return graph

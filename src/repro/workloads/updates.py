@@ -1,0 +1,110 @@
+"""Update-stream generators (paper Section 8.2 experimental setting).
+
+"Updates were selected following the densification law [Leskovec et al.
+2007]: we selected nodes with larger degree with higher probability for
+edge deletion (resp. insertion) if they are (resp. not) connected."
+
+:func:`degree_biased_insertions` and :func:`degree_biased_deletions`
+reproduce that recipe; :func:`mixed_updates` interleaves both, and
+:func:`snapshot_diff` derives an update list from two graph snapshots (the
+"real-life evolution" workload of Figs. 18(c)/(d)).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..graphs.digraph import DiGraph
+from ..incremental.types import Update, delete, insert
+
+
+def _degree_weighted_nodes(graph: DiGraph, rng: random.Random, count: int) -> List:
+    """Sample ``count`` nodes with probability proportional to degree + 1."""
+    pool = []
+    for v in graph.nodes():
+        pool.extend([v] * (graph.out_degree(v) + graph.in_degree(v) + 1))
+    if not pool:
+        return []
+    return [rng.choice(pool) for _ in range(count)]
+
+
+def degree_biased_insertions(
+    graph: DiGraph, count: int, seed: Optional[int] = None
+) -> List[Update]:
+    """Insertions of *missing* edges between degree-favoured endpoints."""
+    rng = random.Random(seed)
+    nodes = list(graph.nodes())
+    if len(nodes) < 2:
+        return []
+    picks = _degree_weighted_nodes(graph, rng, 4 * count + 16)
+    out: List[Update] = []
+    planned = set()
+    i = 0
+    while len(out) < count and i + 1 < len(picks):
+        v, w = picks[i], picks[i + 1]
+        i += 2
+        if v == w or graph.has_edge(v, w) or (v, w) in planned:
+            continue
+        planned.add((v, w))
+        out.append(insert(v, w))
+    # Top up uniformly if the biased draw ran dry.
+    attempts = 0
+    while len(out) < count and attempts < 50 * count + 100:
+        attempts += 1
+        v, w = rng.choice(nodes), rng.choice(nodes)
+        if v == w or graph.has_edge(v, w) or (v, w) in planned:
+            continue
+        planned.add((v, w))
+        out.append(insert(v, w))
+    return out
+
+
+def degree_biased_deletions(
+    graph: DiGraph, count: int, seed: Optional[int] = None
+) -> List[Update]:
+    """Deletions of existing edges, favouring high-degree endpoints."""
+    rng = random.Random(seed)
+    edges = list(graph.edges())
+    if not edges:
+        return []
+    weights = [
+        graph.out_degree(v) + graph.in_degree(w) + 1 for v, w in edges
+    ]
+    chosen = set()
+    out: List[Update] = []
+    attempts = 0
+    while len(out) < min(count, len(edges)) and attempts < 50 * count + 100:
+        attempts += 1
+        (edge,) = rng.choices(edges, weights=weights, k=1)
+        if edge in chosen:
+            continue
+        chosen.add(edge)
+        out.append(delete(*edge))
+    return out
+
+
+def mixed_updates(
+    graph: DiGraph,
+    num_insertions: int,
+    num_deletions: int,
+    seed: Optional[int] = None,
+    shuffle: bool = True,
+) -> List[Update]:
+    """A batch with both kinds of updates, optionally interleaved."""
+    rng = random.Random(seed)
+    ins = degree_biased_insertions(graph, num_insertions, seed=rng.randrange(1 << 30))
+    dels = degree_biased_deletions(graph, num_deletions, seed=rng.randrange(1 << 30))
+    batch = ins + dels
+    if shuffle:
+        rng.shuffle(batch)
+    return batch
+
+
+def snapshot_diff(old: DiGraph, new: DiGraph) -> List[Update]:
+    """Edge updates transforming ``old`` into ``new`` (snapshot evolution)."""
+    old_edges = set(old.edges())
+    new_edges = set(new.edges())
+    out = [delete(v, w) for v, w in sorted(old_edges - new_edges, key=repr)]
+    out += [insert(v, w) for v, w in sorted(new_edges - old_edges, key=repr)]
+    return out

@@ -1,0 +1,45 @@
+"""Smoke tests for the ablation drivers."""
+
+import pytest
+
+from repro.bench.experiments import ABLATIONS
+
+TINY = 0.01
+
+
+def test_registry():
+    assert set(ABLATIONS) == {
+        "abl-oracle",
+        "abl-mindelta",
+        "abl-scc",
+        "abl-distributed",
+        "abl-localized-iso",
+    }
+
+
+@pytest.mark.parametrize("name", sorted(ABLATIONS))
+def test_ablation_runs(name):
+    rows = ABLATIONS[name](TINY)
+    assert rows
+    assert all(isinstance(r, dict) and r for r in rows)
+
+
+def test_mindelta_reduction_visible():
+    rows = ABLATIONS["abl-mindelta"](TINY)
+    for r in rows:
+        # The churned batch triples the net updates; cancellation must bite.
+        assert r["after_mindelta"] < r["num_updates"]
+
+
+def test_distributed_single_fragment_no_messages():
+    rows = ABLATIONS["abl-distributed"](TINY)
+    assert rows[0]["fragments"] == 1
+    assert rows[0]["messages"] == 0
+
+
+def test_cli_accepts_ablation_ids(capsys):
+    from repro.bench.__main__ import main
+
+    assert main(["--figure", "abl-scc", "--scale", str(TINY)]) == 0
+    out = capsys.readouterr().out
+    assert "pattern_kind" in out

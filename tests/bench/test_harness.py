@@ -1,0 +1,103 @@
+"""Smoke tests: every figure driver runs at tiny scale and yields the
+columns EXPERIMENTS.md documents."""
+
+import pytest
+
+from repro.bench.figures import FIGURES
+
+TINY = 0.008
+
+EXPECTED_COLUMNS = {
+    "fig16b": {"pattern", "vf2_s", "match_k1_s", "match_k3_s"},
+    "fig16c": {"pattern", "vf2_matches", "match_k1_matches", "match_k3_matches"},
+    "fig17a": {"pattern", "matrix_s", "twohop_s", "bfs_s"},
+    "fig17b": {"pattern", "matrix_s", "twohop_s", "bfs_s"},
+    "fig17c": {"pattern_size", "k", "bfs_match_s"},
+    "fig17d": {"num_nodes", "p1_s", "p2_s"},
+    "fig18a": {
+        "update_fraction",
+        "num_updates",
+        "batch_s",
+        "incmatch_s",
+        "incmatch_naive_s",
+        "hornsat_s",
+    },
+    "fig19a": {
+        "update_fraction",
+        "num_updates",
+        "batch_bs_s",
+        "incbmatch_s",
+        "incbmatch_m_s",
+    },
+    "fig20a": {
+        "alpha",
+        "original_updates",
+        "reduced_updates",
+        "reduction_pct",
+    },
+    "fig20b": {
+        "inserted_edges",
+        "inslm_entries",
+        "inslm_landmarks",
+        "batchlm_entries",
+        "batchlm_landmarks",
+    },
+    "fig20c": {
+        "num_updates",
+        "inslm_s",
+        "batchlm_plus_s",
+        "dellm_s",
+        "batchlm_minus_s",
+    },
+    "fig20d": {"num_updates", "inclm_s", "batchlm_s"},
+    "fig20e": {"k", "inclm_s"},
+    "fig20f": {"num_updates", "inclm_s", "ins_del_lm_s"},
+}
+
+
+def test_all_twenty_figures_registered():
+    assert len(FIGURES) == 20
+    for fig in ("16b", "16c", "17a", "17b", "17c", "17d",
+                "18a", "18b", "18c", "18d",
+                "19a", "19b", "19c", "19d",
+                "20a", "20b", "20c", "20d", "20e", "20f"):
+        assert f"fig{fig}" in FIGURES
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_COLUMNS))
+def test_driver_produces_expected_columns(name):
+    rows = FIGURES[name](TINY)
+    assert rows, f"{name} returned no rows"
+    assert set(rows[0]) == EXPECTED_COLUMNS[name]
+
+
+@pytest.mark.parametrize(
+    "name", ["fig18b", "fig18c", "fig18d", "fig19b", "fig19c", "fig19d"]
+)
+def test_sibling_figures_share_columns(name):
+    rows = FIGURES[name](TINY)
+    assert rows
+    base = "fig18a" if name.startswith("fig18") else "fig19a"
+    assert set(rows[0]) == EXPECTED_COLUMNS[base]
+
+
+def test_fig20a_reduction_is_real():
+    rows = FIGURES["fig20a"](TINY)
+    assert all(r["reduced_updates"] <= r["original_updates"] for r in rows)
+
+
+def test_fig16c_bounded_finds_at_least_simulation():
+    rows = FIGURES["fig16c"](TINY)
+    assert all(r["match_k3_matches"] >= 0 for r in rows)
+
+
+def test_cli_list_and_single_figure(capsys):
+    from repro.bench.__main__ import main
+
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig18a" in out
+    assert main(["--figure", "fig20a", "--scale", str(TINY)]) == 0
+    out = capsys.readouterr().out
+    assert "alpha" in out
+    assert main(["--figure", "nope"]) == 2

@@ -1,0 +1,132 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.digraph import DiGraph
+from repro.patterns.pattern import Pattern
+
+
+@pytest.fixture
+def triangle_graph() -> DiGraph:
+    """a -> b -> c -> a, labelled A/B/C."""
+    g = DiGraph()
+    g.add_node("a", label="A")
+    g.add_node("b", label="B")
+    g.add_node("c", label="C")
+    g.add_edge("a", "b")
+    g.add_edge("b", "c")
+    g.add_edge("c", "a")
+    return g
+
+
+@pytest.fixture
+def chain_graph() -> DiGraph:
+    """a -> b -> c -> d, labelled A/B/C/D."""
+    g = DiGraph()
+    for name, label in zip("abcd", "ABCD"):
+        g.add_node(name, label=label)
+    g.add_edge("a", "b")
+    g.add_edge("b", "c")
+    g.add_edge("c", "d")
+    return g
+
+
+@pytest.fixture
+def friendfeed_graph() -> DiGraph:
+    """The paper's Fig. 4 FriendFeed fragment (without e1-e5)."""
+    g = DiGraph()
+    people = {
+        "Ann": "CTO",
+        "Pat": "DB",
+        "Dan": "DB",
+        "Bill": "Bio",
+        "Mat": "Bio",
+        "Don": "CTO",
+        "Tom": "Bio",
+        "Ross": "Med",
+    }
+    for name, job in people.items():
+        g.add_node(name, name=name, job=job)
+    for src, dst in [
+        ("Ann", "Pat"),
+        ("Pat", "Ann"),
+        ("Ann", "Bill"),
+        ("Pat", "Bill"),
+        ("Pat", "Dan"),
+        ("Dan", "Pat"),
+        ("Dan", "Mat"),
+        ("Mat", "Dan"),
+        ("Dan", "Ann"),
+        ("Ross", "Dan"),
+    ]:
+        g.add_edge(src, dst)
+    return g
+
+
+@pytest.fixture
+def friendfeed_pattern() -> Pattern:
+    """The paper's b-pattern P3."""
+    return Pattern.from_spec(
+        {"CTO": "job = CTO", "DB": "job = DB", "Bio": "job = Bio"},
+        [
+            ("CTO", "DB", 2),
+            ("CTO", "Bio", 1),
+            ("DB", "Bio", 1),
+            ("DB", "CTO", "*"),
+        ],
+    )
+
+
+@pytest.fixture
+def twitter_graph() -> DiGraph:
+    """The paper's Fig. 2 data graph G2 (academic collaboration)."""
+    g = DiGraph()
+    nodes = {
+        "DB": {"label": "DB", "dept": "CS"},
+        "AI": {"label": "AI", "dept": "CS"},
+        "Gen": {"label": "Gen", "dept": "Bio"},
+        "Eco": {"label": "Eco", "dept": "Bio"},
+        "Chem": {"label": "Chem", "dept": "Chem"},
+        "Med": {"label": "Med", "dept": "Med"},
+        "Soc": {"label": "Soc", "dept": "Soc"},
+    }
+    for n, attrs in nodes.items():
+        g.add_node(n, **attrs)
+    # Wiring consistent with Example 2.2: DB reaches Gen (<=2), Gen reaches
+    # Soc (<=2) and Med (<=3); Med reaches CS people via a chain; AI cannot
+    # reach Soc within 3 hops.
+    for src, dst in [
+        ("DB", "Gen"),
+        ("Gen", "Eco"),
+        ("Eco", "Gen"),
+        ("Gen", "Soc"),
+        ("Eco", "Med"),
+        ("Med", "Chem"),
+        ("Chem", "DB"),
+        ("AI", "Chem"),
+    ]:
+        g.add_edge(src, dst)
+    return g
+
+
+@pytest.fixture
+def twitter_pattern() -> Pattern:
+    """The paper's b-pattern P2 (Fig. 2)."""
+    return Pattern.from_spec(
+        {
+            "CS": "dept = CS",
+            "Bio": "dept = Bio",
+            "Med": "label = Med",
+            "Soc": "label = Soc",
+        },
+        [
+            ("CS", "Bio", 2),
+            ("CS", "Soc", 3),
+            ("CS", "Med", "*"),
+            ("Bio", "Soc", 2),
+            ("Bio", "Med", 3),
+            ("Med", "CS", "*"),
+        ],
+    )

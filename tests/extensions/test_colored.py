@@ -1,0 +1,124 @@
+"""Tests for edge-colored bounded simulation."""
+
+import pytest
+
+from repro.extensions.colored import (
+    ColoredGraph,
+    ColoredPattern,
+    colored_bounded_match,
+)
+from repro.matching.bounded import bounded_match_naive
+from repro.matching.relation import as_pairs, totalize
+from repro.patterns.pattern import PatternError
+
+
+def build_social() -> ColoredGraph:
+    """friend- and works-with-coloured social graph."""
+    cg = ColoredGraph()
+    for name, job in (
+        ("ann", "CTO"),
+        ("pat", "DB"),
+        ("dan", "DB"),
+        ("bill", "Bio"),
+    ):
+        cg.add_node(name, job=job)
+    cg.add_edge("ann", "pat", "friend")
+    cg.add_edge("pat", "bill", "friend")
+    cg.add_edge("ann", "dan", "workswith")
+    cg.add_edge("dan", "bill", "workswith")
+    return cg
+
+
+class TestColoredGraph:
+    def test_color_lookup(self):
+        cg = build_social()
+        assert cg.color("ann", "pat") == "friend"
+        with pytest.raises(KeyError):
+            cg.color("pat", "ann")
+
+    def test_colors(self):
+        assert build_social().colors() == {"friend", "workswith"}
+
+    def test_filtered_view(self):
+        cg = build_social()
+        friends = cg.filtered("friend")
+        assert friends.has_edge("ann", "pat")
+        assert not friends.has_edge("ann", "dan")
+
+    def test_filtered_none_is_whole_graph(self):
+        cg = build_social()
+        assert cg.filtered(None) is cg.graph
+
+    def test_cache_invalidation(self):
+        cg = build_social()
+        assert not cg.filtered("friend").has_edge("dan", "bill")
+        cg.add_edge("dan", "bill", "friend")  # recolor
+        assert cg.filtered("friend").has_edge("dan", "bill")
+
+    def test_remove_edge_clears_color(self):
+        cg = build_social()
+        cg.remove_edge("ann", "pat")
+        with pytest.raises(KeyError):
+            cg.color("ann", "pat")
+
+
+class TestColoredMatch:
+    def test_color_constrains_path(self):
+        cg = build_social()
+        cp = ColoredPattern.from_spec(
+            {"c": "job = CTO", "b": "job = Bio"},
+            [("c", "b", 2, "friend")],
+        )
+        match = totalize(colored_bounded_match(cp, cg))
+        assert match["c"] == {"ann"}  # via the all-friend path ann-pat-bill
+
+    def test_mismatched_color_fails(self):
+        cg = build_social()
+        cp = ColoredPattern.from_spec(
+            {"c": "job = CTO", "b": "job = Bio"},
+            [("c", "b", 2, "mentor")],
+        )
+        match = totalize(colored_bounded_match(cp, cg))
+        assert match["c"] == set()
+
+    def test_mixed_color_path_rejected(self):
+        """A path alternating colors does not satisfy a colored edge."""
+        cg = ColoredGraph()
+        for n, lab in (("a", "A"), ("m", "M"), ("z", "Z")):
+            cg.add_node(n, label=lab)
+        cg.add_edge("a", "m", "red")
+        cg.add_edge("m", "z", "blue")
+        cp = ColoredPattern.from_spec(
+            {"x": "label = A", "y": "label = Z"}, [("x", "y", 2, "red")]
+        )
+        assert totalize(colored_bounded_match(cp, cg))["x"] == set()
+
+    def test_none_color_matches_plain_bounded(self):
+        cg = build_social()
+        cp = ColoredPattern.from_spec(
+            {"c": "job = CTO", "b": "job = Bio"},
+            [("c", "b", 2, None)],
+        )
+        plain = bounded_match_naive(cp.pattern, cg.graph)
+        colored = colored_bounded_match(cp, cg)
+        assert as_pairs(plain) == as_pairs(colored)
+
+    def test_missing_pattern_edge_color_raises(self):
+        cp = ColoredPattern()
+        cp.add_node("u")
+        with pytest.raises(PatternError):
+            cp.color("u", "ghost")
+
+    def test_star_bound_with_color(self):
+        cg = ColoredGraph()
+        for i in range(5):
+            cg.add_node(i, label="mid")
+        cg.add_node("end", label="Z")
+        cg.graph.set_attr(0, "label", "A")
+        for i in range(4):
+            cg.add_edge(i, i + 1, "red")
+        cg.add_edge(4, "end", "red")
+        cp = ColoredPattern.from_spec(
+            {"x": "label = A", "y": "label = Z"}, [("x", "y", None, "red")]
+        )
+        assert totalize(colored_bounded_match(cp, cg))["x"] == {0}

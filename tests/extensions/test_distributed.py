@@ -1,0 +1,110 @@
+"""Tests for distributed (partitioned) simulation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.extensions.distributed import (
+    DistributedSimulation,
+    distributed_simulation,
+)
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import synthetic_graph
+from repro.matching.relation import as_pairs
+from repro.matching.simulation import maximum_simulation
+from repro.patterns.generator import random_pattern
+from repro.patterns.pattern import Pattern, PatternError
+from tests.strategies import small_graphs, small_patterns
+
+
+def abc_pattern():
+    return Pattern.normal_from_labels(
+        {"x": "A", "y": "B", "z": "C"}, [("x", "y"), ("y", "z")]
+    )
+
+
+class TestBasics:
+    def test_matches_centralized_on_chain(self):
+        g = DiGraph()
+        for n, lab in (("a", "A"), ("b", "B"), ("c", "C")):
+            g.add_node(n, label=lab)
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        # Force every node onto a different fragment.
+        partition = {"a": 0, "b": 1, "c": 2}
+        result = distributed_simulation(abc_pattern(), g, partition=partition)
+        assert as_pairs(result) == as_pairs(maximum_simulation(abc_pattern(), g))
+
+    def test_single_fragment_degenerates_to_local(self):
+        g = synthetic_graph(30, 70, seed=1)
+        p = random_pattern(g, 3, 3, max_bound=1, seed=2)
+        result = distributed_simulation(p, g, num_fragments=1)
+        assert as_pairs(result) == as_pairs(maximum_simulation(p, g))
+
+    def test_cross_fragment_removal_propagates(self):
+        """Removal on one worker must cascade into another worker."""
+        g = DiGraph()
+        for n, lab in (("a", "A"), ("b", "B"), ("c", "C")):
+            g.add_node(n, lab=lab)
+            g.set_attr(n, "label", lab)
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        g.remove_edge("b", "c")  # b will fail: a must fail too
+        sim = DistributedSimulation(
+            abc_pattern(), g, partition={"a": 0, "b": 1, "c": 2}
+        )
+        result = sim.run()
+        assert result["x"] == set() and result["y"] == set()
+        assert sim.stats.removals_shipped >= 1
+
+    def test_b_pattern_rejected(self):
+        p = Pattern.from_spec({"x": None, "y": None}, [("x", "y", 2)])
+        with pytest.raises(PatternError):
+            DistributedSimulation(p, DiGraph())
+
+    def test_bad_fragment_count(self):
+        with pytest.raises(ValueError):
+            DistributedSimulation(abc_pattern(), DiGraph(), num_fragments=0)
+
+    def test_partial_partition_rejected(self):
+        g = DiGraph()
+        g.add_node("a", label="A")
+        g.add_node("b", label="B")
+        with pytest.raises(ValueError):
+            DistributedSimulation(abc_pattern(), g, partition={"a": 0})
+
+    def test_stats_reported(self):
+        g = synthetic_graph(40, 100, seed=3)
+        p = random_pattern(g, 3, 4, max_bound=1, seed=4)
+        sim = DistributedSimulation(p, g, num_fragments=4)
+        sim.run()
+        assert sim.stats.rounds >= 1
+
+    def test_owner_lookup(self):
+        g = DiGraph()
+        g.add_node("a", label="A")
+        sim = DistributedSimulation(abc_pattern(), g, partition={"a": 2})
+        assert sim.owner_of("a") == 2
+
+
+@settings(max_examples=35, deadline=None)
+@given(
+    small_graphs(),
+    small_patterns(max_bound=1, allow_star=False),
+    st.integers(min_value=1, max_value=4),
+)
+def test_distributed_equals_centralized(g, p, k):
+    got = distributed_simulation(p, g, num_fragments=k)
+    ref = maximum_simulation(p, g)
+    assert as_pairs(got) == as_pairs(ref)
+
+
+@settings(max_examples=20, deadline=None)
+@given(small_graphs(max_nodes=6), small_patterns(max_nodes=3, max_bound=1, allow_star=False))
+def test_partition_choice_is_irrelevant(g, p):
+    nodes = sorted(g.nodes(), key=repr)
+    even = {v: i % 2 for i, v in enumerate(nodes)}
+    skew = {v: (0 if i < len(nodes) // 3 else 1) for i, v in enumerate(nodes)}
+    a = distributed_simulation(p, g, partition=even)
+    b = distributed_simulation(p, g, partition=skew)
+    assert as_pairs(a) == as_pairs(b)

@@ -1,0 +1,80 @@
+"""Tests for dual simulation."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.extensions.dual import dual_contains_isomorphism_images, dual_simulation
+from repro.graphs.digraph import DiGraph
+from repro.matching.isomorphism import isomorphic_embeddings
+from repro.matching.simulation import maximum_simulation
+from repro.patterns.pattern import Pattern, PatternError
+from tests.strategies import small_graphs, small_patterns
+
+
+class TestDualSimulation:
+    def test_backward_condition_enforced(self):
+        """Simulation accepts an orphan child; dual simulation does not."""
+        g = DiGraph()
+        g.add_node("a", label="A")
+        g.add_node("b1", label="B")
+        g.add_node("b_orphan", label="B")
+        g.add_edge("a", "b1")
+        p = Pattern.normal_from_labels({"x": "A", "y": "B"}, [("x", "y")])
+        sim = maximum_simulation(p, g)
+        dual = dual_simulation(p, g)
+        assert "b_orphan" in sim["y"]       # no forward obligation on y
+        assert "b_orphan" not in dual["y"]  # y needs an A-parent
+        assert dual["y"] == {"b1"}
+
+    def test_b_pattern_rejected(self):
+        p = Pattern.from_spec({"x": None, "y": None}, [("x", "y", 2)])
+        with pytest.raises(PatternError):
+            dual_simulation(p, DiGraph())
+
+    def test_refinement_interacts_both_directions(self):
+        # a -> b -> c, labels A B C; remove C-parent support transitively.
+        g = DiGraph()
+        for n, lab in (("a", "A"), ("b", "B"), ("c", "C"), ("b2", "B")):
+            g.add_node(n, label=lab)
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        p = Pattern.normal_from_labels(
+            {"x": "A", "y": "B", "z": "C"}, [("x", "y"), ("y", "z")]
+        )
+        dual = dual_simulation(p, g)
+        assert dual == {"x": {"a"}, "y": {"b"}, "z": {"c"}}  # b2 excluded
+
+    def test_empty_when_impossible(self):
+        g = DiGraph()
+        g.add_node("b", label="B")
+        p = Pattern.normal_from_labels({"x": "A", "y": "B"}, [("x", "y")])
+        dual = dual_simulation(p, g)
+        assert dual["y"] == set()
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_graphs(), small_patterns(max_bound=1, allow_star=False))
+def test_dual_is_subset_of_simulation(g, p):
+    sim = maximum_simulation(p, g)
+    dual = dual_simulation(p, g)
+    for u in p.nodes():
+        assert dual[u] <= sim[u]
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_graphs(max_nodes=6), small_patterns(max_nodes=3, max_bound=1, allow_star=False))
+def test_dual_contains_every_embedding_image(g, p):
+    embeddings = isomorphic_embeddings(p, g)
+    assert dual_contains_isomorphism_images(p, g, embeddings)
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_graphs(), small_patterns(max_bound=1, allow_star=False))
+def test_dual_is_a_dual_simulation(g, p):
+    dual = dual_simulation(p, g)
+    for u in p.nodes():
+        for v in dual[u]:
+            for u2 in p.children(u):
+                assert any(w in dual[u2] for w in g.children(v))
+            for u0 in p.parents(u):
+                assert any(x in dual[u0] for x in g.parents(v))

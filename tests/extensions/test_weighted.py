@@ -1,0 +1,80 @@
+"""Tests for weighted bounded simulation."""
+
+from hypothesis import given, settings
+
+from repro.extensions.weighted import WeightedMatrixOracle, bounded_match_weighted
+from repro.graphs.digraph import DiGraph
+from repro.matching.bounded import bounded_match_naive
+from repro.matching.relation import as_pairs, totalize
+from repro.patterns.pattern import Pattern
+from tests.strategies import small_graphs, small_patterns
+
+INF = float("inf")
+
+
+def weighted_line():
+    g = DiGraph()
+    for n, lab in (("a", "A"), ("m", "M"), ("z", "Z")):
+        g.add_node(n, label=lab)
+    g.add_edge("a", "m")
+    g.add_edge("m", "z")
+    g.add_edge("a", "z")
+    weights = {("a", "m"): 1.0, ("m", "z"): 1.0, ("a", "z"): 5.0}
+    return g, weights
+
+
+class TestOracle:
+    def test_weighted_distance(self):
+        g, w = weighted_line()
+        oracle = WeightedMatrixOracle(g, w)
+        assert oracle.pathdist("a", "z") == 2.0  # via m, not the heavy edge
+
+    def test_self_distance_cycle_weight(self):
+        g = DiGraph([("a", "b"), ("b", "a")])
+        oracle = WeightedMatrixOracle(g, {("a", "b"): 2.0, ("b", "a"): 3.0})
+        assert oracle.pathdist("a", "a") == 5.0
+
+    def test_acyclic_self_inf(self):
+        g, w = weighted_line()
+        oracle = WeightedMatrixOracle(g, w)
+        assert oracle.pathdist("m", "m") == INF
+
+    def test_balls(self):
+        g, w = weighted_line()
+        oracle = WeightedMatrixOracle(g, w)
+        assert oracle.ball_out("a", 2) == {"m": 1.0, "z": 2.0}
+        assert oracle.ball_in("z", 1) == {"m": 1.0}
+
+    def test_missing_weight_defaults_to_one(self):
+        g = DiGraph([("a", "b")])
+        oracle = WeightedMatrixOracle(g, {})
+        assert oracle.pathdist("a", "b") == 1.0
+
+
+class TestWeightedMatch:
+    def test_weight_budget_respected(self):
+        g, w = weighted_line()
+        p2 = Pattern.from_spec(
+            {"x": "label = A", "y": "label = Z"}, [("x", "y", 2)]
+        )
+        assert totalize(bounded_match_weighted(p2, g, w))["x"] == {"a"}
+        # Make the cheap route expensive: budget 2 no longer suffices.
+        w2 = dict(w)
+        w2[("a", "m")] = 4.0
+        assert totalize(bounded_match_weighted(p2, g, w2))["x"] == set()
+
+    def test_star_bound_ignores_weights(self):
+        g, w = weighted_line()
+        p = Pattern.from_spec(
+            {"x": "label = A", "y": "label = Z"}, [("x", "y", "*")]
+        )
+        assert totalize(bounded_match_weighted(p, g, w))["x"] == {"a"}
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_graphs(), small_patterns())
+def test_unit_weights_reduce_to_hop_semantics(g, p):
+    """With every weight 1, weighted Match equals the hop-based Match."""
+    weighted = bounded_match_weighted(p, g, {})
+    plain = bounded_match_naive(p, g)
+    assert as_pairs(weighted) == as_pairs(plain)

@@ -1,0 +1,213 @@
+"""Unit tests for the DiGraph substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.digraph import DiGraph, GraphError
+from tests.strategies import small_graphs
+
+
+class TestNodes:
+    def test_add_node_creates_empty_adjacency(self):
+        g = DiGraph()
+        g.add_node("a")
+        assert g.has_node("a")
+        assert g.children("a") == set()
+        assert g.parents("a") == set()
+
+    def test_add_node_is_idempotent(self):
+        g = DiGraph()
+        g.add_node("a", x=1)
+        g.add_node("a")
+        assert g.num_nodes() == 1
+        assert g.get_attr("a", "x") == 1
+
+    def test_add_node_merges_attributes(self):
+        g = DiGraph()
+        g.add_node("a", x=1)
+        g.add_node("a", y=2)
+        assert g.attrs("a") == {"x": 1, "y": 2}
+
+    def test_add_node_overwrites_attribute(self):
+        g = DiGraph()
+        g.add_node("a", x=1)
+        g.add_node("a", x=9)
+        assert g.get_attr("a", "x") == 9
+
+    def test_contains(self):
+        g = DiGraph()
+        g.add_node(1)
+        assert 1 in g
+        assert 2 not in g
+
+    def test_remove_node_drops_incident_edges(self):
+        g = DiGraph([("a", "b"), ("b", "c"), ("c", "a")])
+        g.remove_node("b")
+        assert not g.has_node("b")
+        assert g.num_edges() == 1
+        assert g.has_edge("c", "a")
+
+    def test_remove_node_with_self_loop(self):
+        g = DiGraph([("a", "a"), ("a", "b")])
+        g.remove_node("a")
+        assert g.num_edges() == 0
+        assert g.has_node("b")
+
+    def test_remove_missing_node_raises(self):
+        g = DiGraph()
+        with pytest.raises(GraphError):
+            g.remove_node("ghost")
+
+    def test_len_matches_num_nodes(self):
+        g = DiGraph([("a", "b")])
+        assert len(g) == g.num_nodes() == 2
+
+
+class TestAttributes:
+    def test_attrs_of_missing_node_raises(self):
+        g = DiGraph()
+        with pytest.raises(GraphError):
+            g.attrs("nope")
+
+    def test_get_attr_default(self):
+        g = DiGraph()
+        g.add_node("a")
+        assert g.get_attr("a", "missing", 42) == 42
+
+    def test_set_attr(self):
+        g = DiGraph()
+        g.add_node("a")
+        g.set_attr("a", "k", "v")
+        assert g.get_attr("a", "k") == "v"
+
+    def test_constructor_attrs(self):
+        g = DiGraph(edges=[("a", "b")], attrs={"a": {"x": 1}})
+        assert g.get_attr("a", "x") == 1
+
+
+class TestEdges:
+    def test_add_edge_creates_endpoints(self):
+        g = DiGraph()
+        assert g.add_edge("a", "b")
+        assert g.has_node("a") and g.has_node("b")
+        assert g.has_edge("a", "b")
+        assert not g.has_edge("b", "a")
+
+    def test_add_duplicate_edge_returns_false(self):
+        g = DiGraph()
+        g.add_edge("a", "b")
+        assert not g.add_edge("a", "b")
+        assert g.num_edges() == 1
+
+    def test_self_loop_allowed(self):
+        g = DiGraph()
+        g.add_edge("a", "a")
+        assert g.has_edge("a", "a")
+        assert "a" in g.children("a")
+        assert "a" in g.parents("a")
+
+    def test_remove_edge(self):
+        g = DiGraph([("a", "b")])
+        assert g.remove_edge("a", "b")
+        assert not g.has_edge("a", "b")
+        assert g.num_edges() == 0
+
+    def test_remove_absent_edge_returns_false(self):
+        g = DiGraph([("a", "b")])
+        assert not g.remove_edge("b", "a")
+        assert not g.remove_edge("x", "y")
+
+    def test_degrees(self):
+        g = DiGraph([("a", "b"), ("a", "c"), ("b", "c")])
+        assert g.out_degree("a") == 2
+        assert g.in_degree("c") == 2
+        assert g.in_degree("a") == 0
+
+    def test_edges_iteration(self):
+        edges = {("a", "b"), ("b", "c")}
+        g = DiGraph(edges)
+        assert set(g.edges()) == edges
+
+    def test_adjacency_of_missing_node_raises(self):
+        g = DiGraph()
+        with pytest.raises(GraphError):
+            g.children("nope")
+        with pytest.raises(GraphError):
+            g.parents("nope")
+
+
+class TestBulk:
+    def test_copy_is_deep_for_structure(self):
+        g = DiGraph([("a", "b")], attrs={"a": {"x": 1}})
+        c = g.copy()
+        c.add_edge("b", "a")
+        c.set_attr("a", "x", 2)
+        assert not g.has_edge("b", "a")
+        assert g.get_attr("a", "x") == 1
+
+    def test_copy_equal(self):
+        g = DiGraph([("a", "b")], attrs={"a": {"x": 1}})
+        assert g.copy() == g
+
+    def test_subgraph_induced(self):
+        g = DiGraph([("a", "b"), ("b", "c"), ("c", "a")])
+        s = g.subgraph(["a", "b"])
+        assert set(s.nodes()) == {"a", "b"}
+        assert set(s.edges()) == {("a", "b")}
+
+    def test_subgraph_missing_node_raises(self):
+        g = DiGraph([("a", "b")])
+        with pytest.raises(GraphError):
+            g.subgraph(["a", "ghost"])
+
+    def test_reverse(self):
+        g = DiGraph([("a", "b"), ("b", "c")])
+        r = g.reverse()
+        assert set(r.edges()) == {("b", "a"), ("c", "b")}
+
+    def test_equality_considers_attrs(self):
+        g1 = DiGraph(attrs={"a": {"x": 1}})
+        g2 = DiGraph(attrs={"a": {"x": 2}})
+        assert g1 != g2
+
+    def test_repr_mentions_sizes(self):
+        g = DiGraph([("a", "b")])
+        assert "|V|=2" in repr(g)
+        assert "|E|=1" in repr(g)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_graphs())
+def test_edge_count_invariant(g):
+    """num_edges always equals the length of the edge iterator."""
+    assert g.num_edges() == len(list(g.edges()))
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_graphs())
+def test_parents_children_are_inverse(g):
+    for v, w in g.edges():
+        assert w in g.children(v)
+        assert v in g.parents(w)
+    for v in g.nodes():
+        for w in g.children(v):
+            assert v in g.parents(w)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_graphs())
+def test_reverse_is_involution(g):
+    assert g.reverse().reverse() == g
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_graphs(), st.randoms())
+def test_remove_all_edges_leaves_nodes(g, rnd):
+    edges = list(g.edges())
+    rnd.shuffle(edges)
+    nodes = set(g.nodes())
+    for e in edges:
+        assert g.remove_edge(*e)
+    assert g.num_edges() == 0
+    assert set(g.nodes()) == nodes

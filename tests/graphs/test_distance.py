@@ -1,0 +1,142 @@
+"""Tests for the distance matrix (incl. incremental maintenance) and
+Floyd-Warshall."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.distance import DistanceMatrix, floyd_warshall
+from repro.graphs.generators import chain, cycle_graph, synthetic_graph
+from repro.graphs.traversal import INF, path_distance
+from repro.workloads.updates import mixed_updates
+from tests.strategies import small_graphs
+
+
+def assert_matrix_exact(matrix: DistanceMatrix, g: DiGraph) -> None:
+    for v in g.nodes():
+        for w in g.nodes():
+            assert matrix.dist(v, w) == path_distance(g, v, w), (v, w)
+
+
+class TestDistanceMatrix:
+    def test_chain(self):
+        g = chain(4)
+        m = DistanceMatrix(g)
+        assert m.dist(0, 3) == 3
+        assert m.dist(3, 0) == INF
+
+    def test_self_distance_is_cycle_length(self):
+        g = cycle_graph(4)
+        m = DistanceMatrix(g)
+        assert m.dist(0, 0) == 4
+
+    def test_self_loop(self):
+        g = DiGraph([("a", "a")])
+        assert DistanceMatrix(g).dist("a", "a") == 1
+
+    def test_acyclic_self_distance_inf(self):
+        g = chain(3)
+        assert DistanceMatrix(g).dist(1, 1) == INF
+
+    def test_unknown_node(self):
+        g = chain(2)
+        m = DistanceMatrix(g)
+        assert m.dist("ghost", 0) == INF
+
+    def test_row_contains_source(self):
+        g = chain(3)
+        assert DistanceMatrix(g).row(0)[0] == 0
+
+    def test_size_entries_positive(self):
+        g = chain(3)
+        assert DistanceMatrix(g).size_entries() >= 3
+
+
+class TestMatrixMaintenance:
+    def test_apply_insert_shortcut(self):
+        g = chain(5)
+        m = DistanceMatrix(g)
+        g.add_edge(0, 4)
+        m.apply_insert(0, 4)
+        assert_matrix_exact(m, g)
+        assert m.dist(0, 4) == 1
+
+    def test_apply_insert_creates_cycle(self):
+        g = chain(3)
+        m = DistanceMatrix(g)
+        g.add_edge(2, 0)
+        m.apply_insert(2, 0)
+        assert m.dist(0, 0) == 3
+        assert_matrix_exact(m, g)
+
+    def test_apply_insert_new_node(self):
+        g = chain(3)
+        m = DistanceMatrix(g)
+        g.add_edge(2, "new")
+        m.apply_insert(2, "new")
+        assert m.dist(0, "new") == 3
+
+    def test_apply_deletions(self):
+        g = cycle_graph(4)
+        m = DistanceMatrix(g)
+        g.remove_edge(1, 2)
+        m.apply_deletions([(1, 2)])
+        assert_matrix_exact(m, g)
+        assert m.dist(0, 0) == INF
+
+    @settings(max_examples=20, deadline=None)
+    @given(small_graphs())
+    def test_random_update_sequence_stays_exact(self, g):
+        m = DistanceMatrix(g)
+        ups = mixed_updates(g, 3, 3, seed=1)
+        ins, dels = [], []
+        for u in ups:
+            if u.op == "insert" and g.add_edge(u.source, u.target):
+                ins.append(u.edge)
+            elif u.op == "delete" and g.remove_edge(u.source, u.target):
+                dels.append(u.edge)
+        if dels:
+            m.apply_deletions(dels)
+        for e in ins:
+            m.apply_insert(*e)
+        assert_matrix_exact(m, g)
+
+
+class TestFloydWarshall:
+    def test_matches_bfs_on_unweighted(self):
+        g = synthetic_graph(15, 30, seed=4)
+        fw = floyd_warshall(g)
+        for v in g.nodes():
+            for w in g.nodes():
+                assert fw[v][w] == path_distance(g, v, w)
+
+    def test_weighted_edges(self):
+        g = DiGraph([("a", "b"), ("b", "c"), ("a", "c")])
+        fw = floyd_warshall(g, edge_weights={("a", "b"): 1, ("b", "c"): 1, ("a", "c"): 5})
+        assert fw["a"]["c"] == 2  # via b, cheaper than the direct weight-5 edge
+
+    def test_negative_weight_rejected(self):
+        g = DiGraph([("a", "b")])
+        with pytest.raises(ValueError):
+            floyd_warshall(g, edge_weights={("a", "b"): -1})
+
+    def test_diagonal_is_cycle_weight(self):
+        g = cycle_graph(3)
+        fw = floyd_warshall(g)
+        assert fw[0][0] == 3
+
+    def test_unreachable_inf(self):
+        g = DiGraph([("a", "b")])
+        g.add_node("x")
+        fw = floyd_warshall(g)
+        assert fw["a"]["x"] == INF
+
+
+@settings(max_examples=20, deadline=None)
+@given(small_graphs(max_nodes=6))
+def test_matrix_agrees_with_floyd_warshall(g):
+    m = DistanceMatrix(g)
+    fw = floyd_warshall(g)
+    for v in g.nodes():
+        for w in g.nodes():
+            assert m.dist(v, w) == fw[v][w]

@@ -1,0 +1,105 @@
+"""Tests for the synthetic graph generators."""
+
+import pytest
+
+from repro.graphs.generators import (
+    chain,
+    complete_graph,
+    cycle_graph,
+    densification_sequence,
+    random_dag,
+    star,
+    synthetic_graph,
+)
+from repro.graphs.scc import is_dag
+
+
+class TestSyntheticGraph:
+    def test_sizes(self):
+        g = synthetic_graph(50, 120, seed=1)
+        assert g.num_nodes() == 50
+        assert g.num_edges() == 120
+
+    def test_deterministic_with_seed(self):
+        a = synthetic_graph(30, 60, seed=9)
+        b = synthetic_graph(30, 60, seed=9)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = synthetic_graph(30, 60, seed=1)
+        b = synthetic_graph(30, 60, seed=2)
+        assert a.edge_set() != b.edge_set()
+
+    def test_attributes_assigned(self):
+        g = synthetic_graph(10, 20, seed=1)
+        for v in g.nodes():
+            assert "label" in g.attrs(v)
+
+    def test_custom_attributes(self):
+        g = synthetic_graph(10, 15, attributes={"color": ["r", "g"]}, seed=1)
+        assert all(g.get_attr(v, "color") in ("r", "g") for v in g.nodes())
+
+    def test_no_self_loops(self):
+        g = synthetic_graph(30, 100, seed=3)
+        assert all(v != w for v, w in g.edges())
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic_graph(3, 100)
+
+    def test_dense_request_filled(self):
+        g = synthetic_graph(5, 20, seed=1)
+        assert g.num_edges() == 20
+
+    def test_empty_graph(self):
+        g = synthetic_graph(0, 0)
+        assert g.num_nodes() == 0
+
+    def test_preferential_skews_degree(self):
+        g = synthetic_graph(200, 800, seed=5, preferential=True)
+        degrees = sorted(
+            (g.out_degree(v) + g.in_degree(v) for v in g.nodes()), reverse=True
+        )
+        # Heavy tail: top node well above the mean degree of 8.
+        assert degrees[0] >= 2 * (2 * 800 / 200)
+
+
+class TestDensification:
+    def test_edge_counts_follow_power(self):
+        graphs = densification_sequence([100, 200], alpha=1.1, seed=1)
+        assert graphs[0].num_edges() == int(round(100**1.1))
+        assert graphs[1].num_edges() == int(round(200**1.1))
+
+
+class TestShapes:
+    def test_chain(self):
+        g = chain(4, label="x")
+        assert set(g.edges()) == {(0, 1), (1, 2), (2, 3)}
+        assert g.get_attr(0, "label") == "x"
+
+    def test_cycle(self):
+        g = cycle_graph(3)
+        assert g.has_edge(2, 0)
+        assert g.num_edges() == 3
+
+    def test_complete(self):
+        g = complete_graph(4)
+        assert g.num_edges() == 12
+
+    def test_star_outward(self):
+        g = star(3)
+        assert g.out_degree(0) == 3
+        assert g.get_attr(1, "label") == "l"
+
+    def test_star_inward(self):
+        g = star(3, outward=False)
+        assert g.in_degree(0) == 3
+
+    def test_random_dag_is_dag(self):
+        g = random_dag(25, 60, seed=2)
+        assert is_dag(g)
+        assert g.num_edges() == 60
+
+    def test_random_dag_too_many_edges(self):
+        with pytest.raises(ValueError):
+            random_dag(4, 100)

@@ -1,0 +1,71 @@
+"""Tests for graph serialization."""
+
+import pytest
+
+from repro.graphs.digraph import DiGraph, GraphError
+from repro.graphs.generators import synthetic_graph
+from repro.graphs.io import (
+    graph_from_dict,
+    graph_to_dict,
+    load_edge_list,
+    load_json,
+    save_edge_list,
+    save_json,
+)
+
+
+class TestJson:
+    def test_round_trip(self, tmp_path):
+        g = synthetic_graph(20, 40, seed=1)
+        path = tmp_path / "g.json"
+        save_json(g, path)
+        assert load_json(path) == g
+
+    def test_dict_round_trip_preserves_attrs(self):
+        g = DiGraph([("a", "b")], attrs={"a": {"x": 1}, "b": {"y": "s"}})
+        assert graph_from_dict(graph_to_dict(g)) == g
+
+    def test_missing_keys_rejected(self):
+        with pytest.raises(GraphError):
+            graph_from_dict({"nodes": []})
+
+    def test_malformed_edge_rejected(self):
+        doc = {"nodes": [{"id": "a"}], "edges": [["a"]]}
+        with pytest.raises(GraphError):
+            graph_from_dict(doc)
+
+    def test_dangling_edge_rejected(self):
+        doc = {"nodes": [{"id": "a"}], "edges": [["a", "ghost"]]}
+        with pytest.raises(GraphError):
+            graph_from_dict(doc)
+
+    def test_empty_graph(self, tmp_path):
+        path = tmp_path / "empty.json"
+        save_json(DiGraph(), path)
+        assert load_json(path).num_nodes() == 0
+
+
+class TestEdgeList:
+    def test_round_trip_structure(self, tmp_path):
+        g = DiGraph([("a", "b"), ("b", "c")])
+        path = tmp_path / "g.txt"
+        save_edge_list(g, path)
+        loaded = load_edge_list(path)
+        assert set(loaded.edges()) == {("a", "b"), ("b", "c")}
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# header\n\na b\n")
+        g = load_edge_list(path)
+        assert set(g.edges()) == {("a", "b")}
+
+    def test_bad_line_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("a b c\n")
+        with pytest.raises(GraphError):
+            load_edge_list(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "g.txt"
+        save_edge_list(DiGraph(), path)
+        assert load_edge_list(path).num_edges() == 0

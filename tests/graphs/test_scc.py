@@ -1,0 +1,159 @@
+"""Tests for SCC computation, condensation and topological ranks."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import chain, cycle_graph, random_dag
+from repro.graphs.scc import (
+    condensation,
+    is_dag,
+    is_nontrivial_scc,
+    strongly_connected_components,
+    topological_order,
+    topological_ranks,
+)
+from repro.graphs.traversal import is_reachable
+from tests.strategies import small_graphs
+
+INF = float("inf")
+
+
+class TestSCC:
+    def test_chain_all_singletons(self):
+        g = chain(4)
+        comps = strongly_connected_components(g)
+        assert sorted(len(c) for c in comps) == [1, 1, 1, 1]
+
+    def test_cycle_single_component(self):
+        g = cycle_graph(5)
+        comps = strongly_connected_components(g)
+        assert len(comps) == 1
+        assert set(comps[0]) == set(range(5))
+
+    def test_two_cycles_bridge(self):
+        g = cycle_graph(3)
+        g.add_edge(10, 11)
+        g.add_edge(11, 10)
+        g.add_edge(0, 10)
+        comps = strongly_connected_components(g)
+        sizes = sorted(len(c) for c in comps)
+        assert sizes == [2, 3]
+
+    def test_tarjan_order_sinks_first(self):
+        # a -> b: b's SCC must appear before a's.
+        g = DiGraph([("a", "b")])
+        comps = strongly_connected_components(g)
+        assert comps[0] == ["b"]
+
+    def test_deep_graph_no_recursion_error(self):
+        g = chain(5000)
+        comps = strongly_connected_components(g)
+        assert len(comps) == 5000
+
+    def test_self_loop_component(self):
+        g = DiGraph([("a", "a")])
+        comps = strongly_connected_components(g)
+        assert comps == [["a"]]
+        assert is_nontrivial_scc(g, comps[0])
+
+    def test_singleton_without_loop_is_trivial(self):
+        g = DiGraph()
+        g.add_node("a")
+        assert not is_nontrivial_scc(g, ["a"])
+
+
+class TestCondensation:
+    def test_condensation_is_dag(self):
+        g = cycle_graph(3)
+        g.add_edge(0, 99)
+        dag, comp_of = condensation(g)
+        assert is_dag(dag)
+        assert comp_of[0] == comp_of[1] == comp_of[2]
+        assert comp_of[99] != comp_of[0]
+
+    def test_condensation_edge_direction(self):
+        g = DiGraph([("a", "b")])
+        dag, comp_of = condensation(g)
+        assert dag.has_edge(comp_of["a"], comp_of["b"])
+
+    def test_no_self_edges_in_condensation(self):
+        g = cycle_graph(4)
+        dag, _ = condensation(g)
+        assert all(v != w for v, w in dag.edges())
+
+
+class TestIsDag:
+    def test_chain_is_dag(self):
+        assert is_dag(chain(5))
+
+    def test_cycle_is_not(self):
+        assert not is_dag(cycle_graph(3))
+
+    def test_self_loop_is_not(self):
+        assert not is_dag(DiGraph([("a", "a")]))
+
+    def test_random_dag_generator(self):
+        assert is_dag(random_dag(20, 40, seed=1))
+
+
+class TestTopologicalOrder:
+    def test_chain_order(self):
+        g = chain(4)
+        assert topological_order(g) == [0, 1, 2, 3]
+
+    def test_cycle_raises(self):
+        with pytest.raises(ValueError):
+            topological_order(cycle_graph(3))
+
+    def test_order_respects_edges(self):
+        g = random_dag(15, 30, seed=2)
+        order = topological_order(g)
+        pos = {v: i for i, v in enumerate(order)}
+        assert all(pos[v] < pos[w] for v, w in g.edges())
+
+
+class TestTopologicalRanks:
+    def test_sink_rank_zero(self):
+        g = chain(3)
+        ranks = topological_ranks(g)
+        assert ranks[2] == 0
+        assert ranks[1] == 1
+        assert ranks[0] == 2
+
+    def test_cycle_rank_infinite(self):
+        g = cycle_graph(3)
+        ranks = topological_ranks(g)
+        assert all(r == INF for r in ranks.values())
+
+    def test_node_reaching_cycle_is_infinite(self):
+        g = cycle_graph(3)
+        g.add_edge("pre", 0)
+        assert topological_ranks(g)["pre"] == INF
+
+    def test_node_after_cycle_is_finite(self):
+        g = cycle_graph(3)
+        g.add_edge(0, "post")
+        ranks = topological_ranks(g)
+        assert ranks["post"] == 0
+        assert ranks[0] == INF
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_graphs())
+def test_components_partition_nodes(g):
+    comps = strongly_connected_components(g)
+    seen = [v for comp in comps for v in comp]
+    assert sorted(seen, key=repr) == sorted(g.nodes(), key=repr)
+    assert len(seen) == len(set(seen))
+
+
+@settings(max_examples=20, deadline=None)
+@given(small_graphs(max_nodes=6))
+def test_scc_mutual_reachability(g):
+    comps = strongly_connected_components(g)
+    for comp in comps:
+        for v in comp:
+            for w in comp:
+                if v != w:
+                    assert is_reachable(g, v, w)

@@ -1,0 +1,160 @@
+"""Tests for BFS traversals and nonempty-path distances."""
+
+from hypothesis import given, settings
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import chain, cycle_graph
+from repro.graphs.traversal import (
+    INF,
+    ancestors_within,
+    bfs_distances,
+    descendants_within,
+    has_path_of_length_at_most,
+    is_reachable,
+    path_distance,
+    reachable_set,
+    shortest_cycle_through,
+)
+from tests.strategies import small_graphs
+
+
+class TestBFS:
+    def test_source_distance_zero(self):
+        g = chain(4)
+        assert bfs_distances(g, 0)[0] == 0
+
+    def test_chain_distances(self):
+        g = chain(5)
+        assert bfs_distances(g, 0) == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_reverse_direction(self):
+        g = chain(4)
+        assert bfs_distances(g, 3, reverse=True) == {3: 0, 2: 1, 1: 2, 0: 3}
+
+    def test_max_depth_truncates(self):
+        g = chain(10)
+        d = bfs_distances(g, 0, max_depth=3)
+        assert max(d.values()) == 3
+        assert len(d) == 4
+
+    def test_unreachable_not_included(self):
+        g = DiGraph([("a", "b")])
+        g.add_node("island")
+        assert "island" not in bfs_distances(g, "a")
+
+
+class TestNonemptyPathSemantics:
+    def test_descendants_exclude_source_without_cycle(self):
+        g = chain(4)
+        d = descendants_within(g, 0, 2)
+        assert d == {1: 1, 2: 2}
+
+    def test_descendants_include_source_on_cycle(self):
+        g = cycle_graph(3)
+        d = descendants_within(g, 0, None)
+        assert d[0] == 3  # the cycle length
+
+    def test_descendants_respect_bound_for_cycle(self):
+        g = cycle_graph(4)
+        assert 0 not in descendants_within(g, 0, 3)
+        assert descendants_within(g, 0, 4)[0] == 4
+
+    def test_ancestors_mirror_descendants(self):
+        g = chain(4)
+        assert ancestors_within(g, 3, 2) == {2: 1, 1: 2}
+
+    def test_self_loop_distance_one(self):
+        g = DiGraph([("a", "a")])
+        assert shortest_cycle_through(g, "a") == 1
+        assert path_distance(g, "a", "a") == 1
+
+    def test_no_cycle_gives_none(self):
+        g = chain(3)
+        assert shortest_cycle_through(g, 1) is None
+        assert path_distance(g, 1, 1) == INF
+
+    def test_two_cycle(self):
+        g = DiGraph([("a", "b"), ("b", "a")])
+        assert shortest_cycle_through(g, "a") == 2
+
+    def test_cycle_bound_respected(self):
+        g = cycle_graph(5)
+        assert shortest_cycle_through(g, 0, max_len=4) is None
+        assert shortest_cycle_through(g, 0, max_len=5) == 5
+
+
+class TestPathQueries:
+    def test_path_distance_basic(self):
+        g = chain(4)
+        assert path_distance(g, 0, 3) == 3
+        assert path_distance(g, 3, 0) == INF
+
+    def test_path_distance_bounded(self):
+        g = chain(6)
+        assert path_distance(g, 0, 5, k=3) == INF
+        assert path_distance(g, 0, 3, k=3) == 3
+
+    def test_is_reachable(self):
+        g = chain(3)
+        assert is_reachable(g, 0, 2)
+        assert not is_reachable(g, 2, 0)
+        assert not is_reachable(g, 0, 0)  # no cycle: no nonempty path
+
+    def test_has_path_of_length_at_most_star(self):
+        g = chain(3)
+        assert has_path_of_length_at_most(g, 0, 2, None)
+        assert not has_path_of_length_at_most(g, 2, 0, None)
+
+    def test_has_path_of_length_at_most_bounded(self):
+        g = chain(5)
+        assert has_path_of_length_at_most(g, 0, 2, 2)
+        assert not has_path_of_length_at_most(g, 0, 3, 2)
+
+    def test_reachable_set_forward(self):
+        g = chain(4)
+        assert reachable_set(g, [1]) == {1, 2, 3}
+
+    def test_reachable_set_backward(self):
+        g = chain(4)
+        assert reachable_set(g, [2], reverse=True) == {0, 1, 2}
+
+    def test_reachable_set_multi_source(self):
+        g = DiGraph([("a", "b"), ("c", "d")])
+        assert reachable_set(g, ["a", "c"]) == {"a", "b", "c", "d"}
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_graphs())
+def test_descendants_within_agrees_with_path_distance(g):
+    for v in g.nodes():
+        ball = descendants_within(g, v, 2)
+        for w in g.nodes():
+            d = path_distance(g, v, w, k=2)
+            if d <= 2:
+                assert ball.get(w) == d
+            else:
+                assert w not in ball
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_graphs())
+def test_ancestors_is_reverse_of_descendants(g):
+    for v in g.nodes():
+        fwd = descendants_within(g, v, 3)
+        for w, d in fwd.items():
+            back = ancestors_within(g, w, 3)
+            assert back.get(v) is not None and back[v] <= 3
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_graphs())
+def test_triangle_inequality(g):
+    nodes = list(g.nodes())
+    for a in nodes[:4]:
+        for b in nodes[:4]:
+            for c in nodes[:4]:
+                dab = path_distance(g, a, b)
+                dbc = path_distance(g, b, c)
+                dac = path_distance(g, a, c)
+                if dab != INF and dbc != INF:
+                    assert dac <= dab + dbc

@@ -1,0 +1,73 @@
+"""Tests for the 2-hop labelling: exactness against BFS."""
+
+from hypothesis import given, settings
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import chain, cycle_graph, synthetic_graph
+from repro.graphs.traversal import INF, bfs_distances
+from repro.graphs.twohop import TwoHopLabels
+from tests.strategies import small_graphs
+
+
+def plain_distance(g, v, w):
+    if v == w:
+        return 0
+    return bfs_distances(g, v).get(w, INF)
+
+
+class TestTwoHop:
+    def test_chain_exact(self):
+        g = chain(6)
+        labels = TwoHopLabels(g)
+        assert labels.dist(0, 5) == 5
+        assert labels.dist(5, 0) == INF
+        assert labels.dist(2, 2) == 0
+
+    def test_cycle_exact(self):
+        g = cycle_graph(5)
+        labels = TwoHopLabels(g)
+        assert labels.dist(0, 4) == 4
+        assert labels.dist(4, 0) == 1
+
+    def test_disconnected(self):
+        g = DiGraph([("a", "b")])
+        g.add_node("x")
+        labels = TwoHopLabels(g)
+        assert labels.dist("a", "x") == INF
+
+    def test_unknown_node_inf(self):
+        g = chain(2)
+        labels = TwoHopLabels(g)
+        assert labels.dist("ghost", 0) == INF
+
+    def test_synthetic_exact(self):
+        g = synthetic_graph(40, 120, seed=6)
+        labels = TwoHopLabels(g)
+        for v in list(g.nodes())[:10]:
+            truth = bfs_distances(g, v)
+            for w in g.nodes():
+                assert labels.dist(v, w) == truth.get(w, INF)
+
+    def test_pruning_keeps_labels_smaller_than_matrix(self):
+        g = synthetic_graph(60, 240, seed=7)
+        labels = TwoHopLabels(g)
+        # Full matrix would store ~|V|^2 finite entries on this dense-ish
+        # graph; the pruned 2-hop cover must be well below that.
+        assert labels.size_entries() < 60 * 60
+
+    def test_size_entries_counts_both_sides(self):
+        g = chain(3)
+        labels = TwoHopLabels(g)
+        assert labels.size_entries() == sum(
+            len(x) for x in labels.label_in.values()
+        ) + sum(len(x) for x in labels.label_out.values())
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_graphs())
+def test_twohop_exact_on_random_graphs(g):
+    labels = TwoHopLabels(g)
+    for v in g.nodes():
+        truth = bfs_distances(g, v)
+        for w in g.nodes():
+            assert labels.dist(v, w) == truth.get(w, INF)

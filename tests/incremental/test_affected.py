@@ -1,0 +1,102 @@
+"""Tests for AFF accounting and the empirical semi-boundedness probe."""
+
+from repro.graphs.digraph import DiGraph
+from repro.incremental.affected import (
+    AffReport,
+    measure_incbsim,
+    measure_incsim,
+    semi_boundedness_probe,
+)
+from repro.incremental.types import delete, insert
+from repro.patterns.pattern import Pattern
+
+
+def community_graph(num_communities: int) -> DiGraph:
+    """Disjoint A->B->C communities; updates to one leave the rest alone."""
+    g = DiGraph()
+    for i in range(num_communities):
+        a, b, c = f"a{i}", f"b{i}", f"c{i}"
+        g.add_node(a, label="A")
+        g.add_node(b, label="B")
+        g.add_node(c, label="C")
+        g.add_edge(a, b)
+        g.add_edge(b, c)
+    return g
+
+
+def abc_pattern() -> Pattern:
+    return Pattern.normal_from_labels(
+        {"x": "A", "y": "B", "z": "C"}, [("x", "y"), ("y", "z")]
+    )
+
+
+class TestAffReport:
+    def test_changed_and_aff(self):
+        r = AffReport(
+            graph_nodes=10,
+            graph_edges=20,
+            pattern_size=5,
+            num_updates=3,
+            delta_m=2,
+            promotions=1,
+            demotions=1,
+            counter_updates=4,
+        )
+        assert r.changed == 5
+        assert r.aff == 6
+        assert r.work_per_graph_edge == 6 / 20
+
+    def test_measure_incsim_counts_delta_m(self):
+        g = community_graph(3)
+        report = measure_incsim(abc_pattern(), g, [delete("b0", "c0")])
+        # Community 0 collapses: a0, b0 leave the match (c0 stays, being a
+        # leaf pattern node's match).
+        assert report.delta_m == 2
+        assert report.demotions == 2
+        assert report.num_updates == 1
+
+    def test_measure_incbsim(self):
+        g = community_graph(2)
+        p = Pattern.from_spec(
+            {"x": "label = A", "z": "label = C"}, [("x", "z", 2)]
+        )
+        report = measure_incbsim(p, g, [delete("b0", "c0")])
+        assert report.delta_m >= 1
+
+    def test_noop_batch_zero_aff(self):
+        g = community_graph(2)
+        report = measure_incsim(
+            abc_pattern(), g, [insert("a0", "b0")]  # already present
+        )
+        assert report.aff == 0
+        assert report.delta_m == 0
+
+
+class TestSemiBoundedness:
+    def test_aff_flat_while_graph_grows(self):
+        """The heart of Theorem 5.1: with a fixed local update batch, the
+        incremental work does not grow with |G|."""
+        updates = [delete("b0", "c0"), insert("b0", "c0")]
+        reports = semi_boundedness_probe(
+            community_graph,
+            abc_pattern(),
+            lambda g: updates,
+            sizes=[4, 16, 64],
+        )
+        affs = [r.aff for r in reports]
+        edges = [r.graph_edges for r in reports]
+        assert edges[2] > 10 * edges[0]
+        assert max(affs) <= max(4 * affs[0], 8)  # flat, not growing with |G|
+
+    def test_bounded_variant_also_flat(self):
+        p = Pattern.from_spec(
+            {"x": "label = A", "z": "label = C"}, [("x", "z", 2)]
+        )
+        reports = semi_boundedness_probe(
+            community_graph,
+            p,
+            lambda g: [delete("b0", "c0"), insert("b0", "c0")],
+            sizes=[4, 32],
+            bounded=True,
+        )
+        assert reports[1].aff <= max(4 * reports[0].aff, 8)

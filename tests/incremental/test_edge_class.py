@@ -1,0 +1,69 @@
+"""Tests for cc/cs/ss edge and pair classification (paper Tables II/III)."""
+
+from repro.incremental.edge_class import (
+    classify_edge,
+    classify_pair,
+    is_relevant_deletion,
+    is_relevant_insertion,
+)
+from repro.patterns.pattern import Pattern
+
+
+def fixture():
+    pattern = Pattern.normal_from_labels({"u": "A", "w": "B"}, [("u", "w")])
+    match = {"u": {"a1"}, "w": {"b1"}}
+    candt = {"u": {"a2"}, "w": {"b2"}}
+    return pattern, match, candt
+
+
+class TestClassifyPair:
+    def test_ss(self):
+        _, match, candt = fixture()
+        assert classify_pair("a1", "b1", "u", "w", match, candt) == "ss"
+
+    def test_cs(self):
+        _, match, candt = fixture()
+        assert classify_pair("a2", "b1", "u", "w", match, candt) == "cs"
+
+    def test_cc(self):
+        _, match, candt = fixture()
+        assert classify_pair("a2", "b2", "u", "w", match, candt) == "cc"
+
+    def test_sc(self):
+        _, match, candt = fixture()
+        assert classify_pair("a1", "b2", "u", "w", match, candt) == "sc"
+
+    def test_none(self):
+        _, match, candt = fixture()
+        assert classify_pair("zzz", "b1", "u", "w", match, candt) == "none"
+
+
+class TestClassifyEdge:
+    def test_collects_per_pattern_edge(self):
+        pattern, match, candt = fixture()
+        kinds = classify_edge(("a1", "b1"), pattern, match, candt)
+        assert kinds == [(("u", "w"), "ss")]
+
+    def test_irrelevant_edge_empty(self):
+        pattern, match, candt = fixture()
+        assert classify_edge(("x", "y"), pattern, match, candt) == []
+
+
+class TestRelevance:
+    def test_deletion_relevant_only_for_ss(self):
+        pattern, match, candt = fixture()
+        assert is_relevant_deletion(("a1", "b1"), pattern, match, candt)
+        assert not is_relevant_deletion(("a2", "b1"), pattern, match, candt)
+        assert not is_relevant_deletion(("a1", "b2"), pattern, match, candt)
+
+    def test_insertion_relevant_for_cs(self):
+        pattern, match, candt = fixture()
+        assert is_relevant_insertion(("a2", "b1"), pattern, match, candt)
+        assert not is_relevant_insertion(("a1", "b1"), pattern, match, candt)
+
+    def test_insertion_cc_needs_scc_edge(self):
+        pattern, match, candt = fixture()
+        assert not is_relevant_insertion(("a2", "b2"), pattern, match, candt)
+        assert is_relevant_insertion(
+            ("a2", "b2"), pattern, match, candt, scc_edges=[("u", "w")]
+        )

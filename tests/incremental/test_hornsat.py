@@ -1,0 +1,123 @@
+"""Tests for the HORNSAT incremental simulation baseline."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graphs.digraph import DiGraph
+from repro.incremental.hornsat import HornSimulation
+from repro.incremental.types import delete, insert
+from repro.matching.relation import as_pairs
+from repro.matching.simulation import maximum_simulation
+from repro.patterns.pattern import Pattern, PatternError
+from repro.workloads.updates import mixed_updates
+from tests.strategies import small_graphs, small_patterns
+
+
+def assert_matches_batch(h: HornSimulation) -> None:
+    assert as_pairs(h.raw_match_sets()) == as_pairs(
+        maximum_simulation(h.pattern, h.graph)
+    )
+
+
+def ab_pattern():
+    return Pattern.normal_from_labels({"x": "A", "y": "B"}, [("x", "y")])
+
+
+class TestConstruction:
+    def test_initial_equals_batch(self, friendfeed_graph):
+        p = Pattern.normal_from_labels(
+            {"c": "CTO", "d": "DB", "b": "Bio"},
+            [("c", "d"), ("d", "b")],
+            attribute="job",
+        )
+        assert_matches_batch(HornSimulation(p, friendfeed_graph))
+
+    def test_b_pattern_rejected(self):
+        p = Pattern.from_spec({"x": None, "y": None}, [("x", "y", 2)])
+        with pytest.raises(PatternError):
+            HornSimulation(p, DiGraph())
+
+    def test_instance_size_scales_with_clauses(self):
+        g = DiGraph([("a", "b"), ("a", "c")])
+        for n in g.nodes():
+            g.add_node(n, label="A")
+        h = HornSimulation(ab_pattern(), g)
+        assert h.instance_size() > 0
+
+    def test_matches_totalized(self):
+        g = DiGraph()
+        g.add_node("a", label="A")
+        h = HornSimulation(ab_pattern(), g)
+        assert h.matches() == {"x": set(), "y": set()}
+
+
+class TestDeletion:
+    def test_delete_propagates_failure(self):
+        g = DiGraph()
+        g.add_node("a", label="A")
+        g.add_node("b", label="B")
+        g.add_edge("a", "b")
+        h = HornSimulation(ab_pattern(), g)
+        assert h.raw_match_sets()["x"] == {"a"}
+        h.delete_edge("a", "b")
+        assert h.raw_match_sets()["x"] == set()
+        assert_matches_batch(h)
+
+    def test_delete_absent_edge_noop(self):
+        g = DiGraph([("a", "b")])
+        g.add_node("a", label="A")
+        g.add_node("b", label="B")
+        h = HornSimulation(ab_pattern(), g)
+        assert not h.delete_edge("b", "a")
+        assert_matches_batch(h)
+
+
+class TestInsertion:
+    def test_insert_rederives_match(self):
+        g = DiGraph()
+        g.add_node("a", label="A")
+        g.add_node("b", label="B")
+        h = HornSimulation(ab_pattern(), g)
+        h.insert_edge("a", "b")
+        assert h.raw_match_sets()["x"] == {"a"}
+        assert_matches_batch(h)
+
+    def test_insert_with_new_nodes(self):
+        g = DiGraph()
+        g.add_node("a", label="A")
+        h = HornSimulation(ab_pattern(), g)
+        h.graph.add_node("nb", label="B")
+        h._register_node("nb")
+        h.insert_edge("a", "nb")
+        assert h.raw_match_sets()["x"] == {"a"}
+
+    def test_dred_does_not_over_rederive(self):
+        """Inserting an edge into a failing region must not create false
+        matches."""
+        g = DiGraph()
+        g.add_node("a", label="A")
+        g.add_node("z", label="Z")
+        h = HornSimulation(ab_pattern(), g)
+        h.insert_edge("a", "z")  # z is not a B: a still fails
+        assert h.raw_match_sets()["x"] == set()
+        assert_matches_batch(h)
+
+
+@settings(max_examples=35, deadline=None)
+@given(small_graphs(), small_patterns(max_bound=1, allow_star=False))
+def test_random_unit_updates_match_batch(g, p):
+    h = HornSimulation(p, g.copy())
+    for u in mixed_updates(g, 4, 4, seed=71):
+        if u.op == "insert":
+            h.insert_edge(u.source, u.target)
+        else:
+            h.delete_edge(u.source, u.target)
+        assert_matches_batch(h)
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_graphs(), small_patterns(max_bound=1, allow_star=False))
+def test_apply_batch_matches_batch(g, p):
+    h = HornSimulation(p, g.copy())
+    h.apply_batch(mixed_updates(g, 5, 5, seed=73))
+    assert_matches_batch(h)

@@ -1,0 +1,224 @@
+"""Tests for incremental bounded simulation (IncBMatch, paper Section 6)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graphs.digraph import DiGraph
+from repro.incremental.incbsim import BoundedSimulationIndex
+from repro.incremental.types import delete, insert
+from repro.matching.bounded import bounded_match_naive
+from repro.matching.relation import as_pairs, totalize
+from repro.patterns.pattern import Pattern
+from repro.workloads.updates import mixed_updates
+from tests.strategies import small_graphs, small_patterns
+
+MODES = ["bfs", "landmark", "matrix"]
+
+
+def assert_matches_batch(idx: BoundedSimulationIndex) -> None:
+    batch = bounded_match_naive(idx.pattern, idx.graph)
+    assert as_pairs(idx.raw_match_sets()) == as_pairs(batch)
+    idx.check_invariants()
+
+
+class TestConstruction:
+    def test_initial_match(self, friendfeed_pattern, friendfeed_graph):
+        idx = BoundedSimulationIndex(friendfeed_pattern, friendfeed_graph)
+        match = idx.matches()
+        assert match["CTO"] == {"Ann"}
+        assert match["DB"] == {"Pat", "Dan"}
+        assert_matches_batch(idx)
+
+    def test_unknown_mode_rejected(self, friendfeed_pattern, friendfeed_graph):
+        with pytest.raises(ValueError):
+            BoundedSimulationIndex(
+                friendfeed_pattern, friendfeed_graph, distance_mode="psychic"
+            )
+
+    def test_pair_graph_mirrors_distances(self, friendfeed_pattern, friendfeed_graph):
+        idx = BoundedSimulationIndex(friendfeed_pattern, friendfeed_graph)
+        # CTO ->(2) DB: Ann reaches Pat (1 hop) and Dan (2 hops).
+        assert idx.has_pair(("CTO", "DB"), "Ann", "Pat")
+        assert idx.has_pair(("CTO", "DB"), "Ann", "Dan")
+        # Don has no outgoing edges yet: no pairs.
+        assert not idx.has_pair(("CTO", "DB"), "Don", "Pat")
+
+
+class TestPaperScenario:
+    """Example 4.1 / Fig. 5: inserting e1-e5 brings in Don and Tom."""
+
+    def test_insert_e2_adds_don_and_keeps_rest(
+        self, friendfeed_pattern, friendfeed_graph
+    ):
+        idx = BoundedSimulationIndex(friendfeed_pattern, friendfeed_graph)
+        idx.insert_edge("Don", "Pat")   # e2
+        idx.insert_edge("Pat", "Don")   # e1 (gives Don's DB->CTO * path)
+        idx.insert_edge("Don", "Tom")   # e3
+        match = idx.matches()
+        assert "Don" in match["CTO"]
+        assert "Tom" in match["Bio"]
+        assert_matches_batch(idx)
+
+    def test_result_graph_after_updates(self, friendfeed_pattern, friendfeed_graph):
+        idx = BoundedSimulationIndex(friendfeed_pattern, friendfeed_graph)
+        for e in [("Don", "Pat"), ("Pat", "Don"), ("Don", "Tom"),
+                  ("Dan", "Don"), ("Don", "Dan")]:
+            idx.insert_edge(*e)
+        gr = idx.result_graph()
+        assert gr.has_node("Don")
+        assert gr.has_edge("Don", "Tom")
+        assert gr.has_edge("Don", "Pat")
+
+    def test_deletion_reverts(self, friendfeed_pattern, friendfeed_graph):
+        idx = BoundedSimulationIndex(friendfeed_pattern, friendfeed_graph)
+        idx.insert_edge("Don", "Pat")
+        idx.insert_edge("Pat", "Don")
+        idx.insert_edge("Don", "Tom")
+        assert "Don" in idx.matches()["CTO"]
+        idx.delete_edge("Don", "Tom")
+        # Don loses the 1-hop biologist.
+        assert "Don" not in idx.matches()["CTO"]
+        assert_matches_batch(idx)
+
+
+class TestStarBounds:
+    def test_star_edge_tracks_reachability(self):
+        g = DiGraph()
+        for n, lab in (("a", "A"), ("m", "M"), ("z", "Z")):
+            g.add_node(n, label=lab)
+        g.add_edge("a", "m")
+        p = Pattern.from_spec(
+            {"x": "label = A", "y": "label = Z"}, [("x", "y", "*")]
+        )
+        idx = BoundedSimulationIndex(p, g)
+        assert idx.matches()["x"] == set()
+        idx.insert_edge("m", "z")
+        assert idx.raw_match_sets()["x"] == {"a"}
+        idx.delete_edge("a", "m")
+        assert idx.matches()["x"] == set()
+        assert_matches_batch(idx)
+
+    def test_long_star_path(self):
+        g = DiGraph()
+        g.add_node(0, label="A")
+        for i in range(1, 8):
+            g.add_node(i, label="mid")
+            g.add_edge(i - 1, i)
+        g.add_node("end", label="Z")
+        p = Pattern.from_spec(
+            {"x": "label = A", "y": "label = Z"}, [("x", "y", "*")]
+        )
+        idx = BoundedSimulationIndex(p, g)
+        idx.insert_edge(7, "end")
+        assert idx.raw_match_sets()["x"] == {0}
+        idx.delete_edge(3, 4)  # break the middle of the path
+        assert idx.matches()["x"] == set()
+        assert_matches_batch(idx)
+
+
+@pytest.mark.parametrize("mode", MODES)
+class TestModes:
+    def test_unit_updates(self, friendfeed_pattern, friendfeed_graph, mode):
+        idx = BoundedSimulationIndex(
+            friendfeed_pattern, friendfeed_graph, distance_mode=mode
+        )
+        idx.insert_edge("Don", "Pat")
+        idx.insert_edge("Pat", "Don")
+        idx.delete_edge("Pat", "Bill")
+        assert_matches_batch(idx)
+
+    def test_batch_updates(self, friendfeed_pattern, friendfeed_graph, mode):
+        idx = BoundedSimulationIndex(
+            friendfeed_pattern, friendfeed_graph, distance_mode=mode
+        )
+        idx.apply_batch([
+            insert("Don", "Pat"),
+            insert("Pat", "Don"),
+            insert("Don", "Tom"),
+            delete("Dan", "Mat"),
+            insert("Dan", "Tom"),
+        ])
+        assert_matches_batch(idx)
+
+    def test_landmark_index_exposed(self, friendfeed_pattern, friendfeed_graph, mode):
+        idx = BoundedSimulationIndex(
+            friendfeed_pattern, friendfeed_graph, distance_mode=mode
+        )
+        lm = idx.landmark_index()
+        assert (lm is not None) == (mode == "landmark")
+
+
+class TestBatchSemantics:
+    def test_cancellation(self, friendfeed_pattern, friendfeed_graph):
+        idx = BoundedSimulationIndex(friendfeed_pattern, friendfeed_graph)
+        before = as_pairs(idx.raw_match_sets())
+        idx.apply_batch([insert("Don", "Pat"), delete("Don", "Pat")])
+        assert as_pairs(idx.raw_match_sets()) == before
+        assert_matches_batch(idx)
+
+    def test_delete_then_restore_via_insert(self, friendfeed_pattern, friendfeed_graph):
+        """A pair broken by a deletion but rescued by an insertion in the
+        same batch must survive."""
+        idx = BoundedSimulationIndex(friendfeed_pattern, friendfeed_graph)
+        assert "Pat" in idx.matches()["DB"]
+        idx.apply_batch([
+            delete("Pat", "Bill"),   # Pat loses Bio within 1 hop ...
+            insert("Pat", "Mat"),    # ... but gains another biologist
+        ])
+        assert "Pat" in idx.matches()["DB"]
+        assert_matches_batch(idx)
+
+    def test_naive_unit_loop_equals_batch(self, friendfeed_pattern, friendfeed_graph):
+        updates = [
+            insert("Don", "Pat"),
+            insert("Pat", "Don"),
+            delete("Ann", "Bill"),
+            insert("Don", "Tom"),
+        ]
+        a = BoundedSimulationIndex(friendfeed_pattern, friendfeed_graph.copy())
+        b = BoundedSimulationIndex(friendfeed_pattern, friendfeed_graph.copy())
+        a.apply_batch(updates)
+        b.apply_batch_naive(updates)
+        assert as_pairs(a.raw_match_sets()) == as_pairs(b.raw_match_sets())
+
+    def test_new_nodes_in_batch(self, friendfeed_pattern, friendfeed_graph):
+        idx = BoundedSimulationIndex(friendfeed_pattern, friendfeed_graph)
+        idx.graph.add_node("NewBio", job="Bio")
+        idx.add_node("NewBio", job="Bio")
+        idx.apply_batch([insert("Ann", "NewBio")])
+        assert "NewBio" in idx.raw_match_sets()["Bio"]
+        assert_matches_batch(idx)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_graphs(), small_patterns())
+def test_random_unit_updates_match_batch(g, p):
+    idx = BoundedSimulationIndex(p, g.copy())
+    for u in mixed_updates(g, 3, 3, seed=41):
+        if u.op == "insert":
+            idx.insert_edge(u.source, u.target)
+        else:
+            idx.delete_edge(u.source, u.target)
+        assert_matches_batch(idx)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_graphs(), small_patterns())
+def test_random_batches_match_batch(g, p):
+    idx = BoundedSimulationIndex(p, g.copy())
+    for seed in (51, 52):
+        idx.apply_batch(mixed_updates(idx.graph, 4, 4, seed=seed))
+        assert_matches_batch(idx)
+
+
+@settings(max_examples=15, deadline=None)
+@given(small_graphs(max_nodes=6), small_patterns(max_nodes=3))
+def test_all_modes_agree(g, p):
+    batches = [mixed_updates(g, 3, 3, seed=61)]
+    results = []
+    for mode in MODES:
+        idx = BoundedSimulationIndex(p, g.copy(), distance_mode=mode)
+        for batch in batches:
+            idx.apply_batch(batch)
+        results.append(as_pairs(idx.raw_match_sets()))
+    assert results[0] == results[1] == results[2]

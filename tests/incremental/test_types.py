@@ -1,0 +1,104 @@
+"""Tests for the update model and net-update cancellation."""
+
+import pytest
+
+from repro.graphs.digraph import DiGraph
+from repro.incremental.types import (
+    Update,
+    apply_batch,
+    apply_update,
+    delete,
+    insert,
+    net_updates,
+)
+
+
+class TestUpdate:
+    def test_constructors(self):
+        assert insert("a", "b") == Update("insert", "a", "b")
+        assert delete("a", "b") == Update("delete", "a", "b")
+
+    def test_edge_property(self):
+        assert insert("a", "b").edge == ("a", "b")
+
+    def test_inverse(self):
+        assert insert("a", "b").inverse() == delete("a", "b")
+        assert delete("a", "b").inverse() == insert("a", "b")
+
+    def test_bad_op_rejected(self):
+        with pytest.raises(ValueError):
+            apply_update(DiGraph(), Update("mutate", "a", "b"))
+
+
+class TestApply:
+    def test_apply_insert(self):
+        g = DiGraph()
+        assert apply_update(g, insert("a", "b"))
+        assert g.has_edge("a", "b")
+
+    def test_apply_duplicate_insert_false(self):
+        g = DiGraph([("a", "b")])
+        assert not apply_update(g, insert("a", "b"))
+
+    def test_apply_delete(self):
+        g = DiGraph([("a", "b")])
+        assert apply_update(g, delete("a", "b"))
+        assert not g.has_edge("a", "b")
+
+    def test_apply_batch_counts_effective(self):
+        g = DiGraph([("a", "b")])
+        n = apply_batch(g, [insert("a", "b"), insert("b", "c"), delete("a", "b")])
+        assert n == 2
+        assert set(g.edges()) == {("b", "c")}
+
+
+class TestNetUpdates:
+    def test_insert_then_delete_cancels(self):
+        g = DiGraph()
+        assert net_updates(g, [insert("a", "b"), delete("a", "b")]) == []
+
+    def test_delete_then_insert_cancels_when_present(self):
+        g = DiGraph([("a", "b")])
+        assert net_updates(g, [delete("a", "b"), insert("a", "b")]) == []
+
+    def test_last_write_wins(self):
+        g = DiGraph()
+        net = net_updates(
+            g, [insert("a", "b"), delete("a", "b"), insert("a", "b")]
+        )
+        assert net == [insert("a", "b")]
+
+    def test_redundant_insert_dropped(self):
+        g = DiGraph([("a", "b")])
+        assert net_updates(g, [insert("a", "b")]) == []
+
+    def test_redundant_delete_dropped(self):
+        g = DiGraph()
+        g.add_node("a")
+        g.add_node("b")
+        assert net_updates(g, [delete("a", "b")]) == []
+
+    def test_order_preserved_for_distinct_edges(self):
+        g = DiGraph()
+        net = net_updates(g, [insert("a", "b"), insert("c", "d")])
+        assert net == [insert("a", "b"), insert("c", "d")]
+
+    def test_net_reaches_same_final_graph(self):
+        g = DiGraph([("a", "b"), ("c", "d")])
+        updates = [
+            delete("a", "b"),
+            insert("a", "b"),
+            insert("x", "y"),
+            delete("c", "d"),
+            insert("c", "d"),
+            delete("c", "d"),
+        ]
+        sequential = g.copy()
+        apply_batch(sequential, updates)
+        netted = g.copy()
+        apply_batch(netted, net_updates(g, updates))
+        assert sequential.edge_set() == netted.edge_set()
+
+    def test_validates_ops(self):
+        with pytest.raises(ValueError):
+            net_updates(DiGraph(), [Update("frobnicate", "a", "b")])

@@ -1,0 +1,84 @@
+"""Tests for landmark (vertex cover) selection."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import complete_graph, cycle_graph, star, synthetic_graph
+from repro.landmarks.selection import (
+    greedy_degree_cover,
+    matching_vertex_cover,
+    select_landmarks,
+    stability_weighted_cover,
+)
+from tests.strategies import small_graphs
+
+
+def is_vertex_cover(g: DiGraph, cover) -> bool:
+    return all(v in cover or w in cover for v, w in g.edges())
+
+
+COVERS = [matching_vertex_cover, greedy_degree_cover, stability_weighted_cover]
+
+
+@pytest.mark.parametrize("cover_fn", COVERS)
+class TestCovers:
+    def test_covers_cycle(self, cover_fn):
+        g = cycle_graph(6)
+        assert is_vertex_cover(g, cover_fn(g))
+
+    def test_covers_complete(self, cover_fn):
+        g = complete_graph(5)
+        assert is_vertex_cover(g, cover_fn(g))
+
+    def test_self_loop_forces_node(self, cover_fn):
+        g = DiGraph([("a", "a"), ("a", "b")])
+        assert "a" in cover_fn(g)
+
+    def test_empty_graph(self, cover_fn):
+        assert cover_fn(DiGraph()) == set()
+
+    def test_synthetic(self, cover_fn):
+        g = synthetic_graph(50, 150, seed=2)
+        assert is_vertex_cover(g, cover_fn(g))
+
+
+class TestQuality:
+    def test_degree_cover_small_on_star(self):
+        g = star(10)
+        cover = greedy_degree_cover(g)
+        assert cover == {0}  # the hub alone covers everything
+
+    def test_matching_cover_at_most_double_optimal_on_star(self):
+        g = star(10)
+        cover = matching_vertex_cover(g)
+        assert len(cover) <= 2
+
+    def test_stability_prefers_stable_endpoint(self):
+        g = DiGraph([("churner", "stable")])
+        freq = {"churner": 10.0, "stable": 0.0}
+        cover = stability_weighted_cover(g, update_frequency=freq.get)
+        assert cover == {"stable"}
+
+
+class TestEntryPoint:
+    def test_strategies(self):
+        g = cycle_graph(4)
+        for strategy in ("matching", "degree", "stability"):
+            assert is_vertex_cover(g, set(select_landmarks(g, strategy)))
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            select_landmarks(DiGraph(), "psychic")
+
+    def test_result_is_sorted_list(self):
+        g = cycle_graph(4)
+        lms = select_landmarks(g)
+        assert lms == sorted(lms, key=repr)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_graphs())
+def test_all_strategies_yield_valid_covers(g):
+    for fn in COVERS:
+        assert is_vertex_cover(g, fn(g))

@@ -1,0 +1,143 @@
+"""Tests for VF2-style subgraph isomorphism."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import complete_graph, cycle_graph
+from repro.matching.isomorphism import (
+    brute_force_embeddings,
+    has_isomorphic_match,
+    isomorphic_embeddings,
+    iter_embeddings,
+)
+from repro.patterns.pattern import Pattern, PatternError
+from tests.strategies import small_graphs, small_patterns
+
+
+def emb_set(embeddings):
+    return {frozenset(e.items()) for e in embeddings}
+
+
+class TestBasics:
+    def test_edge_pattern(self, chain_graph):
+        p = Pattern.normal_from_labels({"u": "A", "w": "B"}, [("u", "w")])
+        embs = isomorphic_embeddings(p, chain_graph)
+        assert embs == [{"u": "a", "w": "b"}]
+
+    def test_no_match(self, chain_graph):
+        p = Pattern.normal_from_labels({"u": "B", "w": "A"}, [("u", "w")])
+        assert isomorphic_embeddings(p, chain_graph) == []
+        assert not has_isomorphic_match(p, chain_graph)
+
+    def test_triangle_pattern_on_triangle(self, triangle_graph):
+        p = Pattern.normal_from_labels(
+            {"x": "A", "y": "B", "z": "C"},
+            [("x", "y"), ("y", "z"), ("z", "x")],
+        )
+        embs = isomorphic_embeddings(p, triangle_graph)
+        assert embs == [{"x": "a", "y": "b", "z": "c"}]
+
+    def test_injectivity_required(self):
+        # One data node cannot host two pattern nodes.
+        g = DiGraph()
+        g.add_node("only", label="A")
+        g.add_edge("only", "only")
+        p = Pattern.normal_from_labels({"u": "A", "w": "A"}, [("u", "w")])
+        assert isomorphic_embeddings(p, g) == []
+
+    def test_non_induced_semantics(self):
+        # Extra data edges do not disqualify an embedding.
+        g = DiGraph()
+        g.add_node(0, label="A")
+        g.add_node(1, label="B")
+        g.add_edge(0, 1)
+        g.add_edge(1, 0)  # extra edge
+        p = Pattern.normal_from_labels({"u": "A", "w": "B"}, [("u", "w")])
+        assert len(isomorphic_embeddings(p, g)) == 1
+
+    def test_automorphisms_counted(self):
+        g = cycle_graph(3, label="A")
+        p = Pattern.normal_from_labels(
+            {"x": "A", "y": "A", "z": "A"},
+            [("x", "y"), ("y", "z"), ("z", "x")],
+        )
+        # Three rotations of the cycle.
+        assert len(isomorphic_embeddings(p, g)) == 3
+
+    def test_max_count_caps(self):
+        g = complete_graph(5, label="A")
+        p = Pattern.normal_from_labels({"u": "A", "w": "A"}, [("u", "w")])
+        embs = isomorphic_embeddings(p, g, max_count=7)
+        assert len(embs) == 7
+
+    def test_b_pattern_rejected(self):
+        p = Pattern.from_spec({"u": None, "w": None}, [("u", "w", 2)])
+        with pytest.raises(PatternError):
+            isomorphic_embeddings(p, DiGraph())
+
+    def test_self_loop_pattern_edge(self):
+        g = DiGraph()
+        g.add_node("x", label="A")
+        g.add_edge("x", "x")
+        p = Pattern.normal_from_labels({"u": "A"}, [("u", "u")])
+        assert isomorphic_embeddings(p, g) == [{"u": "x"}]
+
+
+class TestPartialSeeds:
+    def test_seed_restricts_search(self, triangle_graph):
+        p = Pattern.normal_from_labels(
+            {"x": "A", "y": "B"}, [("x", "y")]
+        )
+        embs = isomorphic_embeddings(p, triangle_graph, partial={"x": "a"})
+        assert embs == [{"x": "a", "y": "b"}]
+
+    def test_seed_violating_predicate_yields_nothing(self, triangle_graph):
+        p = Pattern.normal_from_labels({"x": "A", "y": "B"}, [("x", "y")])
+        assert isomorphic_embeddings(p, triangle_graph, partial={"x": "b"}) == []
+
+    def test_seed_violating_pattern_edge_yields_nothing(self, triangle_graph):
+        p = Pattern.normal_from_labels(
+            {"x": "A", "y": "B", "z": "C"},
+            [("x", "y"), ("y", "z"), ("z", "x")],
+        )
+        # (a, c) is not an edge x->y can map to: a->b is the only A->B edge.
+        assert (
+            isomorphic_embeddings(
+                p, triangle_graph, partial={"x": "c", "y": "a"}
+            )
+            == []
+        )
+
+    def test_non_injective_seed_yields_nothing(self, triangle_graph):
+        p = Pattern.normal_from_labels({"x": "A", "y": "A"}, [])
+        assert (
+            isomorphic_embeddings(p, triangle_graph, partial={"x": "a", "y": "a"})
+            == []
+        )
+
+    def test_full_seed_checked(self, triangle_graph):
+        p = Pattern.normal_from_labels({"x": "A", "y": "B"}, [("x", "y")])
+        embs = list(
+            iter_embeddings(p, triangle_graph, partial={"x": "a", "y": "b"})
+        )
+        assert embs == [{"x": "a", "y": "b"}]
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_graphs(max_nodes=6), small_patterns(max_nodes=3, max_bound=1, allow_star=False))
+def test_vf2_equals_brute_force(g, p):
+    assert emb_set(isomorphic_embeddings(p, g)) == emb_set(
+        brute_force_embeddings(p, g)
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_graphs(max_nodes=6), small_patterns(max_nodes=3, max_bound=1, allow_star=False))
+def test_every_embedding_is_valid(g, p):
+    for emb in isomorphic_embeddings(p, g):
+        assert len(set(emb.values())) == len(emb)
+        for u in p.nodes():
+            assert p.predicate(u).satisfied_by(g.attrs(emb[u]))
+        for u, w in p.edges():
+            assert g.has_edge(emb[u], emb[w])

@@ -1,0 +1,100 @@
+"""Tests for the distance-oracle implementations."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import chain, cycle_graph, synthetic_graph
+from repro.graphs.traversal import INF, path_distance
+from repro.landmarks.vector import LandmarkIndex
+from repro.matching.oracles import (
+    BFSOracle,
+    MatrixOracle,
+    TwoHopOracle,
+    make_oracle,
+)
+from tests.strategies import small_graphs
+
+ORACLES = {
+    "bfs": BFSOracle,
+    "matrix": MatrixOracle,
+    "2hop": TwoHopOracle,
+    "landmark": LandmarkIndex,
+}
+
+
+@pytest.mark.parametrize("name", sorted(ORACLES))
+class TestAllOracles:
+    def test_pathdist_on_chain(self, name):
+        g = chain(5)
+        oracle = ORACLES[name](g)
+        assert oracle.pathdist(0, 4) == 4
+        assert oracle.pathdist(4, 0) == INF
+
+    def test_self_distance_is_cycle(self, name):
+        g = cycle_graph(4)
+        oracle = ORACLES[name](g)
+        assert oracle.pathdist(0, 0) == 4
+
+    def test_self_distance_acyclic_inf(self, name):
+        g = chain(3)
+        oracle = ORACLES[name](g)
+        assert oracle.pathdist(1, 1) == INF
+
+    def test_ball_out_bounded(self, name):
+        g = chain(6)
+        oracle = ORACLES[name](g)
+        ball = oracle.ball_out(0, 2)
+        assert ball == {1: 1, 2: 2}
+
+    def test_ball_in_bounded(self, name):
+        g = chain(6)
+        oracle = ORACLES[name](g)
+        assert oracle.ball_in(5, 2) == {4: 1, 3: 2}
+
+    def test_ball_out_unbounded(self, name):
+        g = chain(4)
+        oracle = ORACLES[name](g)
+        assert set(oracle.ball_out(0, None)) == {1, 2, 3}
+
+    def test_ball_includes_self_on_cycle(self, name):
+        g = cycle_graph(3)
+        oracle = ORACLES[name](g)
+        assert oracle.ball_out(0, None)[0] == 3
+
+
+class TestFactory:
+    def test_known_kinds(self):
+        g = chain(3)
+        assert isinstance(make_oracle(g, "bfs"), BFSOracle)
+        assert isinstance(make_oracle(g, "matrix"), MatrixOracle)
+        assert isinstance(make_oracle(g, "2hop"), TwoHopOracle)
+        assert isinstance(make_oracle(g, "twohop"), TwoHopOracle)
+        assert isinstance(make_oracle(g, "landmark"), LandmarkIndex)
+
+    def test_auto_small_graph_gets_matrix(self):
+        assert isinstance(make_oracle(chain(10), "auto"), MatrixOracle)
+
+    def test_auto_large_graph_gets_bfs(self):
+        g = synthetic_graph(2501, 3000, seed=1)
+        assert isinstance(make_oracle(g, "auto"), BFSOracle)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            make_oracle(chain(2), "quantum")
+
+
+@settings(max_examples=20, deadline=None)
+@given(small_graphs())
+def test_all_oracles_agree_with_ground_truth(g):
+    oracles = [cls(g) for cls in ORACLES.values()]
+    nodes = list(g.nodes())
+    for v in nodes:
+        for w in nodes:
+            truth = path_distance(g, v, w)
+            for oracle in oracles:
+                assert oracle.pathdist(v, w) == truth, (
+                    type(oracle).__name__,
+                    v,
+                    w,
+                )

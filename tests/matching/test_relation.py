@@ -1,0 +1,52 @@
+"""Tests for match-relation helpers."""
+
+from repro.matching.relation import (
+    as_pairs,
+    copy_relation,
+    empty_relation,
+    is_total,
+    relation_size,
+    relations_equal,
+    totalize,
+)
+
+
+class TestTotality:
+    def test_empty_relation(self):
+        r = empty_relation(["a", "b"])
+        assert r == {"a": set(), "b": set()}
+        assert not is_total(r)
+
+    def test_is_total(self):
+        assert is_total({"a": {1}, "b": {2}})
+        assert not is_total({"a": {1}, "b": set()})
+        assert not is_total({})
+
+    def test_totalize_keeps_total(self):
+        r = {"a": {1}, "b": {2}}
+        assert totalize(dict(r)) == r
+
+    def test_totalize_collapses_partial(self):
+        r = {"a": {1}, "b": set()}
+        assert totalize(r) == {"a": set(), "b": set()}
+
+
+class TestHelpers:
+    def test_as_pairs(self):
+        assert as_pairs({"a": {1, 2}, "b": {1}}) == frozenset(
+            {("a", 1), ("a", 2), ("b", 1)}
+        )
+
+    def test_relation_size(self):
+        assert relation_size({"a": {1, 2}, "b": {3}}) == 3
+        assert relation_size({}) == 0
+
+    def test_copy_relation_independent(self):
+        r = {"a": {1}}
+        c = copy_relation(r)
+        c["a"].add(2)
+        assert r == {"a": {1}}
+
+    def test_relations_equal(self):
+        assert relations_equal({"a": {1}}, {"a": {1}})
+        assert not relations_equal({"a": {1}}, {"a": {2}})

@@ -1,0 +1,89 @@
+"""Tests for result graphs Gr (paper Section 4)."""
+
+from repro.graphs.digraph import DiGraph
+from repro.matching.bounded import bounded_match
+from repro.matching.isomorphism import isomorphic_embeddings
+from repro.matching.relation import totalize
+from repro.matching.result_graph import (
+    delta_size,
+    isomorphism_result_graph,
+    result_graph_delta,
+    simulation_result_graph,
+)
+from repro.matching.simulation import maximum_simulation
+from repro.patterns.pattern import Pattern
+
+
+class TestSimulationGr:
+    def test_normal_pattern_edges(self, friendfeed_graph):
+        p = Pattern.normal_from_labels(
+            {"c": "CTO", "d": "DB", "b": "Bio"},
+            [("c", "d"), ("d", "b")],
+            attribute="job",
+        )
+        match = totalize(maximum_simulation(p, friendfeed_graph))
+        gr = simulation_result_graph(p, friendfeed_graph, match)
+        assert gr.has_edge("Ann", "Pat")
+        assert gr.has_edge("Pat", "Bill")
+        # Gr edges only connect matches along pattern edges.
+        assert not gr.has_edge("Ann", "Bill") or p.has_edge("c", "b")
+
+    def test_empty_match_empty_graph(self, friendfeed_graph):
+        p = Pattern.normal_from_labels({"x": "Alien"}, [], attribute="job")
+        match = totalize(maximum_simulation(p, friendfeed_graph))
+        gr = simulation_result_graph(p, friendfeed_graph, match)
+        assert gr.num_nodes() == 0
+
+    def test_bounded_pattern_edge_to_path(self, friendfeed_pattern, friendfeed_graph):
+        match = totalize(bounded_match(friendfeed_pattern, friendfeed_graph))
+        gr = simulation_result_graph(
+            friendfeed_pattern, friendfeed_graph, match
+        )
+        # CTO -> DB within 2 hops: Ann reaches Dan via Pat (2 hops), so the
+        # result graph contains the projected edge (Ann, Dan).
+        assert gr.has_edge("Ann", "Dan")
+
+    def test_attrs_copied(self, friendfeed_pattern, friendfeed_graph):
+        match = totalize(bounded_match(friendfeed_pattern, friendfeed_graph))
+        gr = simulation_result_graph(
+            friendfeed_pattern, friendfeed_graph, match
+        )
+        assert gr.get_attr("Ann", "job") == "CTO"
+
+
+class TestIsoGr:
+    def test_union_of_embeddings(self, triangle_graph):
+        p = Pattern.normal_from_labels(
+            {"x": "A", "y": "B"}, [("x", "y")]
+        )
+        embs = isomorphic_embeddings(p, triangle_graph)
+        gr = isomorphism_result_graph(p, triangle_graph, embs)
+        assert set(gr.nodes()) == {"a", "b"}
+        assert set(gr.edges()) == {("a", "b")}
+
+    def test_empty(self, triangle_graph):
+        p = Pattern.normal_from_labels({"x": "Z"}, [])
+        gr = isomorphism_result_graph(p, triangle_graph, [])
+        assert gr.num_nodes() == 0
+
+
+class TestDelta:
+    def test_delta_empty_for_identical(self):
+        g = DiGraph([("a", "b")])
+        d = result_graph_delta(g, g.copy())
+        assert delta_size(d) == 0
+
+    def test_delta_counts_changes(self):
+        old = DiGraph([("a", "b")])
+        new = DiGraph([("a", "b"), ("b", "c")])
+        d = result_graph_delta(old, new)
+        assert d["added_nodes"] == {"c"}
+        assert d["added_edges"] == {("b", "c")}
+        assert delta_size(d) == 2
+
+    def test_delta_removals(self):
+        old = DiGraph([("a", "b"), ("b", "c")])
+        new = DiGraph([("a", "b")])
+        new_only = result_graph_delta(old, new)
+        assert new_only["removed_nodes"] == {"c"}
+        assert new_only["removed_edges"] == {("b", "c")}

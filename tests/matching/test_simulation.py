@@ -1,0 +1,153 @@
+"""Tests for maximum graph simulation (Match_s)."""
+
+from hypothesis import given, settings
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import chain as chain_graph
+from repro.graphs.generators import cycle_graph
+from repro.matching.relation import as_pairs, is_total, totalize
+from repro.matching.simulation import (
+    candidate_sets,
+    maximum_simulation,
+    maximum_simulation_naive,
+)
+from repro.patterns.pattern import Pattern
+from tests.strategies import small_graphs, small_patterns
+
+
+def is_simulation(pattern, graph, relation) -> bool:
+    """Direct check of the simulation conditions for a per-node relation."""
+    for u, vs in relation.items():
+        pred = pattern.predicate(u)
+        for v in vs:
+            if not pred.satisfied_by(graph.attrs(v)):
+                return False
+            for u2 in pattern.children(u):
+                if not any(w in relation[u2] for w in graph.children(v)):
+                    return False
+    return True
+
+
+class TestBasics:
+    def test_single_node_pattern(self, triangle_graph):
+        p = Pattern.normal_from_labels({"u": "A"}, [])
+        sim = maximum_simulation(p, triangle_graph)
+        assert sim["u"] == {"a"}
+
+    def test_edge_pattern_on_chain(self, chain_graph):
+        p = Pattern.normal_from_labels({"u": "A", "w": "B"}, [("u", "w")])
+        sim = maximum_simulation(p, chain_graph)
+        assert sim == {"u": {"a"}, "w": {"b"}}
+
+    def test_no_match_when_label_absent(self, chain_graph):
+        p = Pattern.normal_from_labels({"u": "Z"}, [])
+        sim = maximum_simulation(p, chain_graph)
+        assert sim["u"] == set()
+        assert totalize(sim) == {"u": set()}
+
+    def test_missing_child_support_removes_match(self, chain_graph):
+        # d is labelled D but has no outgoing edge, so c matching C
+        # requires a D child -- fine; but asking D to have an A child fails.
+        p = Pattern.normal_from_labels({"u": "D", "w": "A"}, [("u", "w")])
+        sim = maximum_simulation(p, chain_graph)
+        assert sim["u"] == set()
+
+    def test_cycle_pattern_on_cycle_graph(self):
+        g = cycle_graph(4, label="A")
+        p = Pattern.normal_from_labels({"u": "A", "w": "A"}, [("u", "w"), ("w", "u")])
+        sim = maximum_simulation(p, g)
+        assert sim["u"] == set(range(4))
+        assert sim["w"] == set(range(4))
+
+    def test_cycle_pattern_on_chain_graph_fails(self):
+        # Paper Fig. 6: a cyclic pattern finds no match in an acyclic chain.
+        g = chain_graph(6, label="A")
+        p = Pattern.normal_from_labels({"u": "A", "w": "A"}, [("u", "w"), ("w", "u")])
+        sim = maximum_simulation(p, g)
+        assert sim["u"] == set() and sim["w"] == set()
+
+    def test_self_loop_pattern_needs_infinite_a_path(self):
+        """A pattern self-loop requires an endless walk through A-matches:
+        an acyclic A-chain fails, and one data self-loop rescues every node
+        that reaches it."""
+        p = Pattern.normal_from_labels({"u": "A"}, [("u", "u")])
+        assert maximum_simulation(p, chain_graph(3, label="A"))["u"] == set()
+        g = chain_graph(3, label="A")
+        g.add_edge(2, 2)
+        sim = maximum_simulation(p, g)
+        assert sim["u"] == {0, 1, 2}
+
+    def test_candidate_sets(self, triangle_graph):
+        p = Pattern.normal_from_labels({"u": "A", "w": "B"}, [])
+        cands = candidate_sets(p, triangle_graph)
+        assert cands == {"u": {"a"}, "w": {"b"}}
+
+    def test_out_degree_prune(self):
+        g = DiGraph()
+        g.add_node("leaf", label="A")
+        g.add_node("rich", label="A")
+        g.add_node("b", label="B")
+        g.add_edge("rich", "b")
+        p = Pattern.normal_from_labels({"u": "A", "w": "B"}, [("u", "w")])
+        sim = maximum_simulation(p, g)
+        assert sim["u"] == {"rich"}
+
+
+class TestMaximality:
+    def test_result_is_a_simulation(self, friendfeed_graph):
+        p = Pattern.normal_from_labels(
+            {"c": "CTO", "d": "DB", "b": "Bio"},
+            [("c", "d"), ("d", "b")],
+            attribute="job",
+        )
+        sim = maximum_simulation(p, friendfeed_graph)
+        assert is_simulation(p, friendfeed_graph, sim)
+
+    def test_adding_any_pair_breaks_simulation(self, friendfeed_graph):
+        p = Pattern.normal_from_labels(
+            {"c": "CTO", "d": "DB", "b": "Bio"},
+            [("c", "d"), ("d", "b")],
+            attribute="job",
+        )
+        sim = maximum_simulation(p, friendfeed_graph)
+        cands = candidate_sets(p, friendfeed_graph)
+        for u in p.nodes():
+            for v in cands[u] - sim[u]:
+                trial = {x: set(vs) for x, vs in sim.items()}
+                trial[u].add(v)
+                assert not is_simulation(p, friendfeed_graph, trial)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_graphs(), small_patterns(max_bound=1, allow_star=False))
+def test_fast_equals_naive(g, p):
+    assert as_pairs(maximum_simulation(p, g)) == as_pairs(
+        maximum_simulation_naive(p, g)
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_graphs(), small_patterns(max_bound=1, allow_star=False))
+def test_result_is_simulation_and_maximal(g, p):
+    sim = maximum_simulation(p, g)
+    assert is_simulation(p, g, sim)
+    # Maximality: no candidate pair can be added.
+    cands = candidate_sets(p, g)
+    for u in p.nodes():
+        for v in cands[u] - sim[u]:
+            trial = {x: set(vs) for x, vs in sim.items()}
+            trial[u].add(v)
+            assert not is_simulation(p, g, trial)
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_graphs(), small_patterns(max_bound=1, allow_star=False))
+def test_union_of_simulations_property(g, p):
+    """Prop. 2.1: the union of two simulations is a simulation, hence the
+    maximum is unique."""
+    sim = maximum_simulation(p, g)
+    # Any sub-relation that is itself a simulation stays below the maximum.
+    if is_total(sim):
+        half = {u: set(list(vs)[: max(1, len(vs) // 2)]) for u, vs in sim.items()}
+        union = {u: half[u] | sim[u] for u in sim}
+        assert as_pairs(union) == as_pairs(sim)

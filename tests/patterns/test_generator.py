@@ -1,0 +1,87 @@
+"""Tests for the random pattern generator."""
+
+import pytest
+
+from repro.graphs.generators import synthetic_graph
+from repro.patterns.generator import pattern_suite, random_pattern
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return synthetic_graph(60, 150, seed=5)
+
+
+class TestRandomPattern:
+    def test_requested_sizes(self, graph):
+        p = random_pattern(graph, 4, 5, seed=1)
+        assert p.num_nodes() == 4
+        assert p.num_edges() == 5
+
+    def test_deterministic_with_seed(self, graph):
+        assert random_pattern(graph, 4, 5, seed=7) == random_pattern(
+            graph, 4, 5, seed=7
+        )
+
+    def test_bounds_within_range(self, graph):
+        p = random_pattern(graph, 4, 6, max_bound=4, bound_spread=1, seed=2)
+        for u, w in p.edges():
+            b = p.bound(u, w)
+            assert b is None or 3 <= b <= 4
+
+    def test_star_probability_one(self, graph):
+        p = random_pattern(graph, 3, 3, star_probability=1.0, seed=3)
+        assert all(p.bound(u, w) is None for u, w in p.edges())
+
+    def test_dag_flag(self, graph):
+        p = random_pattern(graph, 5, 8, dag=True, seed=4)
+        assert p.is_dag()
+
+    def test_weakly_connected(self, graph):
+        p = random_pattern(graph, 5, 4, seed=5)
+        # With |Ep| = |Vp| - 1 the spanning phase alone provides the edges,
+        # so every node must touch at least one edge.
+        touched = set()
+        for u, w in p.edges():
+            touched.add(u)
+            touched.add(w)
+        assert touched == set(p.nodes())
+
+    def test_predicates_from_graph_values(self, graph):
+        p = random_pattern(graph, 3, 3, preds_per_node=2, seed=6)
+        for u in p.nodes():
+            for atom in p.predicate(u).atoms:
+                assert atom.attribute in ("label", "rating")
+
+    def test_zero_nodes_rejected(self, graph):
+        with pytest.raises(ValueError):
+            random_pattern(graph, 0, 0)
+
+    def test_single_node_pattern(self, graph):
+        p = random_pattern(graph, 1, 0, seed=8)
+        assert p.num_nodes() == 1
+        assert p.num_edges() == 0
+
+    def test_patterns_usually_match_their_graph(self, graph):
+        """Predicates sampled from graph values should be satisfiable."""
+        from repro.matching.simulation import candidate_sets
+
+        nonempty = 0
+        for seed in range(10):
+            p = random_pattern(graph, 3, 3, seed=seed)
+            cands = candidate_sets(p, graph)
+            if all(cands.values()):
+                nonempty += 1
+        assert nonempty >= 8
+
+
+class TestSuite:
+    def test_suite_sizes(self, graph):
+        suite = pattern_suite(graph, [(3, 3), (4, 5)], count_per_size=2, seed=1)
+        assert len(suite) == 4
+        assert suite[0].num_nodes() == 3
+        assert suite[2].num_nodes() == 4
+
+    def test_suite_deterministic(self, graph):
+        a = pattern_suite(graph, [(3, 3)], seed=2)
+        b = pattern_suite(graph, [(3, 3)], seed=2)
+        assert a == b

@@ -1,0 +1,103 @@
+"""Tests for pattern minimization."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.matching.simulation import maximum_simulation
+from repro.patterns.minimize import (
+    equivalence_classes,
+    minimize_pattern,
+    pattern_self_simulation,
+)
+from repro.patterns.pattern import Pattern, PatternError
+from tests.strategies import small_graphs, small_patterns
+
+
+def twin_pattern() -> Pattern:
+    """Two indistinguishable B-children under one A-parent."""
+    return Pattern.normal_from_labels(
+        {"a": "A", "b1": "B", "b2": "B"},
+        [("a", "b1"), ("a", "b2")],
+    )
+
+
+class TestSelfSimulation:
+    def test_reflexive(self):
+        p = twin_pattern()
+        rel = pattern_self_simulation(p)
+        for u in p.nodes():
+            assert (u, u) in rel
+
+    def test_twins_mutually_simulate(self):
+        rel = pattern_self_simulation(twin_pattern())
+        assert ("b1", "b2") in rel and ("b2", "b1") in rel
+
+    def test_different_predicates_unrelated(self):
+        p = Pattern.normal_from_labels({"a": "A", "b": "B"}, [("a", "b")])
+        rel = pattern_self_simulation(p)
+        assert ("a", "b") not in rel
+
+    def test_child_obligation_breaks_symmetry(self):
+        # b1 has a further obligation, b2 does not: b1 is *more* demanding.
+        p = Pattern.normal_from_labels(
+            {"a": "A", "b1": "B", "b2": "B", "c": "C"},
+            [("a", "b1"), ("a", "b2"), ("b1", "c")],
+        )
+        rel = pattern_self_simulation(p)
+        assert ("b2", "b1") in rel  # b1 can do whatever b2 must
+        assert ("b1", "b2") not in rel
+
+
+class TestMinimize:
+    def test_twins_merge(self):
+        minimized, rep = minimize_pattern(twin_pattern())
+        assert minimized.num_nodes() == 2
+        assert rep["b1"] == rep["b2"]
+
+    def test_already_minimal_unchanged(self):
+        p = Pattern.normal_from_labels(
+            {"a": "A", "b": "B", "c": "C"}, [("a", "b"), ("b", "c")]
+        )
+        minimized, rep = minimize_pattern(p)
+        assert minimized.num_nodes() == 3
+        assert all(rep[u] == u for u in p.nodes())
+
+    def test_b_pattern_rejected(self):
+        p = Pattern.from_spec({"x": None, "y": None}, [("x", "y", 2)])
+        with pytest.raises(PatternError):
+            minimize_pattern(p)
+
+    def test_equivalence_classes_partition(self):
+        classes = equivalence_classes(twin_pattern())
+        members = [u for cls in classes for u in cls]
+        assert sorted(members) == sorted(twin_pattern().nodes())
+
+    def test_cyclic_twins_merge(self):
+        p = Pattern.normal_from_labels(
+            {"x": "A", "y": "A"}, [("x", "y"), ("y", "x")]
+        )
+        minimized, rep = minimize_pattern(p)
+        assert minimized.num_nodes() == 1
+        # The merged class keeps its self-obligation as a loop.
+        only = next(iter(minimized.nodes()))
+        assert minimized.has_edge(only, only)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_graphs(), small_patterns(max_bound=1, allow_star=False))
+def test_minimized_pattern_preserves_matches(g, p):
+    """The headline property: per-class match sets are unchanged."""
+    minimized, rep = minimize_pattern(p)
+    original = maximum_simulation(p, g)
+    reduced = maximum_simulation(minimized, g)
+    for u in p.nodes():
+        assert original[u] == reduced[rep[u]], (u, rep[u])
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_patterns(max_bound=1, allow_star=False))
+def test_minimization_is_idempotent(p):
+    m1, _ = minimize_pattern(p)
+    m2, rep2 = minimize_pattern(m1)
+    assert m2.num_nodes() == m1.num_nodes()
+    assert all(rep2[u] == u for u in m1.nodes())

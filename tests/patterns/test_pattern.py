@@ -1,0 +1,155 @@
+"""Tests for pattern graphs (b-patterns and normal patterns)."""
+
+import pytest
+
+from repro.patterns.pattern import STAR, Pattern, PatternError
+from repro.patterns.predicate import Predicate
+
+
+def simple_pattern():
+    return Pattern.from_spec(
+        {"a": "label = A", "b": "label = B"}, [("a", "b", 2)]
+    )
+
+
+class TestConstruction:
+    def test_add_node_default_predicate_true(self):
+        p = Pattern()
+        p.add_node("u")
+        assert p.predicate("u").is_trivial()
+
+    def test_add_node_string_predicate_parsed(self):
+        p = Pattern()
+        p.add_node("u", "x > 3")
+        assert p.predicate("u").satisfied_by({"x": 4})
+
+    def test_add_node_predicate_object(self):
+        p = Pattern()
+        p.add_node("u", Predicate.label("A"))
+        assert p.predicate("u").satisfied_by({"label": "A"})
+
+    def test_add_edge_creates_nodes(self):
+        p = Pattern()
+        p.add_edge("u", "w", 2)
+        assert set(p.nodes()) == {"u", "w"}
+        assert p.bound("u", "w") == 2
+
+    def test_star_bound_string(self):
+        p = Pattern()
+        p.add_edge("u", "w", "*")
+        assert p.bound("u", "w") is STAR
+
+    def test_star_bound_none(self):
+        p = Pattern()
+        p.add_edge("u", "w", None)
+        assert p.bound("u", "w") is None
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, True, "three"])
+    def test_invalid_bounds_rejected(self, bad):
+        p = Pattern()
+        with pytest.raises(PatternError):
+            p.add_edge("u", "w", bad)
+
+    def test_from_spec_unknown_node_rejected(self):
+        with pytest.raises(PatternError):
+            Pattern.from_spec({"a": None}, [("a", "ghost", 1)])
+
+    def test_normal_from_labels(self):
+        p = Pattern.normal_from_labels({"u": "A", "w": "B"}, [("u", "w")])
+        assert p.is_normal()
+        assert p.predicate("u").satisfied_by({"label": "A"})
+
+    def test_invalid_predicate_type(self):
+        p = Pattern()
+        with pytest.raises(PatternError):
+            p.add_node("u", 42)
+
+
+class TestInspection:
+    def test_sizes(self):
+        p = simple_pattern()
+        assert p.num_nodes() == 2
+        assert p.num_edges() == 1
+        assert p.size() == 3
+
+    def test_bound_of_missing_edge_raises(self):
+        p = simple_pattern()
+        with pytest.raises(PatternError):
+            p.bound("b", "a")
+
+    def test_predicate_of_missing_node_raises(self):
+        p = simple_pattern()
+        with pytest.raises(PatternError):
+            p.predicate("ghost")
+
+    def test_is_normal(self):
+        assert not simple_pattern().is_normal()
+        p = Pattern.from_spec({"a": None, "b": None}, [("a", "b", 1)])
+        assert p.is_normal()
+
+    def test_is_dag(self):
+        p = Pattern.from_spec({"a": None, "b": None}, [("a", "b", 1)])
+        assert p.is_dag()
+        p.add_edge("b", "a", 1)
+        assert not p.is_dag()
+
+    def test_self_loop_not_dag(self):
+        p = Pattern()
+        p.add_edge("a", "a", 1)
+        assert not p.is_dag()
+
+    def test_max_finite_bound(self):
+        p = Pattern.from_spec(
+            {"a": None, "b": None, "c": None},
+            [("a", "b", 3), ("b", "c", "*")],
+        )
+        assert p.max_finite_bound() == 3
+
+    def test_max_finite_bound_defaults_to_one(self):
+        p = Pattern()
+        p.add_node("a")
+        assert p.max_finite_bound() == 1
+
+    def test_has_star_edge(self):
+        p = simple_pattern()
+        assert not p.has_star_edge()
+        p.add_edge("b", "a", "*")
+        assert p.has_star_edge()
+
+    def test_satisfies(self):
+        p = simple_pattern()
+        assert p.satisfies({"label": "A"}, "a")
+        assert not p.satisfies({"label": "B"}, "a")
+
+    def test_children_parents(self):
+        p = simple_pattern()
+        assert p.children("a") == {"b"}
+        assert p.parents("b") == {"a"}
+        assert p.out_degree("a") == 1
+
+
+class TestTransforms:
+    def test_as_normal_on_flattens_bounds(self):
+        p = simple_pattern()
+        n = p.as_normal_on()
+        assert n.is_normal()
+        assert n.predicate("a") == p.predicate("a")
+        assert set(n.edges()) == set(p.edges())
+
+    def test_copy_independent(self):
+        p = simple_pattern()
+        c = p.copy()
+        c.add_edge("b", "a", 1)
+        assert not p.has_edge("b", "a")
+        assert c != p
+
+    def test_copy_equal(self):
+        p = simple_pattern()
+        assert p.copy() == p
+
+    def test_validate_empty_pattern(self):
+        with pytest.raises(PatternError):
+            Pattern().validate()
+
+    def test_validate_ok(self):
+        simple_pattern().validate()

@@ -1,0 +1,73 @@
+"""Tests for pattern serialization."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.patterns.io import (
+    load_pattern,
+    pattern_from_dict,
+    pattern_to_dict,
+    predicate_from_list,
+    predicate_to_list,
+    save_pattern,
+)
+from repro.patterns.pattern import Pattern, PatternError
+from repro.patterns.predicate import Predicate, parse_predicate
+from tests.strategies import small_patterns
+
+
+class TestPredicateRoundTrip:
+    def test_round_trip(self):
+        pred = parse_predicate("job = DB & age >= 30")
+        assert predicate_from_list(predicate_to_list(pred)) == pred
+
+    def test_true_predicate(self):
+        assert predicate_from_list(predicate_to_list(Predicate.true())).is_trivial()
+
+    def test_malformed_rejected(self):
+        with pytest.raises(PatternError):
+            predicate_from_list("not a list")
+        with pytest.raises(PatternError):
+            predicate_from_list([["attr", "="]])
+
+
+class TestPatternRoundTrip:
+    def test_round_trip(self, friendfeed_pattern):
+        doc = pattern_to_dict(friendfeed_pattern)
+        assert pattern_from_dict(doc) == friendfeed_pattern
+
+    def test_star_bound_encodes_as_null(self, friendfeed_pattern):
+        doc = pattern_to_dict(friendfeed_pattern)
+        bounds = {
+            (e["source"], e["target"]): e["bound"] for e in doc["edges"]
+        }
+        assert bounds[("DB", "CTO")] is None
+
+    def test_string_predicates_accepted(self):
+        doc = {
+            "nodes": [{"id": "u", "predicate": "job = DB"}],
+            "edges": [],
+        }
+        p = pattern_from_dict(doc)
+        assert p.predicate("u").satisfied_by({"job": "DB"})
+
+    def test_missing_nodes_rejected(self):
+        with pytest.raises(PatternError):
+            pattern_from_dict({"edges": []})
+
+    def test_dangling_edge_rejected(self):
+        with pytest.raises(PatternError):
+            pattern_from_dict(
+                {"nodes": [{"id": "u"}], "edges": [{"source": "u", "target": "x"}]}
+            )
+
+    def test_file_round_trip(self, tmp_path, friendfeed_pattern):
+        path = tmp_path / "p.json"
+        save_pattern(friendfeed_pattern, path)
+        assert load_pattern(path) == friendfeed_pattern
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_patterns())
+def test_random_patterns_round_trip(p):
+    assert pattern_from_dict(pattern_to_dict(p)) == p

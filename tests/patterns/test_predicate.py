@@ -1,0 +1,157 @@
+"""Tests for predicates and the predicate parser."""
+
+import pytest
+
+from repro.patterns.predicate import (
+    Atom,
+    Predicate,
+    PredicateError,
+    parse_predicate,
+)
+
+
+class TestAtom:
+    def test_equality_op(self):
+        atom = Atom("job", "=", "DB")
+        assert atom.satisfied_by({"job": "DB"})
+        assert not atom.satisfied_by({"job": "AI"})
+
+    def test_double_equals_normalized(self):
+        assert Atom("x", "==", 1) == Atom("x", "=", 1)
+
+    @pytest.mark.parametrize(
+        "op,value,attrs,expected",
+        [
+            ("<", 5, {"x": 4}, True),
+            ("<", 5, {"x": 5}, False),
+            ("<=", 5, {"x": 5}, True),
+            (">", 5, {"x": 6}, True),
+            (">=", 5, {"x": 5}, True),
+            ("!=", 5, {"x": 4}, True),
+            ("!=", 5, {"x": 5}, False),
+        ],
+    )
+    def test_comparison_ops(self, op, value, attrs, expected):
+        assert Atom("x", op, value).satisfied_by(attrs) is expected
+
+    def test_missing_attribute_fails(self):
+        assert not Atom("x", "=", 1).satisfied_by({"y": 1})
+
+    def test_incompatible_types_fail_instead_of_raising(self):
+        assert not Atom("x", "<", 5).satisfied_by({"x": "string"})
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(PredicateError):
+            Atom("x", "~", 1)
+
+    def test_hash_and_eq(self):
+        assert len({Atom("x", "=", 1), Atom("x", "=", 1)}) == 1
+
+    def test_repr_quotes_strings(self):
+        assert repr(Atom("job", "=", "DB")) == "job = 'DB'"
+
+
+class TestPredicate:
+    def test_true_predicate(self):
+        assert Predicate.true().satisfied_by({})
+        assert Predicate.true().is_trivial()
+
+    def test_conjunction_requires_all(self):
+        p = Predicate([Atom("x", ">", 1), Atom("x", "<", 5)])
+        assert p.satisfied_by({"x": 3})
+        assert not p.satisfied_by({"x": 0})
+        assert not p.satisfied_by({"x": 9})
+
+    def test_label_shorthand(self):
+        p = Predicate.label("A")
+        assert p.satisfied_by({"label": "A"})
+        assert not p.satisfied_by({"label": "B"})
+
+    def test_label_custom_attribute(self):
+        p = Predicate.label("A", attribute="kind")
+        assert p.satisfied_by({"kind": "A"})
+
+    def test_conjoin(self):
+        p = Predicate.label("A").conjoin(Predicate([Atom("x", ">", 1)]))
+        assert p.satisfied_by({"label": "A", "x": 2})
+        assert not p.satisfied_by({"label": "A", "x": 0})
+
+    def test_equality_ignores_order(self):
+        a = Predicate([Atom("x", "=", 1), Atom("y", "=", 2)])
+        b = Predicate([Atom("y", "=", 2), Atom("x", "=", 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_repr(self):
+        assert repr(Predicate.true()) == "TRUE"
+        assert "&" in repr(Predicate([Atom("x", "=", 1), Atom("y", "=", 2)]))
+
+
+class TestParser:
+    def test_empty_is_true(self):
+        assert parse_predicate("") == Predicate.true()
+        assert parse_predicate("   ") == Predicate.true()
+
+    def test_single_atom_quoted_string(self):
+        p = parse_predicate("job = 'DB'")
+        assert p.satisfied_by({"job": "DB"})
+
+    def test_double_quoted_string(self):
+        p = parse_predicate('job = "DB"')
+        assert p.satisfied_by({"job": "DB"})
+
+    def test_bare_identifier_value(self):
+        p = parse_predicate("job = DB")
+        assert p.satisfied_by({"job": "DB"})
+
+    def test_integer_value(self):
+        p = parse_predicate("age >= 18")
+        assert p.satisfied_by({"age": 18})
+        assert not p.satisfied_by({"age": 17})
+
+    def test_float_value(self):
+        p = parse_predicate("rate > 3.5")
+        assert p.satisfied_by({"rate": 4.0})
+
+    def test_negative_number(self):
+        p = parse_predicate("delta >= -2")
+        assert p.satisfied_by({"delta": -1})
+        assert not p.satisfied_by({"delta": -3})
+
+    def test_conjunction_ampersand(self):
+        p = parse_predicate("a = 1 & b = 2")
+        assert p.satisfied_by({"a": 1, "b": 2})
+        assert not p.satisfied_by({"a": 1, "b": 3})
+
+    def test_conjunction_and_keyword(self):
+        p = parse_predicate("a = 1 AND b = 2")
+        assert len(p.atoms) == 2
+
+    def test_all_operators_parse(self):
+        for op in ("<", "<=", "=", "==", "!=", ">", ">="):
+            p = parse_predicate(f"x {op} 3")
+            assert len(p.atoms) == 1
+
+    def test_dotted_attribute_names(self):
+        p = parse_predicate("user.age > 10")
+        assert p.satisfied_by({"user.age": 11})
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "= 3",
+            "x =",
+            "x 3",
+            "x = 3 &",
+            "x = 3 y = 4",
+            "x = 3 & & y = 4",
+            "x ! 3",
+        ],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(PredicateError):
+            parse_predicate(bad)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(PredicateError):
+            parse_predicate("x = 3 ???")

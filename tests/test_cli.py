@@ -1,0 +1,114 @@
+"""End-to-end tests for the ``python -m repro match`` CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import load_updates, main
+from repro.graphs.io import save_json
+from repro.patterns.io import save_pattern
+from repro.patterns.pattern import Pattern
+
+
+@pytest.fixture
+def files(tmp_path, friendfeed_graph, friendfeed_pattern):
+    graph_path = tmp_path / "g.json"
+    pattern_path = tmp_path / "p.json"
+    updates_path = tmp_path / "u.json"
+    save_json(friendfeed_graph, graph_path)
+    save_pattern(friendfeed_pattern, pattern_path)
+    updates_path.write_text(
+        json.dumps([
+            ["insert", "Don", "Pat"],
+            ["insert", "Pat", "Don"],
+            ["insert", "Don", "Tom"],
+        ])
+    )
+    return str(graph_path), str(pattern_path), str(updates_path)
+
+
+class TestCli:
+    def test_bounded_match(self, files, capsys):
+        graph, pattern, _ = files
+        assert main(["match", "--graph", graph, "--pattern", pattern]) == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["initial"]["matches"]["CTO"] == ["Ann"]
+
+    def test_updates_applied_incrementally(self, files, capsys):
+        graph, pattern, updates = files
+        assert (
+            main([
+                "match", "--graph", graph, "--pattern", pattern,
+                "--updates", updates,
+            ])
+            == 0
+        )
+        out = json.loads(capsys.readouterr().out)
+        assert "Don" in out["after_updates"]["matches"]["CTO"]
+        assert "Don" not in out["initial"]["matches"]["CTO"]
+
+    def test_result_graph_printed(self, files, capsys):
+        graph, pattern, _ = files
+        main([
+            "match", "--graph", graph, "--pattern", pattern,
+            "--show-result-graph",
+        ])
+        out = json.loads(capsys.readouterr().out)
+        assert "Ann" in out["result_graph"]["nodes"]
+
+    def test_isomorphism_semantics(self, tmp_path, friendfeed_graph, capsys):
+        graph_path = tmp_path / "g.json"
+        pattern_path = tmp_path / "p.json"
+        save_json(friendfeed_graph, graph_path)
+        p = Pattern.normal_from_labels(
+            {"c": "CTO", "d": "DB"}, [("c", "d")], attribute="job"
+        )
+        save_pattern(p, pattern_path)
+        main([
+            "match", "--graph", str(graph_path), "--pattern", str(pattern_path),
+            "--semantics", "isomorphism",
+        ])
+        out = json.loads(capsys.readouterr().out)
+        assert out["initial"]["embeddings"]
+
+    def test_simulation_semantics(self, tmp_path, friendfeed_graph, capsys):
+        graph_path = tmp_path / "g.json"
+        pattern_path = tmp_path / "p.json"
+        save_json(friendfeed_graph, graph_path)
+        p = Pattern.normal_from_labels(
+            {"c": "CTO", "d": "DB"}, [("c", "d")], attribute="job"
+        )
+        save_pattern(p, pattern_path)
+        main([
+            "match", "--graph", str(graph_path), "--pattern", str(pattern_path),
+            "--semantics", "simulation",
+        ])
+        out = json.loads(capsys.readouterr().out)
+        assert out["initial"]["matches"]["c"] == ["Ann"]
+
+
+class TestLoadUpdates:
+    def test_valid(self, tmp_path):
+        path = tmp_path / "u.json"
+        path.write_text('[["insert", "a", "b"], ["delete", "a", "b"]]')
+        ups = load_updates(str(path))
+        assert len(ups) == 2
+        assert ups[0].op == "insert"
+
+    def test_not_a_list(self, tmp_path):
+        path = tmp_path / "u.json"
+        path.write_text('{"op": "insert"}')
+        with pytest.raises(ValueError):
+            load_updates(str(path))
+
+    def test_malformed_entry(self, tmp_path):
+        path = tmp_path / "u.json"
+        path.write_text('[["insert", "a"]]')
+        with pytest.raises(ValueError):
+            load_updates(str(path))
+
+    def test_bad_op(self, tmp_path):
+        path = tmp_path / "u.json"
+        path.write_text('[["mutate", "a", "b"]]')
+        with pytest.raises(ValueError):
+            load_updates(str(path))

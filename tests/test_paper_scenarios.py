@@ -1,0 +1,216 @@
+"""End-to-end tests of the paper's named examples and constructions.
+
+These pin the library to the paper's own stories: the drug ring of
+Example 1.1, the social patterns of Fig. 2, the FriendFeed evolution of
+Example 4.1/Fig. 5, and the (un)boundedness gadgets of Figs. 6, 11 and 15.
+"""
+
+from repro.core.engine import Matcher
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import chain
+from repro.incremental.incbsim import BoundedSimulationIndex
+from repro.incremental.incsim import SimulationIndex
+from repro.incremental.inciso import IsoIndex
+from repro.incremental.types import insert
+from repro.matching.isomorphism import isomorphic_embeddings
+from repro.matching.relation import relation_size
+from repro.patterns.pattern import Pattern
+
+
+class TestExample11DrugRing:
+    """Example 1.1 / Fig. 1: bounded simulation finds the ring, subgraph
+    isomorphism structurally cannot."""
+
+    def build(self):
+        g = DiGraph()
+        g.add_node("B", role="B")
+        # Three AMs; the last doubles as the secretary.
+        for i in range(3):
+            am = f"A{i}"
+            attrs = {"role": "AM"}
+            if i == 2:
+                attrs["also"] = "S"
+            g.add_node(am, **attrs)
+            g.add_edge("B", am)
+            g.add_edge(am, "B")
+            # Two levels of field workers.
+            prev = am
+            for lvl in range(2):
+                w = f"W{i}{lvl}"
+                g.add_node(w, role="FW")
+                g.add_edge(prev, w)
+                g.add_edge(w, prev)
+                prev = w
+        p = Pattern.from_spec(
+            {
+                "B": "role = B",
+                "AM": "role = AM",
+                "S": "also = S",
+                "FW": "role = FW",
+            },
+            [
+                ("B", "AM", 1),
+                ("AM", "B", 1),
+                ("AM", "FW", 3),
+                ("FW", "AM", 3),
+                ("B", "S", 1),
+                ("S", "FW", 1),
+            ],
+        )
+        return p, g
+
+    def test_bounded_simulation_identifies_ring(self):
+        p, g = self.build()
+        m = Matcher(p, g, semantics="bounded")
+        match = m.matches()
+        assert match["B"] == {"B"}
+        assert match["AM"] == {"A0", "A1", "A2"}
+        assert match["S"] == {"A2"}  # AM and S share one person
+        assert len(match["FW"]) == 6  # one AM pattern node, many workers
+
+    def test_isomorphism_misses_the_ring(self):
+        p, g = self.build()
+        normal = Pattern.from_spec(
+            {u: p.predicate(u) for u in p.nodes()},
+            [(a, b, 1) for a, b in p.edges()],
+        )
+        # AM/S must be two distinct people and supervision must be direct
+        # edges under isomorphism: the ring cannot be matched.
+        assert isomorphic_embeddings(normal, g) == []
+
+
+class TestExample41FriendFeed:
+    def test_e2_brings_don_and_tom(self, friendfeed_pattern, friendfeed_graph):
+        """Fig. 5: inserting e2 (plus Don's return path) adds Don and Tom."""
+        idx = BoundedSimulationIndex(friendfeed_pattern, friendfeed_graph)
+        before = relation_size(idx.matches())
+        idx.apply_batch([
+            insert("Don", "Pat"),  # e2
+            insert("Pat", "Don"),  # e1
+            insert("Don", "Tom"),  # e3
+        ])
+        match = idx.matches()
+        assert "Don" in match["CTO"]
+        assert "Tom" in match["Bio"]
+        assert relation_size(match) > before
+
+    def test_further_edges_change_little(self, friendfeed_pattern, friendfeed_graph):
+        """Fig. 5, Gr3: e4/e5 add edges but few new match pairs."""
+        idx = BoundedSimulationIndex(friendfeed_pattern, friendfeed_graph)
+        idx.apply_batch([
+            insert("Don", "Pat"),
+            insert("Pat", "Don"),
+            insert("Don", "Tom"),
+        ])
+        mid = relation_size(idx.matches())
+        idx.apply_batch([insert("Dan", "Don"), insert("Don", "Dan")])
+        after = relation_size(idx.matches())
+        assert after == mid  # the result graph grows, the relation does not
+
+
+class TestFig6UnboundednessGadget:
+    """Two same-label chains; one closing edge does nothing, the second
+    turns every node into a match — the jump that defeats boundedness."""
+
+    def build(self, n=5):
+        g = DiGraph()
+        for v in range(2 * n):
+            g.add_node(v, label="a")
+        for v in range(n - 1):
+            g.add_edge(v, v + 1)
+        for v in range(n, 2 * n - 1):
+            g.add_edge(v, v + 1)
+        p = Pattern.normal_from_labels(
+            {"u": "a", "w": "a"}, [("u", "w"), ("w", "u")]
+        )
+        return p, g, n
+
+    def test_single_closing_edges_do_nothing(self):
+        p, g, n = self.build()
+        idx = SimulationIndex(p, g)
+        assert idx.matches() == {"u": set(), "w": set()}
+        idx.insert_edge(n - 1, n)  # e1: one long chain, still acyclic
+        assert idx.matches() == {"u": set(), "w": set()}
+
+    def test_second_edge_flips_everything(self):
+        p, g, n = self.build()
+        idx = SimulationIndex(p, g)
+        idx.insert_edge(n - 1, n)
+        idx.insert_edge(2 * n - 1, 0)  # e2 closes the big cycle
+        sets = idx.raw_match_sets()
+        assert len(sets["u"]) == 2 * n
+        assert len(sets["w"]) == 2 * n
+
+
+class TestFig11BoundedSimGadget:
+    """Pattern u -*-> t over chains u..., v..., t...: both bridge edges are
+    needed before any match appears."""
+
+    def build(self, l=3, m=3, n=3):
+        g = DiGraph()
+        for i in range(l):
+            g.add_node(f"u{i}", label="u")
+            if i:
+                g.add_edge(f"u{i-1}", f"u{i}")
+        for i in range(m):
+            g.add_node(f"v{i}", label="v")
+            if i:
+                g.add_edge(f"v{i-1}", f"v{i}")
+        for i in range(n):
+            g.add_node(f"t{i}", label="t")
+            if i:
+                g.add_edge(f"t{i-1}", f"t{i}")
+        g.add_edge(f"t{n-1}", "u0")
+        p = Pattern.from_spec(
+            {"u": "label = u", "t": "label = t"}, [("u", "t", "*")]
+        )
+        return p, g, l, m, n
+
+    def test_bridges_flip_the_match(self):
+        p, g, l, m, n = self.build()
+        idx = BoundedSimulationIndex(p, g)
+        assert idx.matches()["u"] == set()
+        idx.insert_edge(f"u{l-1}", "v0")  # e1
+        assert idx.matches()["u"] == set()
+        idx.insert_edge(f"v{m-1}", "t0")  # e2: now every u-node reaches t
+        match = idx.raw_match_sets()
+        assert len(match["u"]) == l
+        assert len(match["t"]) == n
+
+
+class TestFig15IsoGadget:
+    """Tree pattern over a forest: each bridge edge alone yields nothing,
+    both together create Theta(m + n) embeddings at once."""
+
+    def build(self, m=3, n=3):
+        g = DiGraph()
+        g.add_node("a0", label="a")
+        for i in range(2 * m):
+            g.add_node(f"x{i}", label="a")
+            if i:
+                g.add_edge(f"x{i-1}", f"x{i}")
+        for i in range(2 * n):
+            g.add_node(f"y{i}", label="a")
+            if i:
+                g.add_edge(f"y{i-1}", f"y{i}")
+        p = Pattern.normal_from_labels(
+            {"r": "a", "c1": "a", "c2": "a"}, [("r", "c1"), ("r", "c2")]
+        )
+        return p, g
+
+    def test_embedding_jump(self):
+        p, g = self.build()
+        idx = IsoIndex(p, g)
+        assert idx.count() == 0
+        idx.insert_edge("a0", "x0")
+        assert idx.count() == 0  # root still has a single child
+        idx.insert_edge("a0", "y0")
+        assert idx.count() == 2  # (x0, y0) and (y0, x0)
+
+
+class TestFig2SocialMatching:
+    def test_p2_example(self, twitter_pattern, twitter_graph):
+        m = Matcher(twitter_pattern, twitter_graph, semantics="bounded")
+        match = m.matches()
+        assert match["CS"] == {"DB"}
+        assert match["Bio"] == {"Gen", "Eco"}

@@ -1,0 +1,63 @@
+"""Tests for the dataset stand-ins."""
+
+from repro.graphs.scc import strongly_connected_components
+from repro.workloads.datasets import (
+    CITATION_EDGES,
+    CITATION_NODES,
+    YOUTUBE_EDGES,
+    YOUTUBE_NODES,
+    citation_like,
+    youtube_like,
+)
+
+
+class TestYoutubeLike:
+    def test_scale(self):
+        g = youtube_like(scale=0.02)
+        assert g.num_nodes() == int(YOUTUBE_NODES * 0.02)
+        assert abs(g.num_edges() - int(YOUTUBE_EDGES * 0.02)) <= 5
+
+    def test_schema(self):
+        g = youtube_like(scale=0.01)
+        attrs = g.attrs(next(iter(g.nodes())))
+        assert set(attrs) == {"category", "uploader", "age", "rate", "length"}
+
+    def test_deterministic(self):
+        assert youtube_like(scale=0.01, seed=3) == youtube_like(scale=0.01, seed=3)
+
+    def test_minimum_floor(self):
+        g = youtube_like(scale=0.0001)
+        assert g.num_nodes() >= 50
+
+    def test_degree_skew(self):
+        g = youtube_like(scale=0.05)
+        indegs = sorted((g.in_degree(v) for v in g.nodes()), reverse=True)
+        mean = sum(indegs) / len(indegs)
+        assert indegs[0] > 3 * mean  # popular videos attract recommendations
+
+
+class TestCitationLike:
+    def test_scale(self):
+        g = citation_like(scale=0.02)
+        assert g.num_nodes() == int(CITATION_NODES * 0.02)
+        assert abs(g.num_edges() - int(CITATION_EDGES * 0.02)) <= 5
+
+    def test_schema(self):
+        g = citation_like(scale=0.01)
+        attrs = g.attrs(next(iter(g.nodes())))
+        assert set(attrs) == {"year", "area", "venue", "cites"}
+
+    def test_mostly_backward_in_time(self):
+        g = citation_like(scale=0.02)
+        backward = sum(
+            1
+            for v, w in g.edges()
+            if g.get_attr(v, "year") >= g.get_attr(w, "year")
+        )
+        assert backward / g.num_edges() > 0.9
+
+    def test_dag_leaning(self):
+        g = citation_like(scale=0.02)
+        comps = strongly_connected_components(g)
+        nontrivial_nodes = sum(len(c) for c in comps if len(c) > 1)
+        assert nontrivial_nodes < 0.25 * g.num_nodes()

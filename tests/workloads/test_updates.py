@@ -1,0 +1,92 @@
+"""Tests for the update-stream generators."""
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import synthetic_graph
+from repro.workloads.updates import (
+    degree_biased_deletions,
+    degree_biased_insertions,
+    mixed_updates,
+    snapshot_diff,
+)
+
+
+class TestInsertions:
+    def test_count_and_validity(self):
+        g = synthetic_graph(50, 120, seed=1)
+        ups = degree_biased_insertions(g, 20, seed=2)
+        assert len(ups) == 20
+        for u in ups:
+            assert u.op == "insert"
+            assert not g.has_edge(u.source, u.target)
+            assert u.source != u.target
+
+    def test_no_duplicates(self):
+        g = synthetic_graph(30, 60, seed=1)
+        ups = degree_biased_insertions(g, 25, seed=3)
+        assert len({u.edge for u in ups}) == len(ups)
+
+    def test_tiny_graph(self):
+        g = DiGraph()
+        g.add_node(0)
+        assert degree_biased_insertions(g, 5, seed=1) == []
+
+
+class TestDeletions:
+    def test_count_and_validity(self):
+        g = synthetic_graph(50, 120, seed=1)
+        ups = degree_biased_deletions(g, 20, seed=2)
+        assert len(ups) == 20
+        for u in ups:
+            assert u.op == "delete"
+            assert g.has_edge(u.source, u.target)
+
+    def test_capped_at_edge_count(self):
+        g = DiGraph([("a", "b"), ("b", "c")])
+        ups = degree_biased_deletions(g, 99, seed=1)
+        assert len(ups) == 2
+
+    def test_empty_graph(self):
+        assert degree_biased_deletions(DiGraph(), 5) == []
+
+
+class TestMixed:
+    def test_composition(self):
+        g = synthetic_graph(40, 100, seed=1)
+        ups = mixed_updates(g, 7, 5, seed=2)
+        assert sum(1 for u in ups if u.op == "insert") == 7
+        assert sum(1 for u in ups if u.op == "delete") == 5
+
+    def test_deterministic(self):
+        g = synthetic_graph(40, 100, seed=1)
+        assert mixed_updates(g, 5, 5, seed=9) == mixed_updates(g, 5, 5, seed=9)
+
+    def test_no_shuffle_keeps_order(self):
+        g = synthetic_graph(40, 100, seed=1)
+        ups = mixed_updates(g, 3, 3, seed=2, shuffle=False)
+        assert [u.op for u in ups] == ["insert"] * 3 + ["delete"] * 3
+
+
+class TestSnapshotDiff:
+    def test_diff_transforms_old_into_new(self):
+        old = synthetic_graph(30, 60, seed=1)
+        new = old.copy()
+        new.remove_edge(*next(iter(new.edges())))
+        new.add_edge("x", "y")
+        updates = snapshot_diff(old, new)
+        g = old.copy()
+        for u in updates:
+            if u.op == "insert":
+                g.add_edge(u.source, u.target)
+            else:
+                g.remove_edge(u.source, u.target)
+        assert g.edge_set() == new.edge_set()
+
+    def test_identical_snapshots_empty(self):
+        g = synthetic_graph(10, 20, seed=1)
+        assert snapshot_diff(g, g.copy()) == []
+
+    def test_deletions_precede_insertions(self):
+        old = DiGraph([("a", "b")])
+        new = DiGraph([("c", "d")])
+        ops = [u.op for u in snapshot_diff(old, new)]
+        assert ops == ["delete", "insert"]
