@@ -25,6 +25,12 @@ Quickstart::
 """
 
 from .core.engine import Matcher
+from .engine import (
+    ChangeFeed,
+    ContinuousQuery,
+    MatchDelta,
+    MatcherPool,
+)
 from .graphs.digraph import DiGraph, GraphError
 from .incremental.incbsim import BoundedSimulationIndex
 from .incremental.incsim import SimulationIndex
@@ -42,6 +48,10 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Matcher",
+    "MatcherPool",
+    "ContinuousQuery",
+    "MatchDelta",
+    "ChangeFeed",
     "DiGraph",
     "GraphError",
     "Pattern",

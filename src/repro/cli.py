@@ -1,8 +1,11 @@
-"""Command-line interface: ``python -m repro match ...``.
+"""Command-line interface: ``python -m repro match ...`` / ``pool ...``.
 
-Runs a pattern against a data graph loaded from JSON, optionally applies an
-update file incrementally afterwards, and prints the match (or embeddings)
-as JSON.  File formats:
+``match`` runs one pattern against a data graph loaded from JSON,
+optionally applies an update file incrementally afterwards, and prints the
+match (or embeddings) as JSON.  ``pool`` registers *several* patterns as
+continuous queries over one shared graph, applies the update file in one
+routed flush, and prints each query's match-delta plus routing statistics.
+File formats:
 
 - graph:   ``{"nodes": [{"id": ..., "attrs": {...}}, ...], "edges": [[v, w], ...]}``
   (see :mod:`repro.graphs.io`);
@@ -21,6 +24,7 @@ from pathlib import Path
 from typing import List
 
 from .core.engine import Matcher
+from .engine import MatcherPool
 from .graphs.io import load_json as load_graph
 from .incremental.types import Update, validate_update
 from .patterns.io import load_pattern
@@ -40,15 +44,30 @@ def load_updates(path: str) -> List[Update]:
     return updates
 
 
-def _render(matcher: Matcher) -> dict:
-    if matcher.semantics == "isomorphism":
-        return {"embeddings": matcher.embeddings()}
+def _render_query(query) -> dict:
+    if query.semantics == "isomorphism":
+        return {"embeddings": query.embeddings()}
     return {
         "matches": {
             str(u): sorted(vs, key=repr)
-            for u, vs in matcher.matches().items()
+            for u, vs in query.matches().items()
         }
     }
+
+
+def _render(matcher: Matcher) -> dict:
+    return _render_query(matcher.query)
+
+
+def _render_delta(delta) -> dict:
+    out = {
+        "added": sorted([str(u), str(v)] for u, v in delta.added),
+        "removed": sorted([str(u), str(v)] for u, v in delta.removed),
+    }
+    if delta.added_embeddings or delta.removed_embeddings:
+        out["added_embeddings"] = list(delta.added_embeddings)
+        out["removed_embeddings"] = list(delta.removed_embeddings)
+    return out
 
 
 def main(argv=None) -> int:
@@ -76,7 +95,32 @@ def main(argv=None) -> int:
         action="store_true",
         help="also print the result graph Gr",
     )
+    pool = sub.add_parser(
+        "pool",
+        help="register several patterns as continuous queries over one "
+        "shared graph and apply updates in a single routed flush",
+    )
+    pool.add_argument("--graph", required=True, help="graph JSON file")
+    pool.add_argument(
+        "--patterns",
+        required=True,
+        nargs="+",
+        help="one or more pattern JSON files (query name = file stem)",
+    )
+    pool.add_argument(
+        "--semantics",
+        default="simulation",
+        choices=["bounded", "simulation", "isomorphism"],
+        help="semantics applied to every registered pattern",
+    )
+    pool.add_argument(
+        "--updates",
+        help="JSON update list applied as one coalesced, routed flush",
+    )
     args = parser.parse_args(argv)
+
+    if args.command == "pool":
+        return _run_pool(args)
 
     graph = load_graph(args.graph)
     pattern = load_pattern(args.pattern)
@@ -90,6 +134,40 @@ def main(argv=None) -> int:
         output["result_graph"] = {
             "nodes": sorted((str(v) for v in gr.nodes())),
             "edges": sorted([str(v), str(w)] for v, w in gr.edges()),
+        }
+    json.dump(output, sys.stdout, indent=2, default=repr)
+    sys.stdout.write("\n")
+    return 0
+
+
+def _run_pool(args) -> int:
+    graph = load_graph(args.graph)
+    pool = MatcherPool(graph)
+    for path in args.patterns:
+        name = Path(path).stem
+        suffix = 2
+        while name in pool:  # distinct files may share a stem
+            name = f"{Path(path).stem}{suffix}"
+            suffix += 1
+        pool.register(load_pattern(path), semantics=args.semantics, name=name)
+    output = {
+        "queries": {
+            q.name: _render_query(q) for q in pool.queries()
+        }
+    }
+    if args.updates:
+        report = pool.apply(load_updates(args.updates))
+        output["flush"] = {
+            "net_updates": len(report.net),
+            "routed": report.routed,
+            "skipped": report.skipped,
+            "deltas": {
+                name: _render_delta(delta)
+                for name, delta in sorted(report.deltas.items())
+            },
+        }
+        output["after_updates"] = {
+            q.name: _render_query(q) for q in pool.queries()
         }
     json.dump(output, sys.stdout, indent=2, default=repr)
     sys.stdout.write("\n")

@@ -22,24 +22,26 @@ Semantics:
   :class:`BoundedSimulationIndex` (IncBMatch family);
 - ``"isomorphism"`` — subgraph isomorphism (normal patterns), maintained by
   :class:`IsoIndex` (embedding index; unbounded worst case per Thm. 7.1).
+
+Since the :mod:`repro.engine` subsystem landed, ``Matcher`` is a thin
+single-pattern view over a one-query :class:`~repro.engine.pool.MatcherPool`
+— the same routing/flush/change-feed plumbing that serves thousands of
+concurrent standing queries serves this facade.  ``matcher.query`` exposes
+the underlying :class:`~repro.engine.query.ContinuousQuery` (e.g. to
+subscribe to match deltas); ``matcher.pool`` exposes the pool.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Union
+from typing import Iterable, List, Optional
 
+from ..engine.feeds import ChangeFeed
+from ..engine.pool import MatcherPool
 from ..graphs.digraph import DiGraph, Node
-from ..incremental.incbsim import BoundedSimulationIndex
-from ..incremental.inciso import IsoIndex
-from ..incremental.incsim import SimulationIndex
 from ..incremental.types import Update
 from ..matching.isomorphism import Embedding
 from ..matching.relation import MatchRelation
-from ..matching.result_graph import (
-    isomorphism_result_graph,
-    simulation_result_graph,
-)
-from ..patterns.pattern import Pattern, PatternError
+from ..patterns.pattern import Pattern
 
 SEMANTICS = ("simulation", "bounded", "isomorphism")
 
@@ -55,29 +57,17 @@ class Matcher:
         distance_mode: str = "bfs",
         max_embeddings: Optional[int] = None,
     ) -> None:
-        if semantics not in SEMANTICS:
-            raise ValueError(
-                f"semantics must be one of {SEMANTICS}, got {semantics!r}"
-            )
-        if semantics in ("simulation", "isomorphism") and not pattern.is_normal():
-            raise PatternError(
-                f"{semantics} requires a normal pattern; "
-                "use semantics='bounded' for b-patterns"
-            )
-        pattern.validate()
         self.pattern = pattern
         self.graph = graph
         self.semantics = semantics
-        if semantics == "simulation":
-            self._index: Union[
-                SimulationIndex, BoundedSimulationIndex, IsoIndex
-            ] = SimulationIndex(pattern, graph)
-        elif semantics == "bounded":
-            self._index = BoundedSimulationIndex(
-                pattern, graph, distance_mode=distance_mode
-            )
-        else:
-            self._index = IsoIndex(pattern, graph, max_embeddings=max_embeddings)
+        self.pool = MatcherPool(graph)
+        self.query = self.pool.register(
+            pattern,
+            semantics=semantics,
+            name="matcher",
+            distance_mode=distance_mode,
+            max_embeddings=max_embeddings,
+        )
 
     # ------------------------------------------------------------------
     # Results
@@ -88,72 +78,57 @@ class Matcher:
         For isomorphism semantics, use :meth:`embeddings` instead; this
         raises to avoid silently conflating the two output types.
         """
-        if isinstance(self._index, IsoIndex):
-            raise PatternError(
-                "isomorphism semantics yields embeddings, not a relation; "
-                "call .embeddings()"
-            )
-        return self._index.matches()
+        return self.query.matches()
 
     def embeddings(self) -> List[Embedding]:
         """All isomorphic embeddings (isomorphism semantics only)."""
-        if not isinstance(self._index, IsoIndex):
-            raise PatternError(
-                f"{self.semantics} semantics yields a relation; call .matches()"
-            )
-        return self._index.embeddings()
+        return self.query.embeddings()
 
     def is_match(self) -> bool:
         """``P |> G`` under the chosen semantics?"""
-        if isinstance(self._index, IsoIndex):
-            return self._index.has_match()
-        return any(vs for vs in self._index.matches().values())
+        return self.query.is_match()
 
     def result_graph(self) -> DiGraph:
         """The result graph ``Gr`` (paper Section 4)."""
-        if isinstance(self._index, IsoIndex):
-            return isomorphism_result_graph(
-                self.pattern, self.graph, self._index.embeddings()
-            )
-        if isinstance(self._index, BoundedSimulationIndex):
-            return self._index.result_graph()
-        return simulation_result_graph(
-            self.pattern, self.graph, self._index.matches()
-        )
+        return self.query.result_graph()
+
+    def subscribe(self, maxlen: Optional[int] = None) -> ChangeFeed:
+        """A change feed of per-flush match deltas for this matcher."""
+        return self.query.subscribe(maxlen=maxlen)
 
     @property
     def stats(self):
         """Work counters of the underlying incremental index (if any)."""
-        return getattr(self._index, "stats", None)
+        return self.query.stats
 
     @property
     def index(self):
         """The underlying index — escape hatch for advanced use."""
-        return self._index
+        return self.query.index
 
     # ------------------------------------------------------------------
     # Updates
     # ------------------------------------------------------------------
     def insert_edge(self, v: Node, w: Node) -> bool:
         """Insert a data edge and incrementally repair the match."""
-        return self._index.insert_edge(v, w)
+        return self.pool.insert_edge(v, w)
 
     def delete_edge(self, v: Node, w: Node) -> bool:
         """Delete a data edge and incrementally repair the match."""
-        return self._index.delete_edge(v, w)
+        return self.pool.delete_edge(v, w)
 
     def add_node(self, v: Node, **attrs) -> None:
         """Add/refresh a node (isomorphism indexes re-anchor lazily)."""
-        if isinstance(self._index, IsoIndex):
+        if self.semantics == "isomorphism":
             self.graph.add_node(v, **attrs)
         else:
-            self._index.add_node(v, **attrs)
+            self.pool.add_node(v, **attrs)
 
     def update_node_attrs(self, v: Node, **attrs) -> None:
         """Merge new attributes into ``v`` and repair the match — the
         "user edits her profile" update class the paper motivates."""
-        self._index.update_node_attrs(v, **attrs)
+        self.pool.update_node_attrs(v, **attrs)
 
     def apply(self, updates: Iterable[Update]) -> None:
         """Apply a batch of updates with the batch incremental algorithm."""
-        self._index.apply_batch(updates)
+        self.pool.apply(updates)

@@ -1,0 +1,27 @@
+"""Continuous-query engine: many standing patterns over one shared graph.
+
+- :class:`MatcherPool` — registers ``(pattern, semantics)`` queries,
+  coalesces updates per flush, routes each update only to the queries it
+  can affect, and repairs the shared graph's indexes in one pass;
+- :class:`ContinuousQuery` — one registered query: results, routing
+  signature, and a match-delta change feed;
+- :class:`UpdateRouter` — the label/predicate-keyed routing index;
+- :class:`MatchDelta` / :class:`ChangeFeed` — the per-flush diff events
+  and their drainable subscriber buffers.
+"""
+
+from .feeds import ChangeFeed, MatchDelta
+from .pool import FlushReport, MatcherPool, PoolStats
+from .query import ContinuousQuery, build_index
+from .router import UpdateRouter
+
+__all__ = [
+    "MatcherPool",
+    "ContinuousQuery",
+    "UpdateRouter",
+    "MatchDelta",
+    "ChangeFeed",
+    "FlushReport",
+    "PoolStats",
+    "build_index",
+]

@@ -1,0 +1,107 @@
+"""Match-delta change feeds for continuous queries.
+
+A registered query publishes one :class:`MatchDelta` per flush that
+touched it: the net ``(u, v)`` match pairs that entered and left the
+*user-facing* relation (totalized, per the paper's convention that a
+non-total relation collapses to empty), plus — for isomorphism semantics —
+the embeddings that appeared and disappeared.  Subscribers consume diffs
+instead of re-reading full relations, the "incremental evaluation feeds
+incremental consumers" regime of the paper's Section 1 motivation.
+
+:class:`ChangeFeed` is a drainable buffer bound to one query; any number
+of feeds may subscribe to the same query.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, FrozenSet, List, Optional, Tuple
+
+from ..graphs.digraph import Node
+from ..matching.isomorphism import Embedding
+from ..patterns.pattern import PatternNode
+
+MatchPair = Tuple[PatternNode, Node]
+
+
+class MatchDelta:
+    """The net change to one query's result across one pool flush."""
+
+    __slots__ = (
+        "query_name",
+        "seq",
+        "added",
+        "removed",
+        "added_embeddings",
+        "removed_embeddings",
+    )
+
+    def __init__(
+        self,
+        query_name: str,
+        seq: int,
+        added: FrozenSet[MatchPair] = frozenset(),
+        removed: FrozenSet[MatchPair] = frozenset(),
+        added_embeddings: Tuple[Embedding, ...] = (),
+        removed_embeddings: Tuple[Embedding, ...] = (),
+    ) -> None:
+        self.query_name = query_name
+        self.seq = seq
+        self.added = frozenset(added)
+        self.removed = frozenset(removed)
+        self.added_embeddings = tuple(added_embeddings)
+        self.removed_embeddings = tuple(removed_embeddings)
+
+    def is_empty(self) -> bool:
+        return not (
+            self.added
+            or self.removed
+            or self.added_embeddings
+            or self.removed_embeddings
+        )
+
+    def __bool__(self) -> bool:
+        return not self.is_empty()
+
+    def __repr__(self) -> str:
+        parts = [f"query={self.query_name!r}", f"seq={self.seq}"]
+        if self.added or self.removed:
+            parts.append(f"pairs(+{len(self.added)}, -{len(self.removed)})")
+        if self.added_embeddings or self.removed_embeddings:
+            parts.append(
+                f"embeddings(+{len(self.added_embeddings)}, "
+                f"-{len(self.removed_embeddings)})"
+            )
+        return f"MatchDelta({', '.join(parts)})"
+
+
+class ChangeFeed:
+    """A drainable buffer of :class:`MatchDelta` for one query.
+
+    ``maxlen`` bounds memory for slow consumers: once full, the oldest
+    deltas are dropped and :attr:`dropped` counts them, so a consumer can
+    detect that it must re-read the full relation to resynchronize.
+    """
+
+    def __init__(self, query_name: str, maxlen: Optional[int] = None) -> None:
+        self.query_name = query_name
+        self.dropped = 0
+        self._buffer: Deque[MatchDelta] = deque(maxlen=maxlen)
+
+    def publish(self, delta: MatchDelta) -> None:
+        buf = self._buffer
+        if buf.maxlen is not None and len(buf) == buf.maxlen:
+            self.dropped += 1
+        buf.append(delta)
+
+    def drain(self) -> List[MatchDelta]:
+        """All pending deltas, oldest first; the buffer is emptied."""
+        out = list(self._buffer)
+        self._buffer.clear()
+        return out
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def __bool__(self) -> bool:
+        return bool(self._buffer)

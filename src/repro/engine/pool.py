@@ -1,0 +1,318 @@
+"""The multi-pattern continuous-query engine.
+
+:class:`MatcherPool` registers many ``(pattern, semantics)`` standing
+queries over **one shared** :class:`~repro.graphs.digraph.DiGraph` — the
+production regime the paper motivates (Section 1: "graphs are frequently
+updated", and real deployments keep thousands of fixed patterns matched
+against one evolving graph).  Per flush the pool:
+
+1. coalesces queued edge updates with :func:`~repro.incremental.types.net_updates`
+   (the cancellation half of the paper's ``minDelta`` reduction), so an
+   insert/delete pair of the same edge costs nothing anywhere;
+2. routes every surviving update through the
+   :class:`~repro.engine.router.UpdateRouter` to the subset of queries
+   whose candidate space it can touch — queries outside the subset do
+   **zero** work;
+3. mutates the shared graph exactly once, invoking each routed query's
+   repair entry points around the edit (bounded simulation needs its
+   pre-deletion balls, so deletions are prepared before the edit);
+4. pops each touched query's match delta and publishes it to the query's
+   change feeds.
+
+The single-pattern :class:`~repro.core.engine.Matcher` facade is a thin
+view over a one-query pool, so both paths share this plumbing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..graphs.digraph import DiGraph, Node
+from ..incremental.types import Update, delete, insert, net_updates
+from ..patterns.pattern import Pattern
+from .feeds import MatchDelta
+from .query import ContinuousQuery
+from .router import UpdateRouter
+
+
+class PoolStats:
+    """Cumulative work counters across flushes."""
+
+    __slots__ = (
+        "flushes",
+        "edge_updates_queued",
+        "net_edge_updates",
+        "attr_updates",
+        "routed_pairs",
+        "skipped_pairs",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.flushes = 0
+        self.edge_updates_queued = 0
+        self.net_edge_updates = 0
+        self.attr_updates = 0
+        self.routed_pairs = 0
+        self.skipped_pairs = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"PoolStats(flushes={self.flushes}, "
+            f"edge_updates={self.edge_updates_queued}, "
+            f"net={self.net_edge_updates}, "
+            f"routed={self.routed_pairs}, skipped={self.skipped_pairs})"
+        )
+
+
+class FlushReport:
+    """What one flush did: net updates applied, routing, and deltas."""
+
+    __slots__ = ("seq", "net", "attr_ops", "deltas", "routed", "skipped")
+
+    def __init__(self, seq: int) -> None:
+        self.seq = seq
+        self.net: List[Update] = []
+        self.attr_ops = 0
+        self.deltas: Dict[str, MatchDelta] = {}
+        self.routed = 0
+        self.skipped = 0
+
+    def changed(self) -> bool:
+        return bool(self.net) or self.attr_ops > 0
+
+    def __repr__(self) -> str:
+        return (
+            f"FlushReport(seq={self.seq}, net={len(self.net)}, "
+            f"attr_ops={self.attr_ops}, routed={self.routed}, "
+            f"skipped={self.skipped}, touched={len(self.deltas)})"
+        )
+
+
+class MatcherPool:
+    """Many continuous pattern queries over one shared data graph."""
+
+    def __init__(self, graph: DiGraph) -> None:
+        self.graph = graph
+        self.stats = PoolStats()
+        self._router = UpdateRouter()
+        self._queries: Dict[str, ContinuousQuery] = {}
+        self._pending_edges: List[Update] = []
+        self._pending_nodes: List[Tuple[Node, Dict[str, Any]]] = []
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        pattern: Pattern,
+        semantics: str = "bounded",
+        name: Optional[str] = None,
+        distance_mode: str = "bfs",
+        max_embeddings: Optional[int] = None,
+    ) -> ContinuousQuery:
+        """Register a standing query; its index is built immediately.
+
+        Pending (unflushed) updates are flushed first so the new index is
+        born consistent with every already-registered query.
+        """
+        if self._pending_edges or self._pending_nodes:
+            self.flush()
+        if name is None:
+            n = len(self._queries)
+            while f"q{n}" in self._queries:
+                n += 1
+            name = f"q{n}"
+        if name in self._queries:
+            raise ValueError(f"query name {name!r} already registered")
+        query = ContinuousQuery(
+            name,
+            pattern,
+            self.graph,
+            semantics=semantics,
+            distance_mode=distance_mode,
+            max_embeddings=max_embeddings,
+        )
+        self._queries[name] = query
+        self._router.register(query)
+        return query
+
+    def unregister(self, query: ContinuousQuery) -> None:
+        """Drop a standing query; its feeds stop receiving deltas."""
+        if self._queries.get(query.name) is query:
+            del self._queries[query.name]
+            self._router.unregister(query)
+
+    def query(self, name: str) -> ContinuousQuery:
+        return self._queries[name]
+
+    def queries(self) -> List[ContinuousQuery]:
+        return list(self._queries.values())
+
+    def __len__(self) -> int:
+        return len(self._queries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._queries
+
+    # ------------------------------------------------------------------
+    # Update intake
+    # ------------------------------------------------------------------
+    def queue(self, update: Update) -> None:
+        """Buffer one edge update for the next flush."""
+        self._pending_edges.append(update)
+
+    def queue_updates(self, updates: Iterable[Update]) -> None:
+        self._pending_edges.extend(updates)
+
+    def queue_node(self, v: Node, **attrs: Any) -> None:
+        """Buffer a node addition / attribute merge for the next flush."""
+        self._pending_nodes.append((v, dict(attrs)))
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending_edges) + len(self._pending_nodes)
+
+    # Convenience unit operations (queue + flush), mirroring Matcher.
+    def insert_edge(self, v: Node, w: Node) -> bool:
+        """Insert a data edge, flush, and report whether the graph changed."""
+        existed = self.graph.has_edge(v, w)
+        self.queue(insert(v, w))
+        self.flush()
+        return not existed
+
+    def delete_edge(self, v: Node, w: Node) -> bool:
+        """Delete a data edge, flush, and report whether the graph changed."""
+        existed = self.graph.has_edge(v, w)
+        self.queue(delete(v, w))
+        self.flush()
+        return existed
+
+    def add_node(self, v: Node, **attrs: Any) -> None:
+        """Add/refresh a node (and repair all affected queries)."""
+        self.queue_node(v, **attrs)
+        self.flush()
+
+    def update_node_attrs(self, v: Node, **attrs: Any) -> None:
+        """Merge new attributes into ``v`` and repair affected queries."""
+        self.queue_node(v, **attrs)
+        self.flush()
+
+    def apply(self, updates: Iterable[Update]) -> FlushReport:
+        """Queue a batch of edge updates and flush once (coalesced)."""
+        self.queue_updates(updates)
+        return self.flush()
+
+    # ------------------------------------------------------------------
+    # Flush
+    # ------------------------------------------------------------------
+    def flush(self) -> FlushReport:
+        """Apply all pending updates once, repairing only routed queries."""
+        report = FlushReport(self._seq)
+        self._seq += 1
+        node_ops = self._pending_nodes
+        edge_ops = self._pending_edges
+        self._pending_nodes = []
+        self._pending_edges = []
+        self.stats.flushes += 1
+        self.stats.edge_updates_queued += len(edge_ops)
+        self.stats.attr_updates += len(node_ops)
+        touched: Dict[str, ContinuousQuery] = {}
+
+        # ---- Phase A: node additions / attribute merges ----------------
+        report.attr_ops = len(node_ops)
+        for v, attrs in node_ops:
+            if self.graph.has_node(v):
+                old = dict(self.graph.attrs(v))
+                merged = dict(old)
+                merged.update(attrs)
+                affected = self._router.route_attr_change(
+                    old, merged, attrs.keys()
+                )
+                self.graph.add_node(v, **attrs)
+                for q in affected:
+                    q.apply_attr_update(v, attrs)
+                    touched[q.name] = q
+            else:
+                self.graph.add_node(v, **attrs)
+                affected = self._router.route_node(self.graph.attrs(v))
+                for q in affected:
+                    q.apply_node_added(v, attrs)
+                    touched[q.name] = q
+            report.routed += len(affected)
+            report.skipped += len(self._queries) - len(affected)
+
+        # ---- Phase B: coalesce + route edge updates --------------------
+        net = net_updates(self.graph, edge_ops)
+        report.net = net
+        self.stats.net_edge_updates += len(net)
+        deletions = [u.edge for u in net if u.op == "delete"]
+        insertions = [u.edge for u in net if u.op == "insert"]
+
+        routed_dels: Dict[str, List[Tuple[Node, Node]]] = {}
+        for v, w in deletions:
+            qs = self._router.route_edge(self.graph.attrs(v), self.graph.attrs(w))
+            for q in qs:
+                routed_dels.setdefault(q.name, []).append((v, w))
+                touched[q.name] = q
+            report.routed += len(qs)
+            report.skipped += len(self._queries) - len(qs)
+
+        routed_ins: Dict[str, List[Tuple[Node, Node]]] = {}
+        for v, w in insertions:
+            v_attrs = self.graph.attrs(v) if v in self.graph else {}
+            w_attrs = self.graph.attrs(w) if w in self.graph else {}
+            qs = self._router.route_edge(v_attrs, w_attrs)
+            for q in qs:
+                routed_ins.setdefault(q.name, []).append((v, w))
+                touched[q.name] = q
+            report.routed += len(qs)
+            report.skipped += len(self._queries) - len(qs)
+
+        # ---- Phase C: deletions (prep -> edit -> repair) ---------------
+        prepared = {
+            name: self._queries[name].prepare_deletions(edges)
+            for name, edges in routed_dels.items()
+        }
+        for v, w in deletions:
+            self.graph.remove_edge(v, w)
+        for name, prep in prepared.items():
+            self._queries[name].repair_deletions(prep)
+
+        # ---- Phase D: insertions (edit -> repair -> fresh nodes) -------
+        fresh_nodes: List[Node] = []
+        for v, w in insertions:
+            for node in (v, w):
+                if node not in self.graph:
+                    self.graph.add_node(node)
+                    fresh_nodes.append(node)
+            self.graph.add_edge(v, w)
+        for name, edges in routed_ins.items():
+            self._queries[name].repair_insertions(edges)
+        # Fresh attribute-less endpoints can still match wildcard (TRUE)
+        # predicates — e.g. a childless or single-node pattern — so they
+        # are announced after edge repair (registration is idempotent).
+        if fresh_nodes:
+            wildcard_queries = self._router.route_node({})
+            for node in fresh_nodes:
+                for q in wildcard_queries:
+                    q.apply_node_added(node, {})
+                    touched[q.name] = q
+                report.routed += len(wildcard_queries)
+                report.skipped += len(self._queries) - len(wildcard_queries)
+
+        # ---- Phase E: publish match deltas -----------------------------
+        for name, q in touched.items():
+            report.deltas[name] = q.emit_delta(report.seq)
+        self.stats.routed_pairs += report.routed
+        self.stats.skipped_pairs += report.skipped
+        return report
+
+    def __repr__(self) -> str:
+        return (
+            f"MatcherPool(queries={len(self._queries)}, "
+            f"graph={self.graph!r}, pending={self.pending})"
+        )

@@ -1,0 +1,302 @@
+"""One registered continuous query of a :class:`~repro.engine.pool.MatcherPool`.
+
+A :class:`ContinuousQuery` owns the incremental index for one
+``(pattern, semantics)`` over the pool's shared data graph, carries the
+query's *routing signature* (which updates can possibly touch its
+candidate space), and turns the index's raw promotion/demotion deltas into
+user-facing :class:`~repro.engine.feeds.MatchDelta` events — applying the
+paper's totalization convention (a relation missing some pattern node
+collapses to empty) at the feed boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
+
+from ..graphs.digraph import DiGraph, Node
+from ..incremental.incbsim import BoundedSimulationIndex
+from ..incremental.inciso import IsoIndex
+from ..incremental.incsim import SimulationIndex
+from ..matching.isomorphism import Embedding
+from ..matching.relation import MatchRelation, as_pairs
+from ..matching.result_graph import (
+    isomorphism_result_graph,
+    simulation_result_graph,
+)
+from ..patterns.pattern import Pattern, PatternError, PatternNode
+from ..patterns.predicate import Predicate
+from .feeds import ChangeFeed, MatchDelta, MatchPair
+
+SEMANTICS = ("simulation", "bounded", "isomorphism")
+
+EqKey = Tuple[str, Any]
+
+
+def build_index(
+    pattern: Pattern,
+    graph: DiGraph,
+    semantics: str,
+    distance_mode: str = "bfs",
+    max_embeddings: Optional[int] = None,
+):
+    """Validate and build the incremental index for one query."""
+    if semantics not in SEMANTICS:
+        raise ValueError(
+            f"semantics must be one of {SEMANTICS}, got {semantics!r}"
+        )
+    if semantics in ("simulation", "isomorphism") and not pattern.is_normal():
+        raise PatternError(
+            f"{semantics} requires a normal pattern; "
+            "use semantics='bounded' for b-patterns"
+        )
+    pattern.validate()
+    if semantics == "simulation":
+        return SimulationIndex(pattern, graph)
+    if semantics == "bounded":
+        return BoundedSimulationIndex(
+            pattern, graph, distance_mode=distance_mode
+        )
+    return IsoIndex(pattern, graph, max_embeddings=max_embeddings)
+
+
+class ContinuousQuery:
+    """A standing ``(pattern, semantics)`` query over a shared graph."""
+
+    def __init__(
+        self,
+        name: str,
+        pattern: Pattern,
+        graph: DiGraph,
+        semantics: str = "bounded",
+        distance_mode: str = "bfs",
+        max_embeddings: Optional[int] = None,
+    ) -> None:
+        self.name = name
+        self.pattern = pattern
+        self.graph = graph
+        self.semantics = semantics
+        self.index = build_index(
+            pattern,
+            graph,
+            semantics,
+            distance_mode=distance_mode,
+            max_embeddings=max_embeddings,
+        )
+        self._feeds: List[ChangeFeed] = []
+        self.last_delta: Optional[MatchDelta] = None
+        # --- routing signature -----------------------------------------
+        self._node_preds: List[Predicate] = [
+            pattern.predicate(u) for u in pattern.nodes()
+        ]
+        self._edge_pred_pairs: List[Tuple[Predicate, Predicate]] = [
+            (pattern.predicate(u), pattern.predicate(u2))
+            for u, u2 in pattern.edges()
+        ]
+        self.attr_names: FrozenSet[str] = frozenset(
+            atom.attribute for pred in self._node_preds for atom in pred.atoms
+        )
+        # One representative equality atom per predicate: a node can only
+        # satisfy the predicate if its attrs contain that (attr, value)
+        # item, so indexing one atom yields a sound candidate superset.
+        eq_keys: Set[EqKey] = set()
+        wildcard = False
+        for pred in self._node_preds:
+            eq_atoms = [a for a in pred.atoms if a.op == "="]
+            if eq_atoms:
+                eq_keys.add((eq_atoms[0].attribute, eq_atoms[0].value))
+            else:
+                wildcard = True  # TRUE / inequality-only: matches broadly
+        self.eq_keys: FrozenSet[EqKey] = frozenset(eq_keys)
+        self.wildcard_node: bool = wildcard
+        self.routes_all_edges: bool = (
+            isinstance(self.index, BoundedSimulationIndex)
+            and self.index.routes_all_edges()
+        )
+        # --- delta bookkeeping -----------------------------------------
+        if isinstance(self.index, IsoIndex):
+            self._was_total = True  # unused for embeddings
+            self._pair_counts: Dict[MatchPair, int] = {}
+            for emb in self.index.embeddings():
+                for pair in emb.items():
+                    self._pair_counts[pair] = self._pair_counts.get(pair, 0) + 1
+        else:
+            self._was_total = self.index.is_total()
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def matches(self) -> MatchRelation:
+        """The maximum match relation (simulation / bounded semantics)."""
+        if isinstance(self.index, IsoIndex):
+            raise PatternError(
+                "isomorphism semantics yields embeddings, not a relation; "
+                "call .embeddings()"
+            )
+        return self.index.matches()
+
+    def embeddings(self) -> List[Embedding]:
+        """All isomorphic embeddings (isomorphism semantics only)."""
+        if not isinstance(self.index, IsoIndex):
+            raise PatternError(
+                f"{self.semantics} semantics yields a relation; call .matches()"
+            )
+        return self.index.embeddings()
+
+    def is_match(self) -> bool:
+        """``P |> G`` under the chosen semantics?"""
+        if isinstance(self.index, IsoIndex):
+            return self.index.has_match()
+        return any(vs for vs in self.index.matches().values())
+
+    def result_graph(self) -> DiGraph:
+        """The result graph ``Gr`` (paper Section 4)."""
+        if isinstance(self.index, IsoIndex):
+            return isomorphism_result_graph(
+                self.pattern, self.graph, self.index.embeddings()
+            )
+        if isinstance(self.index, BoundedSimulationIndex):
+            return self.index.result_graph()
+        return simulation_result_graph(
+            self.pattern, self.graph, self.index.matches()
+        )
+
+    @property
+    def stats(self):
+        """Work counters of the underlying incremental index (if any)."""
+        return getattr(self.index, "stats", None)
+
+    # ------------------------------------------------------------------
+    # Change feed
+    # ------------------------------------------------------------------
+    def subscribe(self, maxlen: Optional[int] = None) -> ChangeFeed:
+        """A new drainable feed receiving this query's match deltas."""
+        feed = ChangeFeed(self.name, maxlen=maxlen)
+        self._feeds.append(feed)
+        return feed
+
+    def unsubscribe(self, feed: ChangeFeed) -> None:
+        try:
+            self._feeds.remove(feed)
+        except ValueError:
+            pass
+
+    def emit_delta(self, seq: int) -> MatchDelta:
+        """Pop the index's raw delta, totalize, publish, and return it."""
+        if isinstance(self.index, IsoIndex):
+            delta = self._emit_iso_delta(seq)
+        else:
+            delta = self._emit_relation_delta(seq)
+        self.last_delta = delta
+        for feed in self._feeds:
+            feed.publish(delta)
+        return delta
+
+    def _emit_relation_delta(self, seq: int) -> MatchDelta:
+        raw_added, raw_removed = self.index.pop_match_delta()
+        now_total = self.index.is_total()
+        if self._was_total and now_total:
+            added, removed = raw_added, raw_removed
+        elif not self._was_total and not now_total:
+            added, removed = set(), set()
+        else:
+            # Totality flipped: the user-facing relation went from (or to)
+            # empty wholesale.  Reconstruct the other side from the raw
+            # state and the raw delta.
+            after = set(as_pairs(self.index.raw_match_sets()))
+            if now_total:
+                added, removed = after, set()
+            else:
+                before = (after - raw_added) | raw_removed
+                added, removed = set(), before
+        self._was_total = now_total
+        return MatchDelta(
+            self.name, seq, added=frozenset(added), removed=frozenset(removed)
+        )
+
+    def _emit_iso_delta(self, seq: int) -> MatchDelta:
+        added_embs, removed_embs = self.index.pop_match_delta()
+        added_pairs: Set[MatchPair] = set()
+        removed_pairs: Set[MatchPair] = set()
+        counts = self._pair_counts
+        for emb in removed_embs:
+            for pair in emb.items():
+                counts[pair] -= 1
+                if counts[pair] == 0:
+                    del counts[pair]
+                    removed_pairs.add(pair)
+        for emb in added_embs:
+            for pair in emb.items():
+                if counts.get(pair, 0) == 0:
+                    if pair in removed_pairs:
+                        removed_pairs.discard(pair)
+                    else:
+                        added_pairs.add(pair)
+                counts[pair] = counts.get(pair, 0) + 1
+        return MatchDelta(
+            self.name,
+            seq,
+            added=frozenset(added_pairs),
+            removed=frozenset(removed_pairs),
+            added_embeddings=tuple(added_embs),
+            removed_embeddings=tuple(removed_embs),
+        )
+
+    # ------------------------------------------------------------------
+    # Routing predicates (consulted by UpdateRouter)
+    # ------------------------------------------------------------------
+    def touches_edge(
+        self, v_attrs: Mapping[str, Any], w_attrs: Mapping[str, Any]
+    ) -> bool:
+        """Can an edge between nodes with these attrs affect this query?"""
+        if self.routes_all_edges:
+            return True
+        return any(
+            pu.satisfied_by(v_attrs) and pw.satisfied_by(w_attrs)
+            for pu, pw in self._edge_pred_pairs
+        )
+
+    def touches_node(self, attrs: Mapping[str, Any]) -> bool:
+        """Can a node with these attrs be eligible for any pattern node?"""
+        return any(p.satisfied_by(attrs) for p in self._node_preds)
+
+    def touches_attr_change(
+        self, old_attrs: Mapping[str, Any], new_attrs: Mapping[str, Any]
+    ) -> bool:
+        """Does the old->new attr change flip any predicate's verdict?"""
+        return any(
+            p.satisfied_by(old_attrs) != p.satisfied_by(new_attrs)
+            for p in self._node_preds
+        )
+
+    # ------------------------------------------------------------------
+    # Repair delegation (invoked by the pool; graph already mutated
+    # except where noted)
+    # ------------------------------------------------------------------
+    def prepare_deletions(self, edges: List[Tuple[Node, Node]]):
+        """Pre-deletion prep; call BEFORE the pool removes the edges."""
+        if isinstance(self.index, BoundedSimulationIndex):
+            return self.index.prepare_deleted_edges(edges)
+        return edges
+
+    def repair_deletions(self, prepared) -> None:
+        self.index.repair_deleted_edges(prepared)
+
+    def repair_insertions(self, edges: List[Tuple[Node, Node]]) -> None:
+        self.index.repair_inserted_edges(edges)
+
+    def apply_node_added(self, v: Node, attrs: Mapping[str, Any]) -> None:
+        """A node appeared in the shared graph (attrs already applied)."""
+        if isinstance(self.index, IsoIndex):
+            self.index.update_node_attrs(v, **dict(attrs))
+        else:
+            self.index.add_node(v, **dict(attrs))
+
+    def apply_attr_update(self, v: Node, attrs: Mapping[str, Any]) -> None:
+        """Node ``v``'s attributes changed (already merged into the graph)."""
+        self.index.update_node_attrs(v, **dict(attrs))
+
+    def __repr__(self) -> str:
+        return (
+            f"ContinuousQuery({self.name!r}, semantics={self.semantics!r}, "
+            f"{self.pattern!r})"
+        )

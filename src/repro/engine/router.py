@@ -1,0 +1,149 @@
+"""Label/predicate-keyed update routing for the continuous-query pool.
+
+With thousands of standing patterns over one shared graph, handing every
+update to every pattern is the naive loop the paper's incremental
+algorithms were built to avoid at the single-pattern level.  The router
+lifts the same idea to the pool level — the "fixed queries under updates"
+regime of Berkholz et al. — by indexing each query's *routing signature*:
+
+- one representative equality atom ``(attribute, value)`` per pattern-node
+  predicate (a data node can only satisfy the predicate if its attribute
+  tuple contains that item), so an update endpoint's attrs select a sound
+  candidate superset via dict lookups;
+- queries with a predicate lacking equality atoms (``TRUE`` or
+  inequality-only) fall into a wildcard-node bucket;
+- bounded queries whose bounds exceed 1 (or that maintain landmark /
+  matrix distance structures) must observe every edge update — an edge
+  between unlabeled nodes can shorten a witness path — and live in a
+  wildcard-edge bucket;
+- attribute updates route by attribute *name*: merging attributes no
+  predicate mentions cannot change any eligibility.
+
+Candidates are then confirmed with the query's exact predicate check
+(``touches_edge`` / ``touches_node`` / ``touches_attr_change``); queries
+that fail either stage do **zero** work for the update.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Set
+
+from .query import ContinuousQuery, EqKey
+
+
+class UpdateRouter:
+    """Maps updates to the registered queries they can possibly affect."""
+
+    def __init__(self) -> None:
+        self._queries: Dict[int, ContinuousQuery] = {}
+        self._order: Dict[int, int] = {}  # registration order for stable output
+        self._next_rank = 0
+        self._eq: Dict[EqKey, Set[int]] = {}
+        self._by_attr: Dict[str, Set[int]] = {}
+        self._wild_node: Set[int] = set()
+        self._wild_edge: Set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self._queries)
+
+    def register(self, query: ContinuousQuery) -> None:
+        qid = id(query)
+        self._queries[qid] = query
+        self._order[qid] = self._next_rank
+        self._next_rank += 1
+        for key in query.eq_keys:
+            self._eq.setdefault(key, set()).add(qid)
+        for name in query.attr_names:
+            self._by_attr.setdefault(name, set()).add(qid)
+        if query.wildcard_node:
+            self._wild_node.add(qid)
+        if query.routes_all_edges:
+            self._wild_edge.add(qid)
+
+    def unregister(self, query: ContinuousQuery) -> None:
+        qid = id(query)
+        if qid not in self._queries:
+            return
+        del self._queries[qid]
+        del self._order[qid]
+        for key in query.eq_keys:
+            bucket = self._eq.get(key)
+            if bucket is not None:
+                bucket.discard(qid)
+                if not bucket:
+                    del self._eq[key]
+        for name in query.attr_names:
+            bucket = self._by_attr.get(name)
+            if bucket is not None:
+                bucket.discard(qid)
+                if not bucket:
+                    del self._by_attr[name]
+        self._wild_node.discard(qid)
+        self._wild_edge.discard(qid)
+
+    # ------------------------------------------------------------------
+    # Candidate selection
+    # ------------------------------------------------------------------
+    def _node_candidates(self, attrs: Mapping[str, Any]) -> Set[int]:
+        out = set(self._wild_node)
+        for item in attrs.items():
+            try:
+                bucket = self._eq.get(item)
+            except TypeError:  # unhashable attribute value
+                continue
+            if bucket:
+                out.update(bucket)
+        return out
+
+    def _sorted(self, qids) -> List[ContinuousQuery]:
+        return [
+            self._queries[qid]
+            for qid in sorted(qids, key=self._order.__getitem__)
+        ]
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def route_edge(
+        self, v_attrs: Mapping[str, Any], w_attrs: Mapping[str, Any]
+    ) -> List[ContinuousQuery]:
+        """Queries an edge update between these endpoints can affect.
+
+        Sound for simulation/isomorphism semantics (and bound-1 bounded
+        patterns): an edge only enters the incremental bookkeeping when
+        its source can play some pattern node ``u`` and its target some
+        successor ``u2`` — both requiring predicate satisfaction.
+        """
+        cands = self._node_candidates(v_attrs) & self._node_candidates(w_attrs)
+        cands |= self._wild_edge
+        return [
+            q
+            for q in self._sorted(cands)
+            if q.touches_edge(v_attrs, w_attrs)
+        ]
+
+    def route_node(self, attrs: Mapping[str, Any]) -> List[ContinuousQuery]:
+        """Queries for which a (new) node with these attrs is eligible."""
+        return [
+            q
+            for q in self._sorted(self._node_candidates(attrs))
+            if q.touches_node(attrs)
+        ]
+
+    def route_attr_change(
+        self,
+        old_attrs: Mapping[str, Any],
+        new_attrs: Mapping[str, Any],
+        changed_names,
+    ) -> List[ContinuousQuery]:
+        """Queries whose eligibility the old->new attr merge can flip."""
+        cands: Set[int] = set()
+        for name in changed_names:
+            bucket = self._by_attr.get(name)
+            if bucket:
+                cands.update(bucket)
+        return [
+            q
+            for q in self._sorted(cands)
+            if q.touches_attr_change(old_attrs, new_attrs)
+        ]

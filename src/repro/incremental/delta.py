@@ -1,0 +1,67 @@
+"""Netted change logs for the incremental indexes.
+
+The indexes of this package mutate their result silently: a promotion
+cascade adds ``(u, v)`` pairs to the match, a demotion cascade removes
+them, an embedding index stores and discards embeddings.  The continuous
+query engine (:mod:`repro.engine`) needs those mutations as *deltas* — the
+net added/removed entries since the last flush — so that a standing query
+over an evolving graph can publish diffs instead of forcing subscribers to
+re-read the full relation.
+
+:class:`DeltaLog` is the shared accumulator.  It nets out churn within a
+flush window: an entry removed and later re-added (or vice versa) leaves no
+trace, so ``pop()`` returns exactly the set difference between the tracked
+structure now and at the previous ``pop()``/``clear()``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Tuple
+
+Key = Hashable
+
+
+class DeltaLog:
+    """Net added/removed keys (with optional payloads) since the last pop.
+
+    Payloads let a caller recover the full value of a removed entry (e.g.
+    the embedding dict behind a frozenset key) after the owning structure
+    has already dropped it.
+    """
+
+    __slots__ = ("added", "removed")
+
+    def __init__(self) -> None:
+        self.added: Dict[Key, Any] = {}
+        self.removed: Dict[Key, Any] = {}
+
+    def add(self, key: Key, payload: Any = None) -> None:
+        """Record that ``key`` entered the tracked structure."""
+        if key in self.removed:
+            del self.removed[key]
+        else:
+            self.added[key] = payload
+
+    def remove(self, key: Key, payload: Any = None) -> None:
+        """Record that ``key`` left the tracked structure."""
+        if key in self.added:
+            del self.added[key]
+        else:
+            self.removed[key] = payload
+
+    def pop(self) -> Tuple[Dict[Key, Any], Dict[Key, Any]]:
+        """Return ``(added, removed)`` and reset the log."""
+        added, removed = self.added, self.removed
+        self.added = {}
+        self.removed = {}
+        return added, removed
+
+    def clear(self) -> None:
+        self.added = {}
+        self.removed = {}
+
+    def __bool__(self) -> bool:
+        return bool(self.added or self.removed)
+
+    def __repr__(self) -> str:
+        return f"DeltaLog(+{len(self.added)}, -{len(self.removed)})"

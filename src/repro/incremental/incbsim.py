@@ -124,6 +124,21 @@ class BoundedSimulationIndex:
         raw = self._inner.raw_match_sets()
         return {u: {v for (_, v) in raw[u]} for u in raw}
 
+    def is_total(self) -> bool:
+        return self._inner.is_total()
+
+    def pop_match_delta(self):
+        """Net ``(added, removed)`` raw match pairs since the last pop.
+
+        The inner index works over pair-graph nodes ``(u, v)`` in layer
+        ``u``, so its delta translates one-to-one into data-level pairs.
+        """
+        added, removed = self._inner.pop_match_delta()
+        return (
+            {(u, v) for (_, (u, v)) in added},
+            {(u, v) for (_, (u, v)) in removed},
+        )
+
     def candidates(self) -> MatchRelation:
         return {
             u: {v for (_, v) in self._inner.candt[u]}
@@ -481,6 +496,71 @@ class BoundedSimulationIndex:
                 self.insert_edge(u.source, u.target)
             else:
                 self.delete_edge(u.source, u.target)
+
+    # ------------------------------------------------------------------
+    # Shared-graph repair (MatcherPool plumbing)
+    # ------------------------------------------------------------------
+    def routes_all_edges(self) -> bool:
+        """Must this index see *every* edge update of the shared graph?
+
+        Distance structures (landmark vectors, all-pairs matrix) track the
+        whole graph, and any bound ``> 1`` (or ``*``) lets an edge between
+        unlabeled nodes shorten a witness path — in both cases endpoint
+        routing is unsound and the pool must deliver every edge update.
+        Pure bound-1 patterns in BFS mode behave like plain simulation.
+        """
+        if self._lm is not None or self._matrix is not None:
+            return True
+        return any(b != 1 for b in self._bounds.values())
+
+    def prepare_deleted_edges(
+        self, edges: Iterable[Tuple[Node, Node]]
+    ) -> List[Tuple]:
+        """Phase-D prep: balls on the *pre-deletion* graph.
+
+        Must be called before the pool removes the edges; the returned
+        token is handed back to :meth:`repair_deleted_edges`.
+        """
+        return [(x, y, *self._balls_around(x, y)) for x, y in edges]
+
+    def repair_deleted_edges(self, prepared: List[Tuple]) -> None:
+        """IncBMatch- for edges already removed from the shared graph."""
+        if not prepared:
+            return
+        deleted = [(x, y) for x, y, _, _ in prepared]
+        if self._lm is not None:
+            self._lm.apply_batch(deleted=deleted)
+        if self._matrix is not None:
+            self._matrix_delete(deleted)
+        suspects: Dict[PatternEdge, Set[Tuple[Node, Node]]] = {}
+        for _, _, bins, bouts in prepared:
+            self._collect_suspects(bins, bouts, suspects)
+        if suspects:
+            pair_updates = self._recheck_suspects(suspects)
+            if pair_updates:
+                self._inner.apply_batch(pair_updates)
+
+    def repair_inserted_edges(self, edges: Iterable[Tuple[Node, Node]]) -> None:
+        """IncBMatch+ for edges already present in the shared graph."""
+        edges = list(edges)
+        if not edges:
+            return
+        for x, y in edges:
+            self._register_node(x)
+            self._register_node(y)
+        if self._lm is not None:
+            self._lm.apply_batch(inserted=edges)
+        if self._matrix is not None:
+            for x, y in edges:
+                self._matrix.apply_insert(x, y)
+        pair_updates: List[Update] = []
+        for x, y in edges:
+            bins, bouts = self._balls_around(x, y)
+            pair_updates.extend(
+                self._pairs_created_by_insert(x, y, bins, bouts)
+            )
+        if pair_updates:
+            self._inner.apply_batch(pair_updates)
 
     # ------------------------------------------------------------------
     # Invariants (tests)

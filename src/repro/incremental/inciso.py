@@ -24,6 +24,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 from ..graphs.digraph import DiGraph, Node
 from ..matching.isomorphism import Embedding, iter_embeddings
 from ..patterns.pattern import Pattern, PatternError, PatternNode
+from .delta import DeltaLog
 from .types import Update
 
 EdgeKey = Tuple[Node, Node]
@@ -67,6 +68,7 @@ class IsoIndex:
         self.max_embeddings = max_embeddings
         self._embeddings: Dict[EmbKey, Embedding] = {}
         self._by_edge: Dict[EdgeKey, Set[EmbKey]] = {}
+        self.delta = DeltaLog()
         for emb in iter_embeddings(pattern, graph):
             self._store(emb)
             if (
@@ -74,6 +76,8 @@ class IsoIndex:
                 and len(self._embeddings) >= max_embeddings
             ):
                 break
+        # The initial embedding set is state, not change.
+        self.delta.clear()
 
     # ------------------------------------------------------------------
     # Index bookkeeping
@@ -89,7 +93,9 @@ class IsoIndex:
         key = self._key(emb)
         if key in self._embeddings:
             return False
-        self._embeddings[key] = dict(emb)
+        stored = dict(emb)
+        self._embeddings[key] = stored
+        self.delta.add(key, stored)
         for edge in self._used_edges(emb):
             self._by_edge.setdefault(edge, set()).add(key)
         return True
@@ -98,6 +104,7 @@ class IsoIndex:
         emb = self._embeddings.pop(key, None)
         if emb is None:
             return
+        self.delta.remove(key, emb)
         for edge in self._used_edges(emb):
             postings = self._by_edge.get(edge)
             if postings is not None:
@@ -116,6 +123,14 @@ class IsoIndex:
 
     def has_match(self) -> bool:
         return bool(self._embeddings)
+
+    def pop_match_delta(self) -> Tuple[List[Embedding], List[Embedding]]:
+        """Net ``(added, removed)`` embeddings since the last pop."""
+        added, removed = self.delta.pop()
+        return (
+            [dict(e) for e in added.values()],
+            [dict(e) for e in removed.values()],
+        )
 
     # ------------------------------------------------------------------
     # Incremental updates
@@ -205,6 +220,21 @@ class IsoIndex:
                 if self.graph.add_edge(upd.source, upd.target):
                     inserted.append(upd.edge)
         for v, w in inserted:
+            if self.graph.has_edge(v, w):
+                self._search_anchored(v, w)
+
+    # ------------------------------------------------------------------
+    # Shared-graph repair (MatcherPool plumbing)
+    # ------------------------------------------------------------------
+    def repair_deleted_edges(self, edges: Iterable[EdgeKey]) -> None:
+        """Drop posting lists for edges already removed from the graph."""
+        for edge in edges:
+            for key in list(self._by_edge.get(edge, ())):
+                self._discard(key)
+
+    def repair_inserted_edges(self, edges: Iterable[EdgeKey]) -> None:
+        """Anchored re-search on edges already present in the graph."""
+        for v, w in edges:
             if self.graph.has_edge(v, w):
                 self._search_anchored(v, w)
 

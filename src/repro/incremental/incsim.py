@@ -37,6 +37,7 @@ from ..graphs.scc import condensation, strongly_connected_components
 from ..patterns.pattern import Pattern, PatternError, PatternNode
 from ..matching.relation import MatchRelation, copy_relation, totalize
 from ..matching.simulation import candidate_sets, maximum_simulation
+from .delta import DeltaLog
 from .types import Update, net_updates
 
 PatternEdge = Tuple[PatternNode, PatternNode]
@@ -84,6 +85,7 @@ class SimulationIndex:
         self.pattern = pattern
         self.graph = graph
         self.stats = IncStats()
+        self.delta = DeltaLog()
         # Pattern structure is immutable: precompute SCC data once.
         comps = strongly_connected_components(pattern.graph())
         dag, comp_of = condensation(pattern.graph())
@@ -127,6 +129,8 @@ class SimulationIndex:
                     if w in target:
                         c += 1
                 self._cnt[(u, u2, v)] = c
+        # The initial relation is state, not change.
+        self.delta.clear()
 
     # ------------------------------------------------------------------
     # Views
@@ -138,6 +142,20 @@ class SimulationIndex:
     def raw_match_sets(self) -> MatchRelation:
         """Per-node maximal sets without the totality convention."""
         return copy_relation(self.match)
+
+    def is_total(self) -> bool:
+        """Does every pattern node currently have at least one match?"""
+        return all(self.match[u] for u in self.match)
+
+    def pop_match_delta(self) -> Tuple[Set[Tuple[PatternNode, Node]], Set[Tuple[PatternNode, Node]]]:
+        """Net ``(added, removed)`` raw match pairs since the last pop.
+
+        Promotions and demotions that cancel within the window leave no
+        trace, so the result is exactly ``raw_now - raw_then`` /
+        ``raw_then - raw_now``.  Totalization is the caller's concern.
+        """
+        added, removed = self.delta.pop()
+        return set(added), set(removed)
 
     def support(self, u: PatternNode, u2: PatternNode, v: Node) -> int:
         return self._cnt.get((u, u2, v), 0)
@@ -160,9 +178,10 @@ class SimulationIndex:
         ):
             self._promote_sweep()
 
-    def _register_node(self, v: Node) -> None:
+    def _register_node(self, v: Node) -> bool:
+        """Evaluate a node's predicates once; True iff it was unseen."""
         if v in self._registered:
-            return
+            return False
         self._registered.add(v)
         attrs = self.graph.attrs(v)
         for u in self.pattern.nodes():
@@ -185,6 +204,7 @@ class SimulationIndex:
                 # _promote_node also fixes up its parents' counters.
                 if supported:
                     self._promote_node(u, v)
+        return True
 
     def update_node_attrs(self, v: Node, **attrs) -> None:
         """Change ``v``'s attributes and repair the match.
@@ -247,6 +267,7 @@ class SimulationIndex:
         demote queue with parents that lose support."""
         if v in self.match[u]:
             self.match[u].remove(v)
+            self.delta.remove((u, v))
             self.stats.demotions += 1
             for u0 in self.pattern.parents(u):
                 for p in self.graph.parents(v):
@@ -290,6 +311,7 @@ class SimulationIndex:
                 continue  # support restored meanwhile
             self.match[u].remove(v)
             self.candt[u].add(v)
+            self.delta.remove((u, v))
             self.stats.demotions += 1
             for u0 in self.pattern.parents(u):
                 for p in self.graph.parents(v):
@@ -348,6 +370,7 @@ class SimulationIndex:
     def _promote_node(self, u: PatternNode, v: Node) -> None:
         self.candt[u].remove(v)
         self.match[u].add(v)
+        self.delta.add((u, v))
         self.stats.promotions += 1
         for u0 in self.pattern.parents(u):
             for p in self.graph.parents(v):
@@ -531,6 +554,77 @@ class SimulationIndex:
                 self.insert_edge(upd.source, upd.target)
             else:
                 self.delete_edge(upd.source, upd.target)
+
+    # ------------------------------------------------------------------
+    # Shared-graph repair (MatcherPool plumbing)
+    # ------------------------------------------------------------------
+    # When several indexes share one DiGraph, the pool mutates the graph
+    # exactly once per flush and then asks each routed index to repair
+    # itself.  These entry points therefore assume the edits are already
+    # in (or out of) the graph, unlike insert_edge/delete_edge/apply_batch
+    # which perform the edit themselves.
+
+    def repair_deleted_edges(self, edges: Iterable[Tuple[Node, Node]]) -> None:
+        """IncMatch- for edges already removed from the shared graph."""
+        queue: Deque[Tuple[PatternNode, Node]] = deque()
+        for v, w in edges:
+            for u, u2 in self.pattern.edges():
+                if v in self.eligible[u] and w in self.match[u2]:
+                    key = (u, u2, v)
+                    self._cnt[key] -= 1
+                    self.stats.counter_updates += 1
+                    if self._cnt[key] == 0 and v in self.match[u]:
+                        queue.append((u, v))
+        self._demote_cascade(queue)
+
+    def repair_inserted_edges(self, edges: Iterable[Tuple[Node, Node]]) -> None:
+        """IncMatch+ for edges already present in the shared graph.
+
+        Endpoints the index has never evaluated are registered first;
+        their counters are computed against the *current* graph (all batch
+        edges included), so explicit bookkeeping is only performed for
+        edges whose endpoints were both already registered.
+        """
+        edges = list(edges)
+        fresh: Set[Node] = set()
+        reg_promoted: List[Tuple[PatternNode, Node]] = []
+        for v, w in edges:
+            for node in (v, w):
+                if self._register_node(node):
+                    fresh.add(node)
+                    for u in self.pattern.nodes():
+                        if node in self.match[u]:
+                            reg_promoted.append((u, node))
+        needs_worklist = bool(reg_promoted)
+        needs_scc = False
+        for v, w in edges:
+            if v in fresh or w in fresh:
+                continue  # registration already counted this edge
+            cs, cc_scc = self._insert_bookkeeping(v, w)
+            needs_worklist = needs_worklist or cs
+            needs_scc = needs_scc or cc_scc
+        if fresh and self._has_cycles:
+            # A fresh candidate may complete an intra-SCC cycle through
+            # pre-existing edges the unit path never sees.
+            needs_scc = True
+        if needs_scc or (needs_worklist and self._has_cycles):
+            self._promote_sweep()
+            return
+        if not needs_worklist:
+            return
+        seeds: Deque[Tuple[PatternNode, Node]] = deque()
+        for v, w in edges:
+            for u, u2 in self.pattern.edges():
+                if v in self.candt[u] and w in self.match[u2]:
+                    seeds.append((u, v))
+        # Nodes promoted during registration may unlock their parents
+        # through edges outside this batch.
+        for u, z in reg_promoted:
+            for u0 in self.pattern.parents(u):
+                for p in self.graph.parents(z):
+                    if p in self.candt[u0]:
+                        seeds.append((u0, p))
+        self._promote_worklist(seeds)
 
     # ------------------------------------------------------------------
     # Invariant check (used by tests)

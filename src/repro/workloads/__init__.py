@@ -4,6 +4,7 @@ from .datasets import citation_like, youtube_like
 from .updates import (
     degree_biased_deletions,
     degree_biased_insertions,
+    label_partitioned_updates,
     mixed_updates,
     snapshot_diff,
 )
@@ -13,6 +14,7 @@ __all__ = [
     "citation_like",
     "degree_biased_insertions",
     "degree_biased_deletions",
+    "label_partitioned_updates",
     "mixed_updates",
     "snapshot_diff",
 ]

@@ -20,13 +20,18 @@ from ..incremental.types import Update, delete, insert
 
 
 def _degree_weighted_nodes(graph: DiGraph, rng: random.Random, count: int) -> List:
-    """Sample ``count`` nodes with probability proportional to degree + 1."""
-    pool = []
-    for v in graph.nodes():
-        pool.extend([v] * (graph.out_degree(v) + graph.in_degree(v) + 1))
-    if not pool:
+    """Sample ``count`` nodes with probability proportional to degree + 1.
+
+    Weighted draws via :meth:`random.Random.choices` keep the working set
+    at O(|V|); the previous implementation materialized a pool with one
+    entry per degree unit — O(|V| + |E|) copies per call, ruinous on
+    dense graphs.
+    """
+    nodes = list(graph.nodes())
+    if not nodes:
         return []
-    return [rng.choice(pool) for _ in range(count)]
+    weights = [graph.out_degree(v) + graph.in_degree(v) + 1 for v in nodes]
+    return rng.choices(nodes, weights=weights, k=count)
 
 
 def degree_biased_insertions(
@@ -99,6 +104,53 @@ def mixed_updates(
     if shuffle:
         rng.shuffle(batch)
     return batch
+
+
+def label_partitioned_updates(
+    graph: DiGraph,
+    labels,
+    num_insertions: int,
+    num_deletions: int = 0,
+    seed: Optional[int] = None,
+    attribute: str = "label",
+) -> List[Update]:
+    """A mixed update stream confined to one label partition.
+
+    Only nodes whose ``attribute`` value lies in ``labels`` participate:
+    insertions connect two partition members, deletions remove edges whose
+    *source* is a partition member.  This is the continuous-query stress
+    shape — a :class:`~repro.engine.pool.MatcherPool` holding many
+    patterns over disjoint label spaces should route such a stream to the
+    one pattern family it can affect and leave the rest untouched.
+    """
+    rng = random.Random(seed)
+    wanted = set(labels)
+    members = sorted(
+        (v for v in graph.nodes() if graph.get_attr(v, attribute) in wanted),
+        key=repr,
+    )
+    out: List[Update] = []
+    if len(members) >= 2 and num_insertions > 0:
+        planned = set()
+        attempts = 0
+        while len(planned) < num_insertions and attempts < 50 * num_insertions + 100:
+            attempts += 1
+            v, w = rng.choice(members), rng.choice(members)
+            if v == w or graph.has_edge(v, w) or (v, w) in planned:
+                continue
+            planned.add((v, w))
+            out.append(insert(v, w))
+    if num_deletions > 0:
+        member_set = set(members)
+        local_edges = [
+            (v, w)
+            for v in members
+            for w in graph.children(v)
+            if w in member_set
+        ]
+        rng.shuffle(local_edges)
+        out.extend(delete(v, w) for v, w in local_edges[:num_deletions])
+    return out
 
 
 def snapshot_diff(old: DiGraph, new: DiGraph) -> List[Update]:

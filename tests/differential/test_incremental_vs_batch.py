@@ -1,0 +1,158 @@
+"""Differential sweep: incremental maintenance vs from-scratch recomputation.
+
+The docstrings of all three incremental indexes promise the same central
+invariant — after any update stream, the maintained result equals a batch
+recomputation on the current graph.  Unit tests pin single scenarios; this
+module sweeps the invariant across random multi-flush update streams for
+every semantics, both through the raw indexes (``apply_batch``) and
+through the shared-graph :class:`~repro.engine.pool.MatcherPool` plumbing
+(routing + phased repair), which must agree with them pair for pair.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import MatcherPool
+from repro.incremental.incbsim import BoundedSimulationIndex
+from repro.incremental.inciso import IsoIndex
+from repro.incremental.incsim import SimulationIndex
+from repro.matching.bounded import bounded_match
+from repro.matching.isomorphism import iter_embeddings
+from repro.matching.relation import as_pairs, totalize
+from repro.matching.simulation import maximum_simulation
+
+from tests.strategies import LABELS, small_graphs, small_patterns, update_batches
+
+FLUSHES = 3
+
+
+def emb_set(embeddings):
+    return {frozenset(e.items()) for e in embeddings}
+
+
+def assert_simulation_consistent(pattern, graph, relation):
+    assert as_pairs(relation) == as_pairs(
+        totalize(maximum_simulation(pattern, graph))
+    )
+
+
+def assert_bounded_consistent(pattern, graph, relation):
+    assert as_pairs(relation) == as_pairs(
+        totalize(bounded_match(pattern, graph))
+    )
+
+
+def assert_iso_consistent(pattern, graph, embeddings):
+    assert emb_set(embeddings) == emb_set(iter_embeddings(pattern, graph))
+
+
+# ----------------------------------------------------------------------
+# Raw indexes: apply_batch after every flush
+# ----------------------------------------------------------------------
+@settings(max_examples=30, deadline=None)
+@given(st.data())
+def test_simulation_stream_matches_batch(data):
+    graph = data.draw(small_graphs())
+    pattern = data.draw(small_patterns(max_bound=1, allow_star=False))
+    idx = SimulationIndex(pattern, graph)
+    for _ in range(FLUSHES):
+        idx.apply_batch(data.draw(update_batches(graph)))
+        assert_simulation_consistent(pattern, graph, idx.matches())
+        idx.check_invariants()
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.data())
+def test_bounded_stream_matches_batch(data):
+    graph = data.draw(small_graphs(max_nodes=6))
+    pattern = data.draw(small_patterns(max_nodes=3))
+    idx = BoundedSimulationIndex(pattern, graph)
+    for _ in range(FLUSHES):
+        idx.apply_batch(data.draw(update_batches(graph, max_updates=6)))
+        assert_bounded_consistent(pattern, graph, idx.matches())
+        idx.check_invariants()
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.data())
+def test_bounded_landmark_stream_matches_batch(data):
+    graph = data.draw(small_graphs(max_nodes=6))
+    pattern = data.draw(small_patterns(max_nodes=3))
+    idx = BoundedSimulationIndex(pattern, graph, distance_mode="landmark")
+    for _ in range(FLUSHES):
+        idx.apply_batch(data.draw(update_batches(graph, max_updates=6)))
+        assert_bounded_consistent(pattern, graph, idx.matches())
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.data())
+def test_iso_stream_matches_batch(data):
+    graph = data.draw(small_graphs(max_nodes=6))
+    pattern = data.draw(
+        small_patterns(max_nodes=3, max_bound=1, allow_star=False)
+    )
+    idx = IsoIndex(pattern, graph)
+    for _ in range(FLUSHES):
+        idx.apply_batch(data.draw(update_batches(graph, max_updates=6)))
+        assert_iso_consistent(pattern, graph, idx.embeddings())
+
+
+# ----------------------------------------------------------------------
+# Pool plumbing: all three semantics side by side on one shared graph,
+# with routed/phased repair and interleaved attribute updates
+# ----------------------------------------------------------------------
+@settings(max_examples=20, deadline=None)
+@given(st.data())
+def test_pool_stream_matches_batch_all_semantics(data):
+    graph = data.draw(small_graphs(max_nodes=6))
+    sim_pattern = data.draw(
+        small_patterns(max_nodes=3, max_bound=1, allow_star=False)
+    )
+    b_pattern = data.draw(small_patterns(max_nodes=3))
+    iso_pattern = data.draw(
+        small_patterns(max_nodes=3, max_bound=1, allow_star=False)
+    )
+    pool = MatcherPool(graph)
+    sim_q = pool.register(sim_pattern, semantics="simulation", name="sim")
+    b_q = pool.register(b_pattern, semantics="bounded", name="bsim")
+    iso_q = pool.register(iso_pattern, semantics="isomorphism", name="iso")
+    nodes = sorted(graph.nodes())
+    for _ in range(FLUSHES):
+        pool.queue_updates(data.draw(update_batches(graph, max_updates=6)))
+        if nodes and data.draw(st.booleans()):
+            v = data.draw(st.sampled_from(nodes))
+            pool.queue_node(v, label=data.draw(st.sampled_from(LABELS)))
+        pool.flush()
+        assert_simulation_consistent(sim_pattern, graph, sim_q.matches())
+        assert_bounded_consistent(b_pattern, graph, b_q.matches())
+        assert_iso_consistent(iso_pattern, graph, iso_q.embeddings())
+        sim_q.index.check_invariants()
+        b_q.index.check_invariants()
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.data())
+def test_pool_with_fresh_nodes_and_attr_flips(data):
+    """Streams that grow the node set and flip eligibility mid-stream."""
+    graph = data.draw(small_graphs(max_nodes=5))
+    pattern = data.draw(
+        small_patterns(max_nodes=3, max_bound=1, allow_star=False)
+    )
+    pool = MatcherPool(graph)
+    q = pool.register(pattern, semantics="simulation", name="sim")
+    next_node = 100
+    for _ in range(FLUSHES):
+        nodes = sorted(graph.nodes())
+        # A brand-new labelled node, sometimes wired in the same flush.
+        pool.queue_node(next_node, label=data.draw(st.sampled_from(LABELS)))
+        if nodes and data.draw(st.booleans()):
+            from repro.incremental.types import insert
+
+            pool.queue(insert(data.draw(st.sampled_from(nodes)), next_node))
+        pool.queue_updates(data.draw(update_batches(graph, max_updates=4)))
+        pool.flush()
+        next_node += 1
+        assert_simulation_consistent(pattern, graph, q.matches())
+        q.index.check_invariants()

@@ -1,0 +1,160 @@
+"""Property tests for the match-delta change feeds.
+
+The contract: for every flush, the emitted :class:`MatchDelta` equals the
+set difference of the *user-facing* result before and after the flush —
+the totalized relation for simulation / bounded semantics, the embedding
+set for isomorphism — including flushes driven by ``update_node_attrs``.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import MatcherPool
+from repro.matching.relation import as_pairs
+
+from tests.strategies import LABELS, small_graphs, small_patterns, update_batches
+
+FLUSHES = 3
+
+
+def emb_set(embeddings):
+    return {frozenset(e.items()) for e in embeddings}
+
+
+def drive(data, pool, graph):
+    """Queue a random mixed flush (edge updates + attr updates)."""
+    pool.queue_updates(data.draw(update_batches(graph, max_updates=6)))
+    nodes = sorted(graph.nodes())
+    if nodes and data.draw(st.booleans()):
+        v = data.draw(st.sampled_from(nodes))
+        pool.queue_node(v, label=data.draw(st.sampled_from(LABELS)))
+    return pool.flush()
+
+
+def collect_relation_deltas(data, pool, query):
+    """Assert delta == before/after diff of query.matches() per flush."""
+    graph = pool.graph
+    feed = query.subscribe()
+    for _ in range(FLUSHES):
+        before = as_pairs(query.matches())
+        drive(data, pool, graph)
+        after = as_pairs(query.matches())
+        deltas = feed.drain()
+        added = frozenset().union(*(d.added for d in deltas)) if deltas else frozenset()
+        removed = frozenset().union(*(d.removed for d in deltas)) if deltas else frozenset()
+        assert added == after - before
+        assert removed == before - after
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.data())
+def test_simulation_delta_is_relation_diff(data):
+    graph = data.draw(small_graphs(max_nodes=6))
+    pattern = data.draw(
+        small_patterns(max_nodes=3, max_bound=1, allow_star=False)
+    )
+    pool = MatcherPool(graph)
+    query = pool.register(pattern, semantics="simulation")
+    collect_relation_deltas(data, pool, query)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.data())
+def test_bounded_delta_is_relation_diff(data):
+    graph = data.draw(small_graphs(max_nodes=6))
+    pattern = data.draw(small_patterns(max_nodes=3))
+    pool = MatcherPool(graph)
+    query = pool.register(pattern, semantics="bounded")
+    collect_relation_deltas(data, pool, query)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.data())
+def test_iso_delta_is_embedding_diff(data):
+    graph = data.draw(small_graphs(max_nodes=6))
+    pattern = data.draw(
+        small_patterns(max_nodes=3, max_bound=1, allow_star=False)
+    )
+    pool = MatcherPool(graph)
+    query = pool.register(pattern, semantics="isomorphism")
+    feed = query.subscribe()
+    for _ in range(FLUSHES):
+        before = emb_set(query.embeddings())
+        drive(data, pool, pool.graph)
+        after = emb_set(query.embeddings())
+        deltas = feed.drain()
+        added = {
+            frozenset(e.items()) for d in deltas for e in d.added_embeddings
+        }
+        removed = {
+            frozenset(e.items()) for d in deltas for e in d.removed_embeddings
+        }
+        assert added == after - before
+        assert removed == before - after
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.data())
+def test_iso_pair_delta_is_pair_projection_diff(data):
+    """The (u, v) pair view of an iso feed diffs the pair projection."""
+    graph = data.draw(small_graphs(max_nodes=6))
+    pattern = data.draw(
+        small_patterns(max_nodes=3, max_bound=1, allow_star=False)
+    )
+    pool = MatcherPool(graph)
+    query = pool.register(pattern, semantics="isomorphism")
+    feed = query.subscribe()
+
+    def pairs():
+        return {p for e in query.embeddings() for p in e.items()}
+
+    for _ in range(FLUSHES):
+        before = pairs()
+        drive(data, pool, pool.graph)
+        after = pairs()
+        deltas = feed.drain()
+        added = frozenset().union(*(d.added for d in deltas)) if deltas else frozenset()
+        removed = frozenset().union(*(d.removed for d in deltas)) if deltas else frozenset()
+        assert added == after - before
+        assert removed == before - after
+
+
+def test_attr_update_emits_delta(friendfeed_graph):
+    """The paper's 'user edits her profile' class reaches the feed."""
+    from repro.patterns.pattern import Pattern
+
+    pool = MatcherPool(friendfeed_graph)
+    query = pool.register(
+        Pattern.normal_from_labels(
+            {"c": "CTO", "d": "DB"}, [("c", "d")], attribute="job"
+        ),
+        semantics="simulation",
+    )
+    feed = query.subscribe()
+    before = as_pairs(query.matches())
+    pool.update_node_attrs("Pat", job="Retired")
+    after = as_pairs(query.matches())
+    (delta,) = feed.drain()
+    assert delta.removed == before - after
+    assert ("d", "Pat") in delta.removed
+
+
+def test_feed_maxlen_drops_and_counts(friendfeed_graph):
+    from repro.patterns.pattern import Pattern
+
+    pool = MatcherPool(friendfeed_graph)
+    query = pool.register(
+        Pattern.normal_from_labels(
+            {"c": "CTO", "d": "DB"}, [("c", "d")], attribute="job"
+        ),
+        semantics="simulation",
+    )
+    feed = query.subscribe(maxlen=1)
+    pool.delete_edge("Ann", "Pat")
+    pool.insert_edge("Ann", "Pat")
+    assert len(feed) == 1
+    assert feed.dropped == 1
+    (delta,) = feed.drain()
+    assert delta.seq == 1  # only the newest delta survived

@@ -1,0 +1,246 @@
+"""Unit tests for MatcherPool: registration, routing, coalescing, repair."""
+
+import pytest
+
+from repro.engine import MatcherPool
+from repro.graphs.digraph import DiGraph
+from repro.incremental.incbsim import BoundedSimulationIndex
+from repro.incremental.types import delete, insert
+from repro.matching.relation import as_pairs
+from repro.matching.simulation import maximum_simulation
+from repro.patterns.pattern import Pattern, PatternError
+
+
+def two_cluster_graph():
+    g = DiGraph()
+    for n, lab in [
+        ("a1", "A1"), ("b1", "B1"), ("a2", "A2"), ("b2", "B2"),
+    ]:
+        g.add_node(n, label=lab)
+    g.add_edge("a1", "b1")
+    g.add_edge("a2", "b2")
+    return g
+
+
+def chain_pattern(i):
+    return Pattern.normal_from_labels(
+        {"x": f"A{i}", "y": f"B{i}"}, [("x", "y")]
+    )
+
+
+class TestRegistration:
+    def test_names_default_and_unique(self):
+        pool = MatcherPool(two_cluster_graph())
+        q0 = pool.register(chain_pattern(1), semantics="simulation")
+        q1 = pool.register(chain_pattern(2), semantics="simulation")
+        assert q0.name != q1.name
+        assert pool.query(q0.name) is q0
+        assert len(pool) == 2
+
+    def test_duplicate_name_rejected(self):
+        pool = MatcherPool(two_cluster_graph())
+        pool.register(chain_pattern(1), semantics="simulation", name="q")
+        with pytest.raises(ValueError):
+            pool.register(chain_pattern(2), semantics="simulation", name="q")
+
+    def test_invalid_semantics_rejected(self):
+        pool = MatcherPool(two_cluster_graph())
+        with pytest.raises(ValueError):
+            pool.register(chain_pattern(1), semantics="telepathy")
+
+    def test_b_pattern_rejected_for_simulation(self):
+        pool = MatcherPool(two_cluster_graph())
+        p = Pattern.from_spec({"x": "label = A1"}, [])
+        p.add_edge("x", "x", 2)
+        with pytest.raises(PatternError):
+            pool.register(p, semantics="simulation")
+
+    def test_register_flushes_pending(self):
+        pool = MatcherPool(two_cluster_graph())
+        q1 = pool.register(chain_pattern(1), semantics="simulation")
+        pool.queue(delete("a1", "b1"))
+        # Registering flushes first, so q2's index is built on the
+        # post-update graph and q1 has been repaired.
+        q2 = pool.register(chain_pattern(2), semantics="simulation")
+        assert not pool.graph.has_edge("a1", "b1")
+        assert q1.matches()["x"] == set()
+        assert q2.matches()["x"] == {"a2"}
+
+    def test_unregister_stops_routing(self):
+        pool = MatcherPool(two_cluster_graph())
+        q1 = pool.register(chain_pattern(1), semantics="simulation")
+        feed = q1.subscribe()
+        pool.unregister(q1)
+        report = pool.apply([delete("a1", "b1")])
+        assert report.deltas == {}
+        assert not feed.drain()
+
+
+class TestRouting:
+    def test_updates_route_only_to_affected_pattern(self):
+        pool = MatcherPool(two_cluster_graph())
+        q1 = pool.register(chain_pattern(1), semantics="simulation", name="p1")
+        q2 = pool.register(chain_pattern(2), semantics="simulation", name="p2")
+        report = pool.apply([delete("a1", "b1")])
+        assert set(report.deltas) == {"p1"}
+        assert report.routed == 1
+        assert report.skipped == 1
+        # The skipped query's work counters did not move at all.
+        assert q2.stats.aff_size() == 0
+        assert q1.matches()["x"] == set()
+        assert q2.matches()["x"] == {"a2"}
+
+    def test_label_mismatch_routes_nowhere(self):
+        pool = MatcherPool(two_cluster_graph())
+        pool.register(chain_pattern(1), semantics="simulation")
+        # B1 -> A2: no pattern edge pairs those labels in either query.
+        report = pool.apply([insert("b1", "a2")])
+        assert report.routed == 0
+        assert report.deltas == {}
+
+    def test_bounded_with_bounds_routes_all_edges(self):
+        g = two_cluster_graph()
+        g.add_node("m", label="MID")
+        pool = MatcherPool(g)
+        p = Pattern.from_spec(
+            {"x": "label = A1", "y": "label = B1"}, [("x", "y", 2)]
+        )
+        q = pool.register(p, semantics="bounded", name="b")
+        assert isinstance(q.index, BoundedSimulationIndex)
+        assert q.routes_all_edges
+        # A 2-hop path through an unlabeled midpoint must be observed
+        # even though neither endpoint satisfies any predicate.
+        pool.apply([delete("a1", "b1")])
+        assert q.matches()["x"] == set()
+        report = pool.apply([insert("a1", "m"), insert("m", "b1")])
+        assert report.routed >= 2
+        assert q.matches()["x"] == {"a1"}
+
+    def test_bound_one_bounded_is_endpoint_routable(self):
+        pool = MatcherPool(two_cluster_graph())
+        p = Pattern.from_spec(
+            {"x": "label = A1", "y": "label = B1"}, [("x", "y", 1)]
+        )
+        q = pool.register(p, semantics="bounded")
+        assert not q.routes_all_edges
+        report = pool.apply([insert("a2", "b2"), delete("a2", "b2")])
+        assert report.routed == 0
+        assert q.matches()["x"] == {"a1"}
+
+    def test_attr_update_routes_by_attribute_name(self):
+        pool = MatcherPool(two_cluster_graph())
+        q1 = pool.register(chain_pattern(1), semantics="simulation", name="p1")
+        # An attribute no predicate mentions routes nowhere.
+        pool.update_node_attrs("a1", hobby="golf")
+        assert q1.last_delta is None
+        # A label flip routes to (only) the affected query.
+        pool.update_node_attrs("a1", label="Z")
+        assert q1.last_delta is not None
+        assert ("x", "a1") in q1.last_delta.removed
+
+    def test_fresh_wildcard_node_matches_true_predicate(self):
+        g = DiGraph()
+        g.add_node("seed", label="A1")
+        pool = MatcherPool(g)
+        q = pool.register(Pattern.from_spec({"any": None}, []), name="wild",
+                          semantics="simulation")
+        assert q.matches()["any"] == {"seed"}
+        # A brand-new, attribute-less endpoint still matches TRUE.
+        pool.apply([insert("seed", "novel")])
+        assert q.matches()["any"] == {"seed", "novel"}
+
+
+class TestCoalescing:
+    def test_insert_delete_pair_cancels(self):
+        pool = MatcherPool(two_cluster_graph())
+        q = pool.register(chain_pattern(1), semantics="simulation")
+        promos_before = q.stats.promotions
+        demos_before = q.stats.demotions
+        report = pool.apply([delete("a1", "b1"), insert("a1", "b1")])
+        assert report.net == []
+        assert q.stats.promotions == promos_before
+        assert q.stats.demotions == demos_before
+        assert q.matches()["x"] == {"a1"}
+
+    def test_unit_helpers_report_graph_change(self):
+        pool = MatcherPool(two_cluster_graph())
+        pool.register(chain_pattern(1), semantics="simulation")
+        assert pool.insert_edge("b1", "b2")
+        assert not pool.insert_edge("b1", "b2")
+        assert pool.delete_edge("b1", "b2")
+        assert not pool.delete_edge("b1", "b2")
+
+    def test_pending_counts_and_flush(self):
+        pool = MatcherPool(two_cluster_graph())
+        q = pool.register(chain_pattern(1), semantics="simulation")
+        pool.queue(delete("a1", "b1"))
+        pool.queue_node("a1", label="A1")
+        assert pool.pending == 2
+        assert q.matches()["x"] == {"a1"}  # not yet applied
+        pool.flush()
+        assert pool.pending == 0
+        assert q.matches()["x"] == set()
+
+
+class TestDistanceModes:
+    @pytest.mark.parametrize("mode", ["landmark", "matrix"])
+    def test_bounded_distance_structures_track_pool_flushes(
+        self, mode, friendfeed_pattern, friendfeed_graph
+    ):
+        from repro.matching.bounded import bounded_match
+        from repro.matching.relation import totalize
+
+        pool = MatcherPool(friendfeed_graph)
+        q = pool.register(
+            friendfeed_pattern, semantics="bounded", distance_mode=mode
+        )
+        assert q.routes_all_edges  # aux distance structures see every edge
+        pool.apply([insert("Don", "Pat"), insert("Pat", "Don")])
+        pool.apply([delete("Ann", "Pat"), insert("Don", "Tom")])
+        assert as_pairs(q.matches()) == as_pairs(
+            totalize(bounded_match(friendfeed_pattern, pool.graph))
+        )
+        q.index.check_invariants()
+
+
+class TestSharedGraphConsistency:
+    def test_many_queries_one_graph_stay_correct(self):
+        pool = MatcherPool(two_cluster_graph())
+        queries = [
+            pool.register(chain_pattern(i), semantics="simulation", name=f"p{i}")
+            for i in (1, 2)
+        ]
+        pool.apply([
+            insert("b1", "a1"),
+            delete("a2", "b2"),
+            insert("a2", "b1"),
+        ])
+        for q in queries:
+            assert as_pairs(q.matches()) == as_pairs(
+                maximum_simulation(q.pattern, pool.graph)
+            ) or q.matches() == {u: set() for u in q.matches()}
+            q.index.check_invariants()
+
+    def test_mixed_semantics_share_one_graph(self, friendfeed_graph):
+        pool = MatcherPool(friendfeed_graph)
+        sim = pool.register(
+            Pattern.normal_from_labels(
+                {"c": "CTO", "d": "DB"}, [("c", "d")], attribute="job"
+            ),
+            semantics="simulation",
+            name="sim",
+        )
+        iso = pool.register(
+            Pattern.normal_from_labels(
+                {"c": "CTO", "d": "DB"}, [("c", "d")], attribute="job"
+            ),
+            semantics="isomorphism",
+            name="iso",
+        )
+        report = pool.apply([insert("Don", "Pat")])
+        assert set(report.deltas) == {"sim", "iso"}
+        assert ("c", "Don") in report.deltas["sim"].added
+        assert any(e.get("c") == "Don" for e in report.deltas["iso"].added_embeddings)
+        # One shared graph object: both saw the same edit exactly once.
+        assert pool.graph.has_edge("Don", "Pat")
+        assert sim.index.graph is iso.index.graph is pool.graph

@@ -1,0 +1,108 @@
+"""Unit tests for the label/predicate-keyed UpdateRouter."""
+
+from repro.engine import MatcherPool, UpdateRouter
+from repro.engine.query import ContinuousQuery
+from repro.graphs.digraph import DiGraph
+from repro.incremental.types import insert
+from repro.patterns.pattern import Pattern
+
+
+def make_query(name, nodes, edges, graph=None, semantics="simulation"):
+    pattern = Pattern.normal_from_labels(nodes, edges)
+    return ContinuousQuery(name, pattern, graph or DiGraph(), semantics)
+
+
+def test_eq_keys_and_attr_names():
+    q = make_query("q", {"x": "A", "y": "B"}, [("x", "y")])
+    assert ("label", "A") in q.eq_keys
+    assert ("label", "B") in q.eq_keys
+    assert q.attr_names == {"label"}
+    assert not q.wildcard_node
+    assert not q.routes_all_edges
+
+
+def test_wildcard_for_true_predicate():
+    p = Pattern.from_spec({"any": None}, [])
+    q = ContinuousQuery("q", p, DiGraph(), "simulation")
+    assert q.wildcard_node
+    assert q.eq_keys == frozenset()
+
+
+def test_route_edge_requires_pattern_edge_pairing():
+    router = UpdateRouter()
+    q = make_query("q", {"x": "A", "y": "B"}, [("x", "y")])
+    router.register(q)
+    assert router.route_edge({"label": "A"}, {"label": "B"}) == [q]
+    # Right labels, wrong direction: no pattern edge B -> A.
+    assert router.route_edge({"label": "B"}, {"label": "A"}) == []
+    assert router.route_edge({"label": "A"}, {"label": "Z"}) == []
+    assert router.route_edge({}, {"label": "B"}) == []
+
+
+def test_route_node_and_attr_change():
+    router = UpdateRouter()
+    q = make_query("q", {"x": "A", "y": "B"}, [("x", "y")])
+    router.register(q)
+    assert router.route_node({"label": "A"}) == [q]
+    assert router.route_node({"label": "Z"}) == []
+    # Satisfaction flips => routed; irrelevant merge => not routed.
+    assert router.route_attr_change(
+        {"label": "A"}, {"label": "Z"}, ["label"]
+    ) == [q]
+    assert router.route_attr_change(
+        {"label": "A"}, {"label": "A", "hobby": "golf"}, ["hobby"]
+    ) == []
+
+
+def test_inequality_predicates_fall_into_wildcard_bucket():
+    p = Pattern.from_spec({"hot": "rating > 3"}, [])
+    q = ContinuousQuery("q", p, DiGraph(), "simulation")
+    router = UpdateRouter()
+    router.register(q)
+    assert q.wildcard_node
+    assert router.route_node({"rating": 5}) == [q]
+    assert router.route_node({"rating": 1}) == []
+    # Attribute-name routing still applies to inequality atoms.
+    assert router.route_attr_change({"rating": 5}, {"rating": 1}, ["rating"]) == [q]
+
+
+def test_unregister_cleans_every_bucket():
+    router = UpdateRouter()
+    q = make_query("q", {"x": "A"}, [])
+    router.register(q)
+    assert len(router) == 1
+    router.unregister(q)
+    assert len(router) == 0
+    assert router.route_node({"label": "A"}) == []
+    assert router.route_attr_change({}, {"label": "A"}, ["label"]) == []
+
+
+def test_routing_order_is_registration_order():
+    router = UpdateRouter()
+    qs = [make_query(f"q{i}", {"x": "A", "y": "B"}, [("x", "y")]) for i in range(4)]
+    for q in qs:
+        router.register(q)
+    assert router.route_edge({"label": "A"}, {"label": "B"}) == qs
+
+
+def test_conjunction_uses_one_representative_eq_atom():
+    p = Pattern.from_spec({"x": "label = A & rating > 2"}, [])
+    q = ContinuousQuery("q", p, DiGraph(), "simulation")
+    router = UpdateRouter()
+    router.register(q)
+    # Candidate via (label, A), confirmed only when the conjunction holds.
+    assert router.route_node({"label": "A", "rating": 5}) == [q]
+    assert router.route_node({"label": "A", "rating": 1}) == []
+    assert router.route_node({"rating": 5}) == []
+
+
+def test_pool_router_integration_zero_work(friendfeed_graph):
+    pool = MatcherPool(friendfeed_graph)
+    med = pool.register(
+        Pattern.normal_from_labels({"m": "Med"}, [], attribute="job"),
+        semantics="simulation",
+        name="med",
+    )
+    report = pool.apply([insert("Ann", "Bill")])
+    assert "med" not in report.deltas
+    assert med.matches()["m"] == {"Ross"}

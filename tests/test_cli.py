@@ -87,6 +87,72 @@ class TestCli:
         assert out["initial"]["matches"]["c"] == ["Ann"]
 
 
+class TestPoolCli:
+    @pytest.fixture
+    def pool_files(self, tmp_path, friendfeed_graph):
+        graph_path = tmp_path / "g.json"
+        save_json(friendfeed_graph, graph_path)
+        hiring = tmp_path / "hiring.json"
+        save_pattern(
+            Pattern.normal_from_labels(
+                {"c": "CTO", "d": "DB"}, [("c", "d")], attribute="job"
+            ),
+            hiring,
+        )
+        medics = tmp_path / "medics.json"
+        save_pattern(
+            Pattern.normal_from_labels({"m": "Med"}, [], attribute="job"),
+            medics,
+        )
+        updates_path = tmp_path / "u.json"
+        updates_path.write_text(json.dumps([["insert", "Don", "Pat"]]))
+        return str(graph_path), str(hiring), str(medics), str(updates_path)
+
+    def test_initial_results_per_query(self, pool_files, capsys):
+        graph, hiring, medics, _ = pool_files
+        assert main(["pool", "--graph", graph, "--patterns", hiring, medics]) == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["queries"]["hiring"]["matches"]["c"] == ["Ann"]
+        assert out["queries"]["medics"]["matches"]["m"] == ["Ross"]
+
+    def test_duplicate_pattern_stems_get_suffixed(
+        self, pool_files, tmp_path, capsys
+    ):
+        graph, hiring, _, _ = pool_files
+        sub = tmp_path / "sub"
+        sub.mkdir()
+        other = sub / "hiring.json"
+        save_pattern(
+            Pattern.normal_from_labels({"m": "Med"}, [], attribute="job"),
+            other,
+        )
+        assert (
+            main(["pool", "--graph", graph, "--patterns", hiring, str(other)])
+            == 0
+        )
+        out = json.loads(capsys.readouterr().out)
+        assert set(out["queries"]) == {"hiring", "hiring2"}
+        assert out["queries"]["hiring2"]["matches"]["m"] == ["Ross"]
+
+    def test_routed_flush_reports_deltas(self, pool_files, capsys):
+        graph, hiring, medics, updates = pool_files
+        assert (
+            main([
+                "pool", "--graph", graph, "--patterns", hiring, medics,
+                "--updates", updates,
+            ])
+            == 0
+        )
+        out = json.loads(capsys.readouterr().out)
+        # The CTO/DB update routes to the hiring query only.
+        assert "hiring" in out["flush"]["deltas"]
+        assert "medics" not in out["flush"]["deltas"]
+        assert ["c", "Don"] in out["flush"]["deltas"]["hiring"]["added"]
+        assert out["flush"]["skipped"] >= 1
+        assert "Don" in out["after_updates"]["hiring"]["matches"]["c"]
+        assert out["after_updates"]["medics"]["matches"]["m"] == ["Ross"]
+
+
 class TestLoadUpdates:
     def test_valid(self, tmp_path):
         path = tmp_path / "u.json"

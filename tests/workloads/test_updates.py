@@ -1,10 +1,14 @@
 """Tests for the update-stream generators."""
 
+import random
+
 from repro.graphs.digraph import DiGraph
-from repro.graphs.generators import synthetic_graph
+from repro.graphs.generators import complete_graph, synthetic_graph
 from repro.workloads.updates import (
+    _degree_weighted_nodes,
     degree_biased_deletions,
     degree_biased_insertions,
+    label_partitioned_updates,
     mixed_updates,
     snapshot_diff,
 )
@@ -47,6 +51,89 @@ class TestDeletions:
 
     def test_empty_graph(self):
         assert degree_biased_deletions(DiGraph(), 5) == []
+
+
+class TestDegreeWeightedSampling:
+    def test_deterministic_per_seed_on_dense_graph(self):
+        # Regression: the sampler used to materialize an O(|V| + |E|)
+        # pool per call; it must stay deterministic per seed with the
+        # weights-based draw, dense graphs included.
+        g = complete_graph(40)
+        first = _degree_weighted_nodes(g, random.Random(7), 50)
+        second = _degree_weighted_nodes(g, random.Random(7), 50)
+        assert first == second
+        assert len(first) == 50
+        assert set(first) <= set(g.nodes())
+        other = _degree_weighted_nodes(g, random.Random(8), 50)
+        assert first != other  # different seed, different stream
+
+    def test_empty_graph_yields_nothing(self):
+        assert _degree_weighted_nodes(DiGraph(), random.Random(1), 5) == []
+
+    def test_bias_favours_high_degree(self):
+        g = DiGraph()
+        g.add_node("hub")
+        for i in range(30):
+            g.add_node(i)
+            g.add_edge("hub", i)
+        picks = _degree_weighted_nodes(g, random.Random(3), 400)
+        hub_share = picks.count("hub") / len(picks)
+        # hub holds ~1/3 of the total weight; a uniform draw gives ~1/31.
+        assert hub_share > 0.15
+
+    def test_dense_insertions_deterministic(self):
+        g = complete_graph(25)
+        for v, w in list(g.edges())[::2]:
+            g.remove_edge(v, w)  # leave room for insertions
+        a = degree_biased_insertions(g, 30, seed=5)
+        b = degree_biased_insertions(g, 30, seed=5)
+        assert a == b
+        assert len(a) == 30
+
+
+class TestLabelPartitioned:
+    def _graph(self):
+        g = DiGraph()
+        for i in range(6):
+            g.add_node(f"x{i}", label="X")
+            g.add_node(f"y{i}", label="Y")
+        for i in range(5):
+            g.add_edge(f"x{i}", f"x{i + 1}")
+            g.add_edge(f"y{i}", f"y{i + 1}")
+        return g
+
+    def test_updates_confined_to_partition(self):
+        g = self._graph()
+        ups = label_partitioned_updates(g, {"X"}, 8, 3, seed=2)
+        assert sum(1 for u in ups if u.op == "insert") == 8
+        assert sum(1 for u in ups if u.op == "delete") == 3
+        for u in ups:
+            assert g.get_attr(u.source, "label") == "X"
+            if u.op == "insert":
+                assert g.get_attr(u.target, "label") == "X"
+                assert not g.has_edge(u.source, u.target)
+            else:
+                assert g.has_edge(u.source, u.target)
+                # Deletions must also stay inside the partition.
+                assert g.get_attr(u.target, "label") == "X"
+
+    def test_deterministic_per_seed(self):
+        g = self._graph()
+        assert label_partitioned_updates(
+            g, {"Y"}, 5, 2, seed=4
+        ) == label_partitioned_updates(g, {"Y"}, 5, 2, seed=4)
+
+    def test_empty_partition(self):
+        g = self._graph()
+        assert label_partitioned_updates(g, {"Z"}, 5, 5, seed=1) == []
+
+    def test_cross_partition_edges_never_deleted(self):
+        g = self._graph()
+        g.add_edge("x0", "y0")  # the only X-sourced edge leaving X
+        for v, w in [(f"x{i}", f"x{i + 1}") for i in range(5)]:
+            g.remove_edge(v, w)  # X-internal edges gone: nothing deletable
+        ups = label_partitioned_updates(g, {"X"}, 0, 5, seed=3)
+        assert ups == []
 
 
 class TestMixed:
