@@ -1,26 +1,34 @@
 """Routed-update throughput of MatcherPool vs a naive matcher loop.
 
-Scenario: N standing patterns over one shared graph, each pattern living
-in its own label partition (pattern i matches ``A{i} -> B{i} -> C{i}``),
-and an update stream confined to partition 0's label space.  The pool's
-label/predicate-keyed router hands every update only to pattern 0, so the
-flush cost should stay roughly flat as N grows; the naive baseline — one
-independent incremental index per pattern, each fed the full stream —
-pays for all N patterns and scales linearly.
+Two scenarios, both over one shared graph holding N disjoint labelled
+communities with an update stream confined to partition 0's label space:
+
+- ``simulation``: N normal patterns (``A{i} -> B{i} -> C{i}``), routed by
+  eq-keys alone — PR 1's headline property;
+- ``bounded``: N bound-2 b-patterns (``A{i} -2-> C{i}``), which the old
+  router dumped into the wildcard-edge bucket (every query observed every
+  edge); the distance-aware oracle now lets the N-1 non-owning queries
+  decline the whole stream, so routed flush cost should stay ~flat here
+  too — the paper's flagship IncBMatch semantics.
+
+The naive baseline is one independent incremental index per pattern, each
+fed the full stream.  The script prints a table per scenario (median pool
+flush ms over ``--reps``, naive ms, speedup, routed/skipped counts),
+writes a machine-readable ``BENCH_pool.json``, and exits non-zero if any
+routed result disagrees with its naive baseline.
 
 Run standalone::
 
     PYTHONPATH=src python benchmarks/bench_pool.py          # full sweep
     PYTHONPATH=src python benchmarks/bench_pool.py --tiny   # CI smoke
-
-The script prints a table (pool ms, naive ms, speedup) and exits non-zero
-if the routed results ever disagree with the naive baseline.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import random
+import statistics
 import sys
 import time
 from pathlib import Path
@@ -29,6 +37,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.engine import MatcherPool  # noqa: E402
 from repro.graphs.digraph import DiGraph  # noqa: E402
+from repro.incremental.incbsim import BoundedSimulationIndex  # noqa: E402
 from repro.incremental.incsim import SimulationIndex  # noqa: E402
 from repro.matching.relation import as_pairs  # noqa: E402
 from repro.patterns.pattern import Pattern  # noqa: E402
@@ -60,27 +69,56 @@ def build_graph(num_clusters: int, cluster_size: int, seed: int = 7) -> DiGraph:
     return g
 
 
-def build_pattern(i: int) -> Pattern:
+def sim_pattern(i: int) -> Pattern:
     a, b, c = cluster_labels(i)
     return Pattern.normal_from_labels(
         {"x": a, "y": b, "z": c}, [("x", "y"), ("y", "z")]
     )
 
 
-def run_pool(graph: DiGraph, num_patterns: int, updates):
+def bounded_pattern(i: int) -> Pattern:
+    """A bound-2 b-pattern: A{i} reaches C{i} within two hops."""
+    a, _, c = cluster_labels(i)
+    return Pattern.from_spec(
+        {"x": f"label = {a}", "z": f"label = {c}"}, [("x", "z", 2)]
+    )
+
+
+SCENARIOS = {
+    "simulation": {
+        "pattern": sim_pattern,
+        "semantics": "simulation",
+        "naive_index": SimulationIndex,
+    },
+    "bounded": {
+        "pattern": bounded_pattern,
+        "semantics": "bounded",
+        "naive_index": BoundedSimulationIndex,
+    },
+}
+
+
+def run_pool(graph, scenario, num_patterns, updates, distance_mode):
+    spec = SCENARIOS[scenario]
     pool = MatcherPool(graph)
     for i in range(num_patterns):
-        pool.register(build_pattern(i), semantics="simulation", name=f"p{i}")
+        pool.register(
+            spec["pattern"](i),
+            semantics=spec["semantics"],
+            name=f"p{i}",
+            distance_mode=distance_mode,
+        )
     start = time.perf_counter()
     report = pool.apply(updates)
     elapsed = time.perf_counter() - start
     return elapsed, pool, report
 
 
-def run_naive(base: DiGraph, num_patterns: int, updates):
-    """One independent SimulationIndex per pattern, each fed everything."""
+def run_naive(base, scenario, num_patterns, updates):
+    """One independent incremental index per pattern, each fed everything."""
+    spec = SCENARIOS[scenario]
     indexes = [
-        SimulationIndex(build_pattern(i), base.copy())
+        spec["naive_index"](spec["pattern"](i), base.copy())
         for i in range(num_patterns)
     ]
     start = time.perf_counter()
@@ -88,6 +126,66 @@ def run_naive(base: DiGraph, num_patterns: int, updates):
         idx.apply_batch(updates)
     elapsed = time.perf_counter() - start
     return elapsed, indexes
+
+
+def run_scenario(scenario, sizes, graph, updates, reps, distance_mode):
+    print(f"\n== scenario: {scenario} "
+          f"({'distance_mode=' + distance_mode if scenario == 'bounded' else 'eq-key routed'}) ==")
+    print(f"{'N':>4} {'pool ms':>10} {'naive ms':>10} {'speedup':>9} "
+          f"{'routed':>7} {'skipped':>8}")
+    ok = True
+    results = []
+    pool_times = {}
+    for n in sizes:
+        pool_times_n = []
+        naive_times_n = []
+        pool = report = indexes = None
+        for _ in range(reps):
+            t, pool, report = run_pool(
+                graph.copy(), scenario, n, updates, distance_mode
+            )
+            pool_times_n.append(t)
+            t, indexes = run_naive(graph, scenario, n, updates)
+            naive_times_n.append(t)
+        pool_t = statistics.median(pool_times_n)
+        naive_t = statistics.median(naive_times_n)
+        pool_times[n] = pool_t
+        # The routed result must equal the naive per-pattern result.
+        for i, idx in enumerate(indexes):
+            routed = as_pairs(pool.query(f"p{i}").matches())
+            if routed != as_pairs(idx.matches()):
+                print(
+                    f"MISMATCH scenario={scenario} N={n} pattern {i}",
+                    file=sys.stderr,
+                )
+                ok = False
+        speedup = naive_t / pool_t if pool_t > 0 else float("inf")
+        print(
+            f"{n:>4} {pool_t * 1e3:>10.2f} {naive_t * 1e3:>10.2f} "
+            f"{speedup:>8.1f}x {report.routed:>7} {report.skipped:>8}"
+        )
+        results.append(
+            {
+                "n": n,
+                "pool_ms": round(pool_t * 1e3, 3),
+                "naive_ms": round(naive_t * 1e3, 3),
+                "speedup": round(speedup, 2),
+                "routed": report.routed,
+                "skipped": report.skipped,
+            }
+        )
+    lo, hi = min(sizes), max(sizes)
+    growth = pool_times[hi] / pool_times[lo] if pool_times[lo] > 0 else 0.0
+    print(
+        f"pool flush cost grew {growth:.2f}x from N={lo} to N={hi} "
+        f"({hi // lo}x more registered patterns)"
+    )
+    return ok, {
+        "sizes": sizes,
+        "reps": reps,
+        "results": results,
+        "growth_factor": round(growth, 3),
+    }
 
 
 def main(argv=None) -> int:
@@ -103,16 +201,42 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--updates", type=int, default=None, help="updates in the stream"
     )
+    parser.add_argument(
+        "--reps",
+        type=int,
+        default=None,
+        help="repetitions per size (median flush time is reported)",
+    )
+    parser.add_argument(
+        "--scenario",
+        choices=[*SCENARIOS, "all"],
+        default="all",
+        help="which workload to run",
+    )
+    parser.add_argument(
+        "--distance-mode",
+        choices=["bfs", "landmark", "matrix"],
+        default="bfs",
+        help="distance mode for the bounded scenario's pool queries",
+    )
+    parser.add_argument(
+        "--json",
+        default="BENCH_pool.json",
+        metavar="PATH",
+        help="write machine-readable results here ('-' to skip)",
+    )
     args = parser.parse_args(argv)
 
     if args.tiny:
         sizes = [1, 2, 4]
         cluster_size = args.cluster_size or 12
         num_updates = args.updates or 20
+        reps = args.reps or 2
     else:
         sizes = [1, 2, 4, 8, 16, 32, 64]
         cluster_size = args.cluster_size or 30
         num_updates = args.updates or 120
+        reps = args.reps or 3
 
     max_n = max(sizes)
     graph = build_graph(max_n, cluster_size)
@@ -127,34 +251,25 @@ def main(argv=None) -> int:
         f"graph: |V|={graph.num_nodes()} |E|={graph.num_edges()}  "
         f"updates: {len(updates)} (all in partition 0's label space)"
     )
-    print(f"{'N':>4} {'pool ms':>10} {'naive ms':>10} {'speedup':>9} "
-          f"{'routed':>7} {'skipped':>8}")
 
+    scenarios = list(SCENARIOS) if args.scenario == "all" else [args.scenario]
     ok = True
-    pool_times = {}
-    for n in sizes:
-        pool_t, pool, report = run_pool(graph.copy(), n, updates)
-        naive_t, indexes = run_naive(graph, n, updates)
-        pool_times[n] = pool_t
-        # The routed result must equal the naive per-pattern result.
-        for i, idx in enumerate(indexes):
-            routed = as_pairs(pool.query(f"p{i}").matches())
-            if routed != as_pairs(idx.matches()):
-                print(f"MISMATCH at N={n}, pattern {i}", file=sys.stderr)
-                ok = False
-        speedup = naive_t / pool_t if pool_t > 0 else float("inf")
-        print(
-            f"{n:>4} {pool_t * 1e3:>10.2f} {naive_t * 1e3:>10.2f} "
-            f"{speedup:>8.1f}x {report.routed:>7} {report.skipped:>8}"
+    doc = {
+        "graph": {"nodes": graph.num_nodes(), "edges": graph.num_edges()},
+        "updates": len(updates),
+        "distance_mode": args.distance_mode,
+        "scenarios": {},
+    }
+    for scenario in scenarios:
+        s_ok, s_doc = run_scenario(
+            scenario, sizes, graph, updates, reps, args.distance_mode
         )
+        ok = ok and s_ok
+        doc["scenarios"][scenario] = s_doc
 
-    lo, hi = min(sizes), max(sizes)
-    growth = pool_times[hi] / pool_times[lo] if pool_times[lo] > 0 else 0.0
-    print(
-        f"\npool flush cost grew {growth:.2f}x from N={lo} to N={hi} "
-        f"({hi // lo}x more registered patterns) — routed flushes are "
-        f"sublinear in pool size when updates stay in one label space."
-    )
+    if args.json != "-":
+        Path(args.json).write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"\nwrote {args.json}")
     if not ok:
         return 1
     return 0

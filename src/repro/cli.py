@@ -114,6 +114,16 @@ def main(argv=None) -> int:
         help="semantics applied to every registered pattern",
     )
     pool.add_argument(
+        "--distance-mode",
+        nargs="+",
+        default=["bfs"],
+        choices=["bfs", "landmark", "matrix"],
+        metavar="MODE",
+        help="bounded-simulation distance structure (bfs | landmark | "
+        "matrix); one value applies to every pattern, or give exactly "
+        "one per --patterns entry",
+    )
+    pool.add_argument(
         "--updates",
         help="JSON update list applied as one coalesced, routed flush",
     )
@@ -140,19 +150,44 @@ def main(argv=None) -> int:
     return 0
 
 
+def _routing_class(query) -> str:
+    if query.routes_all_edges:
+        return "wildcard-edge"
+    if query.distance_routed:
+        return "distance"
+    return "endpoint"
+
+
 def _run_pool(args) -> int:
     graph = load_graph(args.graph)
+    modes = list(args.distance_mode)
+    if len(modes) == 1:
+        modes = modes * len(args.patterns)
+    if len(modes) != len(args.patterns):
+        print(
+            f"--distance-mode takes one value or exactly one per pattern "
+            f"({len(args.patterns)} patterns, {len(args.distance_mode)} "
+            f"modes given)",
+            file=sys.stderr,
+        )
+        return 2
     pool = MatcherPool(graph)
-    for path in args.patterns:
+    for path, mode in zip(args.patterns, modes):
         name = Path(path).stem
         suffix = 2
         while name in pool:  # distinct files may share a stem
             name = f"{Path(path).stem}{suffix}"
             suffix += 1
-        pool.register(load_pattern(path), semantics=args.semantics, name=name)
+        pool.register(
+            load_pattern(path),
+            semantics=args.semantics,
+            name=name,
+            distance_mode=mode,
+        )
     output = {
         "queries": {
-            q.name: _render_query(q) for q in pool.queries()
+            q.name: dict(_render_query(q), routing=_routing_class(q))
+            for q in pool.queries()
         }
     }
     if args.updates:

@@ -11,11 +11,15 @@ against one evolving graph).  Per flush the pool:
    insert/delete pair of the same edge costs nothing anywhere;
 2. routes every surviving update through the
    :class:`~repro.engine.router.UpdateRouter` to the subset of queries
-   whose candidate space it can touch — queries outside the subset do
-   **zero** work;
+   whose candidate space it can touch — eq-keys and endpoint predicates
+   for simulation/iso/bound-1 queries, the per-query ``can_affect_edge``
+   distance oracle for bound-k queries — so queries outside the subset do
+   **zero** repair work;
 3. mutates the shared graph exactly once, invoking each routed query's
    repair entry points around the edit (bounded simulation needs its
-   pre-deletion balls, so deletions are prepared before the edit);
+   pre-deletion balls, so deletions are prepared before the edit, and
+   deletion routing consults the pre-edit distance structures while
+   insertion routing runs after they observe the whole batch);
 4. pops each touched query's match delta and publishes it to the query's
    change feeds.
 
@@ -178,18 +182,29 @@ class MatcherPool:
 
     # Convenience unit operations (queue + flush), mirroring Matcher.
     def insert_edge(self, v: Node, w: Node) -> bool:
-        """Insert a data edge, flush, and report whether the graph changed."""
-        existed = self.graph.has_edge(v, w)
+        """Insert a data edge, flush, and report whether the graph changed.
+
+        The flag is derived from the flush's *net* updates, so pending
+        updates queued earlier for the same edge (which may cancel or
+        subsume this one) cannot make it lie about the applied effect.
+        """
         self.queue(insert(v, w))
-        self.flush()
-        return not existed
+        report = self.flush()
+        return any(
+            u.op == "insert" and u.edge == (v, w) for u in report.net
+        )
 
     def delete_edge(self, v: Node, w: Node) -> bool:
-        """Delete a data edge, flush, and report whether the graph changed."""
-        existed = self.graph.has_edge(v, w)
+        """Delete a data edge, flush, and report whether the graph changed.
+
+        Like :meth:`insert_edge`, the flag reflects the flush's net
+        effect rather than a pre-flush ``has_edge`` snapshot.
+        """
         self.queue(delete(v, w))
-        self.flush()
-        return existed
+        report = self.flush()
+        return any(
+            u.op == "delete" and u.edge == (v, w) for u in report.net
+        )
 
     def add_node(self, v: Node, **attrs: Any) -> None:
         """Add/refresh a node (and repair all affected queries)."""
@@ -245,44 +260,49 @@ class MatcherPool:
             report.routed += len(affected)
             report.skipped += len(self._queries) - len(affected)
 
-        # ---- Phase B: coalesce + route edge updates --------------------
+        # ---- Phase B: coalesce edge updates ----------------------------
         net = net_updates(self.graph, edge_ops)
         report.net = net
         self.stats.net_edge_updates += len(net)
         deletions = [u.edge for u in net if u.op == "delete"]
         insertions = [u.edge for u in net if u.op == "insert"]
+        # Queries whose distance structures (landmark vectors, matrix,
+        # eligible-ball summary) must see every net edge update — cheap
+        # structure upkeep, distinct from routed pair-level repair.
+        observers = [
+            q for q in self._queries.values() if q.observes_all_edges
+        ]
 
+        # ---- Phase C: deletions (route -> prep -> edit -> observe ->
+        # repair).  Routing and prep consult the *pre-edit* graph and
+        # distance structures: a broken pair's old witness path decomposes
+        # over pre-deletion distances.
         routed_dels: Dict[str, List[Tuple[Node, Node]]] = {}
         for v, w in deletions:
-            qs = self._router.route_edge(self.graph.attrs(v), self.graph.attrs(w))
+            qs = self._router.route_edge(
+                v, w, self.graph.attrs(v), self.graph.attrs(w)
+            )
             for q in qs:
                 routed_dels.setdefault(q.name, []).append((v, w))
                 touched[q.name] = q
             report.routed += len(qs)
             report.skipped += len(self._queries) - len(qs)
-
-        routed_ins: Dict[str, List[Tuple[Node, Node]]] = {}
-        for v, w in insertions:
-            v_attrs = self.graph.attrs(v) if v in self.graph else {}
-            w_attrs = self.graph.attrs(w) if w in self.graph else {}
-            qs = self._router.route_edge(v_attrs, w_attrs)
-            for q in qs:
-                routed_ins.setdefault(q.name, []).append((v, w))
-                touched[q.name] = q
-            report.routed += len(qs)
-            report.skipped += len(self._queries) - len(qs)
-
-        # ---- Phase C: deletions (prep -> edit -> repair) ---------------
         prepared = {
             name: self._queries[name].prepare_deletions(edges)
             for name, edges in routed_dels.items()
         }
         for v, w in deletions:
             self.graph.remove_edge(v, w)
+        if deletions:
+            for q in observers:
+                q.observe_deletions(deletions)
         for name, prep in prepared.items():
             self._queries[name].repair_deletions(prep)
 
-        # ---- Phase D: insertions (edit -> repair -> fresh nodes) -------
+        # ---- Phase D: insertions (edit -> observe -> route -> repair ->
+        # fresh nodes).  Routing happens *after* the edit and structure
+        # observation so the distance oracle sees the whole batch — a
+        # witness path may thread several same-flush insertions.
         fresh_nodes: List[Node] = []
         for v, w in insertions:
             for node in (v, w):
@@ -290,19 +310,34 @@ class MatcherPool:
                     self.graph.add_node(node)
                     fresh_nodes.append(node)
             self.graph.add_edge(v, w)
+        if insertions:
+            for q in observers:
+                q.observe_insertions(insertions)
+        routed_ins: Dict[str, List[Tuple[Node, Node]]] = {}
+        for v, w in insertions:
+            qs = self._router.route_edge(
+                v, w, self.graph.attrs(v), self.graph.attrs(w)
+            )
+            for q in qs:
+                routed_ins.setdefault(q.name, []).append((v, w))
+                touched[q.name] = q
+            report.routed += len(qs)
+            report.skipped += len(self._queries) - len(qs)
         for name, edges in routed_ins.items():
             self._queries[name].repair_insertions(edges)
         # Fresh attribute-less endpoints can still match wildcard (TRUE)
         # predicates — e.g. a childless or single-node pattern — so they
         # are announced after edge repair (registration is idempotent).
+        # One routing decision covers the whole fresh-node set, so it is
+        # counted once per flush, not once per node.
         if fresh_nodes:
             wildcard_queries = self._router.route_node({})
             for node in fresh_nodes:
                 for q in wildcard_queries:
                     q.apply_node_added(node, {})
                     touched[q.name] = q
-                report.routed += len(wildcard_queries)
-                report.skipped += len(self._queries) - len(wildcard_queries)
+            report.routed += len(wildcard_queries)
+            report.skipped += len(self._queries) - len(wildcard_queries)
 
         # ---- Phase E: publish match deltas -----------------------------
         for name, q in touched.items():

@@ -98,19 +98,32 @@ class ContinuousQuery:
         # One representative equality atom per predicate: a node can only
         # satisfy the predicate if its attrs contain that (attr, value)
         # item, so indexing one atom yields a sound candidate superset.
+        # The representative is the min by (attribute, repr(value)) so
+        # routing is invariant under predicate atom order.
         eq_keys: Set[EqKey] = set()
         wildcard = False
         for pred in self._node_preds:
             eq_atoms = [a for a in pred.atoms if a.op == "="]
             if eq_atoms:
-                eq_keys.add((eq_atoms[0].attribute, eq_atoms[0].value))
+                rep = min(eq_atoms, key=lambda a: (a.attribute, repr(a.value)))
+                eq_keys.add((rep.attribute, rep.value))
             else:
                 wildcard = True  # TRUE / inequality-only: matches broadly
         self.eq_keys: FrozenSet[EqKey] = frozenset(eq_keys)
         self.wildcard_node: bool = wildcard
-        self.routes_all_edges: bool = (
-            isinstance(self.index, BoundedSimulationIndex)
-            and self.index.routes_all_edges()
+        # --- edge-routing class ------------------------------------------
+        # A TRUE predicate makes brand-new (attribute-less) nodes eligible
+        # mid-flush, which no pre-computed ball can anticipate — such
+        # bounded queries keep observing every edge.  All other bound>1
+        # (or *) queries are distance-routed through the index's
+        # can_affect_edge oracle; bound-1 patterns stay endpoint-routed.
+        bounded = isinstance(self.index, BoundedSimulationIndex)
+        trivial_pred = any(p.is_trivial() for p in self._node_preds)
+        needs_distance = bounded and self.index.distance_routed()
+        self.routes_all_edges: bool = needs_distance and trivial_pred
+        self.distance_routed: bool = needs_distance and not trivial_pred
+        self.observes_all_edges: bool = (
+            bounded and self.index.needs_edge_observation()
         )
         # --- delta bookkeeping -----------------------------------------
         if isinstance(self.index, IsoIndex):
@@ -247,13 +260,26 @@ class ContinuousQuery:
     def touches_edge(
         self, v_attrs: Mapping[str, Any], w_attrs: Mapping[str, Any]
     ) -> bool:
-        """Can an edge between nodes with these attrs affect this query?"""
+        """Can an edge between nodes with these attrs affect this query?
+
+        Endpoint-attribute stage only; distance-routed queries are
+        additionally consulted through :meth:`can_affect_edge`.
+        """
         if self.routes_all_edges:
             return True
         return any(
             pu.satisfied_by(v_attrs) and pw.satisfied_by(w_attrs)
             for pu, pw in self._edge_pred_pairs
         )
+
+    def can_affect_edge(self, v: Node, w: Node) -> bool:
+        """Distance-aware oracle: can an edge update (v, w) touch a pair?
+
+        Only meaningful for ``distance_routed`` queries; backed by the
+        bounded index's maintained distance structure (eligible-ball
+        summary / landmark vectors / matrix rows).
+        """
+        return self.index.can_affect_edge(v, w)
 
     def touches_node(self, attrs: Mapping[str, Any]) -> bool:
         """Can a node with these attrs be eligible for any pattern node?"""
@@ -277,6 +303,20 @@ class ContinuousQuery:
         if isinstance(self.index, BoundedSimulationIndex):
             return self.index.prepare_deleted_edges(edges)
         return edges
+
+    def observe_deletions(self, edges: List[Tuple[Node, Node]]) -> None:
+        """Sync distance structures with ALL net deletions (post-edit).
+
+        Structure upkeep only — pair repair happens in
+        :meth:`repair_deletions` for the routed subset.
+        """
+        if isinstance(self.index, BoundedSimulationIndex):
+            self.index.observe_deleted_edges(edges)
+
+    def observe_insertions(self, edges: List[Tuple[Node, Node]]) -> None:
+        """Sync distance structures with ALL net insertions (post-edit)."""
+        if isinstance(self.index, BoundedSimulationIndex):
+            self.index.observe_inserted_edges(edges)
 
     def repair_deletions(self, prepared) -> None:
         self.index.repair_deleted_edges(prepared)

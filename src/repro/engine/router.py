@@ -12,16 +12,22 @@ regime of Berkholz et al. — by indexing each query's *routing signature*:
   candidate superset via dict lookups;
 - queries with a predicate lacking equality atoms (``TRUE`` or
   inequality-only) fall into a wildcard-node bucket;
-- bounded queries whose bounds exceed 1 (or that maintain landmark /
-  matrix distance structures) must observe every edge update — an edge
-  between unlabeled nodes can shorten a witness path — and live in a
-  wildcard-edge bucket;
+- bounded queries whose bounds exceed 1 (or ``*``) are **distance-routed**:
+  an edge between unlabeled nodes can shorten or break a witness path, so
+  endpoint attributes alone are unsound — instead each such query's
+  :meth:`~repro.engine.query.ContinuousQuery.can_affect_edge` oracle
+  (eligible-ball summary / landmark vectors / matrix rows) proves or
+  refutes relevance per edge;
+- only bounded queries with a trivial (``TRUE``) node predicate — for
+  which a brand-new attribute-less node is instantly eligible — still
+  observe every edge via the wildcard-edge bucket;
 - attribute updates route by attribute *name*: merging attributes no
   predicate mentions cannot change any eligibility.
 
-Candidates are then confirmed with the query's exact predicate check
-(``touches_edge`` / ``touches_node`` / ``touches_attr_change``); queries
-that fail either stage do **zero** work for the update.
+Edge routing is therefore three-staged: eq-key candidate lookup, endpoint
+predicate confirm (``touches_edge``), and the distance oracle for
+distance-routed queries.  Queries that fail every stage do **zero** work
+for the update.
 """
 
 from __future__ import annotations
@@ -42,6 +48,7 @@ class UpdateRouter:
         self._by_attr: Dict[str, Set[int]] = {}
         self._wild_node: Set[int] = set()
         self._wild_edge: Set[int] = set()
+        self._dist: Set[int] = set()
 
     def __len__(self) -> int:
         return len(self._queries)
@@ -59,6 +66,8 @@ class UpdateRouter:
             self._wild_node.add(qid)
         if query.routes_all_edges:
             self._wild_edge.add(qid)
+        if query.distance_routed:
+            self._dist.add(qid)
 
     def unregister(self, query: ContinuousQuery) -> None:
         qid = id(query)
@@ -80,6 +89,7 @@ class UpdateRouter:
                     del self._by_attr[name]
         self._wild_node.discard(qid)
         self._wild_edge.discard(qid)
+        self._dist.discard(qid)
 
     # ------------------------------------------------------------------
     # Candidate selection
@@ -105,22 +115,48 @@ class UpdateRouter:
     # Routing
     # ------------------------------------------------------------------
     def route_edge(
-        self, v_attrs: Mapping[str, Any], w_attrs: Mapping[str, Any]
+        self,
+        v: Any,
+        w: Any,
+        v_attrs: Mapping[str, Any],
+        w_attrs: Mapping[str, Any],
     ) -> List[ContinuousQuery]:
-        """Queries an edge update between these endpoints can affect.
+        """Queries an edge update between ``v`` and ``w`` can affect.
 
-        Sound for simulation/isomorphism semantics (and bound-1 bounded
-        patterns): an edge only enters the incremental bookkeeping when
-        its source can play some pattern node ``u`` and its target some
-        successor ``u2`` — both requiring predicate satisfaction.
+        Three stages:
+
+        1. eq-key candidate lookup on both endpoints' attrs, confirmed by
+           the endpoint predicate pairing (``touches_edge``) — sound and
+           complete for simulation/isomorphism semantics and bound-1
+           bounded patterns (an edge only enters their bookkeeping when
+           its endpoints can play adjacent pattern nodes);
+        2. the wildcard-edge bucket (trivial-predicate bounded queries);
+        3. for distance-routed queries not already selected, the
+           per-query ``can_affect_edge`` oracle — an endpoint-predicate
+           pairing (a possible direct pair) also routes them without an
+           oracle consult.
+
+        Callers must time the call against the query's distance
+        structures: pre-edit for deletions, post-``observe`` for
+        insertions (see :meth:`MatcherPool.flush`).
         """
         cands = self._node_candidates(v_attrs) & self._node_candidates(w_attrs)
-        cands |= self._wild_edge
-        return [
-            q
-            for q in self._sorted(cands)
-            if q.touches_edge(v_attrs, w_attrs)
-        ]
+        selected = set(self._wild_edge)
+        for qid in cands:
+            if qid in selected:
+                continue
+            q = self._queries[qid]
+            if q.touches_edge(v_attrs, w_attrs):
+                selected.add(qid)
+            elif qid in self._dist and q.can_affect_edge(v, w):
+                selected.add(qid)
+        for qid in self._dist:
+            # touches_edge implies eq/wildcard candidacy, so queries
+            # outside ``cands`` are decided by the oracle alone.
+            if qid not in selected and qid not in cands:
+                if self._queries[qid].can_affect_edge(v, w):
+                    selected.add(qid)
+        return self._sorted(selected)
 
     def route_node(self, attrs: Mapping[str, Any]) -> List[ContinuousQuery]:
         """Queries for which a (new) node with these attrs is eligible."""

@@ -1,5 +1,6 @@
 """Incremental matching: IncMatch, IncBMatch, IncIsoMat, HORNSAT baseline."""
 
+from .ballsummary import EligibleBallSummary
 from .affected import (
     AffReport,
     measure_incbsim,
@@ -39,6 +40,7 @@ __all__ = [
     "IncStats",
     "SimulationIndex",
     "BoundedSimulationIndex",
+    "EligibleBallSummary",
     "HornSimulation",
     "IsoIndex",
     "classify_pair",

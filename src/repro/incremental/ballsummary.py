@@ -1,0 +1,240 @@
+"""Eligible-ball summaries: distance-aware update routing for bound-k queries.
+
+A bounded-simulation pair ``(a, c)`` for pattern edge ``(u, u2)`` with
+bound ``k`` can only be *created* or *broken* by a data edge ``(x, y)``
+lying on a witness path, i.e. when ``d(a, x) <= k - 1`` and
+``d(y, c) <= k - 1`` (possibly-empty legs, anchors at distance 0).  So an
+edge update is relevant to the query only if its source sits in the union
+of radius-``(k-1)`` *forward* balls around eligible sources and its target
+in the union of radius-``(k-1)`` *backward* balls around eligible targets.
+
+:class:`EligibleBallSummary` maintains exactly those unions, one
+``(src, tgt)`` distance-map pair per pattern edge, as a **monotone
+over-approximation**:
+
+- edge insertions and eligibility gains *grow* the maps (a capped
+  Dijkstra relaxation from the improved frontier);
+- edge deletions and eligibility losses only *shrink* true balls, so the
+  maps are left in place (a superset stays sound for pruning) and a
+  staleness counter is bumped; crossing a threshold triggers a full
+  rebuild so pruning power does not decay forever.
+
+Soundness contract: :meth:`can_affect` may return ``True`` spuriously but
+never returns ``False`` for an edge that could create or break a pair on
+the graph state the summary has observed.  The
+:class:`~repro.engine.pool.MatcherPool` consults it *pre-edit* for
+deletions and *post-edit* (after :meth:`note_inserted`) for insertions,
+mirroring the two-phase deletion dance of the repair path itself.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..graphs.digraph import DiGraph, Node
+from ..patterns.pattern import Bound, PatternNode
+
+PatternEdge = Tuple[PatternNode, PatternNode]
+
+
+def _capped_multi_source(
+    graph: DiGraph,
+    sources: Iterable[Node],
+    radius: Optional[int],
+    reverse: bool = False,
+) -> Dict[Node, int]:
+    """Possibly-empty-path distances from the closest of ``sources``."""
+    neighbours = graph.parents if reverse else graph.children
+    dist: Dict[Node, int] = {}
+    frontier: List[Node] = []
+    for s in sources:
+        if s in graph and s not in dist:
+            dist[s] = 0
+            frontier.append(s)
+    depth = 0
+    while frontier and (radius is None or depth < radius):
+        depth += 1
+        nxt: List[Node] = []
+        for v in frontier:
+            for w in neighbours(v):
+                if w not in dist:
+                    dist[w] = depth
+                    nxt.append(w)
+        frontier = nxt
+    return dist
+
+
+class EligibleBallSummary:
+    """Per-pattern-edge ball unions answering "can this edge matter?"."""
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        bounds: Dict[PatternEdge, Bound],
+        eligible: Dict[PatternNode, set],
+    ) -> None:
+        self._graph = graph
+        self._bounds = bounds
+        self._eligible = eligible
+        self._src: Dict[PatternEdge, Dict[Node, int]] = {}
+        self._tgt: Dict[PatternEdge, Dict[Node, int]] = {}
+        self._stale = 0
+        self.rebuilds = 0
+        self.rebuild()
+
+    # ------------------------------------------------------------------
+    # Construction / rebuild
+    # ------------------------------------------------------------------
+    def _radius(self, bound: Bound) -> Optional[int]:
+        return None if bound is None else bound - 1
+
+    def _rebuild_threshold(self) -> int:
+        return max(16, self._graph.num_nodes() // 8)
+
+    def rebuild(self) -> None:
+        """Recompute every ball union from scratch on the current graph."""
+        self.rebuilds += 1
+        self._stale = 0
+        for edge, bound in self._bounds.items():
+            u, u2 = edge
+            r = self._radius(bound)
+            self._src[edge] = _capped_multi_source(
+                self._graph, self._eligible[u], r
+            )
+            self._tgt[edge] = _capped_multi_source(
+                self._graph, self._eligible[u2], r, reverse=True
+            )
+
+    # ------------------------------------------------------------------
+    # The routing oracle
+    # ------------------------------------------------------------------
+    def can_affect(self, x: Node, y: Node) -> bool:
+        """May an edge update between ``x`` and ``y`` create/break a pair?
+
+        True iff for some pattern edge both ``x`` lies in the (stale-safe
+        superset of the) source ball union and ``y`` in the target one.
+        """
+        for edge in self._bounds:
+            if x in self._src[edge] and y in self._tgt[edge]:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+    def _grow(
+        self,
+        dist: Dict[Node, int],
+        radius: Optional[int],
+        seeds: List[Tuple[Node, int]],
+        reverse: bool,
+    ) -> None:
+        """Relax ``dist`` from improved ``seeds`` (entries only decrease)."""
+        neighbours = self._graph.parents if reverse else self._graph.children
+        tie = count()
+        heap = [(d, next(tie), v) for v, d in seeds]
+        heapq.heapify(heap)
+        while heap:
+            d, _, v = heapq.heappop(heap)
+            if dist.get(v, d + 1) < d:
+                continue
+            if radius is not None and d >= radius:
+                continue
+            nd = d + 1
+            for w in neighbours(v):
+                if nd < dist.get(w, nd + 1):
+                    dist[w] = nd
+                    heapq.heappush(heap, (nd, next(tie), w))
+
+    def note_inserted(self, edges: Iterable[Tuple[Node, Node]]) -> None:
+        """Grow the balls for edges already inserted into the graph.
+
+        The src map relaxes forward (an edge extends the ball from its
+        source to its target); the tgt map relaxes backward.
+        """
+        edges = list(edges)
+        for pedge, bound in self._bounds.items():
+            r = self._radius(bound)
+            for dist, reverse in (
+                (self._src[pedge], False),
+                (self._tgt[pedge], True),
+            ):
+                seeds: List[Tuple[Node, int]] = []
+                for near, far in edges:
+                    if reverse:
+                        near, far = far, near
+                    d = dist.get(near)
+                    if d is None or (r is not None and d + 1 > r):
+                        continue
+                    if dist.get(far, d + 2) > d + 1:
+                        dist[far] = d + 1
+                        seeds.append((far, d + 1))
+                if seeds:
+                    self._grow(dist, r, seeds, reverse)
+
+    def note_deleted(self, edges: Iterable[Tuple[Node, Node]]) -> None:
+        """Record deletions (balls may shrink; supersets stay sound)."""
+        touched = 0
+        for x, y in edges:
+            for pedge in self._bounds:
+                if x in self._src[pedge] or y in self._tgt[pedge]:
+                    touched += 1
+        if not touched:
+            return
+        self._stale += touched
+        if self._stale > self._rebuild_threshold():
+            self.rebuild()
+
+    def note_eligible_gained(self, u: PatternNode, v: Node) -> None:
+        """Node ``v`` became eligible for pattern node ``u``: grow balls."""
+        if v not in self._graph:
+            return
+        for (pu, pu2), bound in self._bounds.items():
+            r = self._radius(bound)
+            if pu == u:
+                src = self._src[(pu, pu2)]
+                if src.get(v, 1) > 0:
+                    src[v] = 0
+                    self._grow(src, r, [(v, 0)], reverse=False)
+            if pu2 == u:
+                tgt = self._tgt[(pu, pu2)]
+                if tgt.get(v, 1) > 0:
+                    tgt[v] = 0
+                    self._grow(tgt, r, [(v, 0)], reverse=True)
+
+    def note_eligible_lost(self, u: PatternNode, v: Node) -> None:
+        """Node ``v`` lost eligibility for ``u`` (balls may shrink)."""
+        touched = sum(
+            1
+            for (pu, pu2) in self._bounds
+            if (pu == u and v in self._src[(pu, pu2)])
+            or (pu2 == u and v in self._tgt[(pu, pu2)])
+        )
+        if not touched:
+            return
+        self._stale += touched
+        if self._stale > self._rebuild_threshold():
+            self.rebuild()
+
+    # ------------------------------------------------------------------
+    # Invariants (tests)
+    # ------------------------------------------------------------------
+    def check_superset_invariant(self) -> None:
+        """Every true current ball entry must appear in the summary."""
+        for edge, bound in self._bounds.items():
+            u, u2 = edge
+            r = self._radius(bound)
+            true_src = _capped_multi_source(self._graph, self._eligible[u], r)
+            true_tgt = _capped_multi_source(
+                self._graph, self._eligible[u2], r, reverse=True
+            )
+            missing_src = set(true_src) - set(self._src[edge])
+            missing_tgt = set(true_tgt) - set(self._tgt[edge])
+            assert not missing_src, (
+                f"summary src ball for {edge} missing {missing_src}"
+            )
+            assert not missing_tgt, (
+                f"summary tgt ball for {edge} missing {missing_tgt}"
+            )

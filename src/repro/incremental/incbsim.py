@@ -44,6 +44,7 @@ from ..graphs.digraph import DiGraph, Node
 from ..graphs.distance import DistanceMatrix
 from ..graphs.traversal import INF, ancestors_within, descendants_within
 from ..landmarks.vector import LandmarkIndex
+from .ballsummary import EligibleBallSummary
 from ..matching.relation import MatchRelation, totalize
 from ..matching.simulation import candidate_sets
 from ..patterns.pattern import Bound, Pattern, PatternNode
@@ -89,6 +90,9 @@ class BoundedSimulationIndex:
         self._inner = SimulationIndex(_layered_pattern(pattern), self._pair_graph)
         self._lm: Optional[LandmarkIndex] = None
         self._matrix: Optional[DistanceMatrix] = None
+        # Built lazily on first routing-oracle consult (bfs mode only), so
+        # standalone batch users never pay for it.
+        self._summary: Optional[EligibleBallSummary] = None
         if distance_mode == "landmark":
             self._lm = LandmarkIndex(graph, strategy=landmark_strategy)
         elif distance_mode == "matrix":
@@ -181,6 +185,8 @@ class BoundedSimulationIndex:
             if self.pattern.predicate(u).satisfied_by(attrs):
                 self.eligible[u].add(v)
                 self._inner.add_node((u, v), **{LAYER_ATTR: u})
+                if self._summary is not None:
+                    self._summary.note_eligible_gained(u, v)
 
     def update_node_attrs(self, v: Node, **attrs) -> None:
         """Change ``v``'s attributes and repair the match.
@@ -211,6 +217,8 @@ class BoundedSimulationIndex:
                 for parent in list(self._pair_graph.parents(pv)):
                     pair_updates.append(upd_delete(parent, pv))
                 self.eligible[u].remove(v)
+                if self._summary is not None:
+                    self._summary.note_eligible_lost(u, v)
         if pair_updates:
             self._inner.apply_batch(pair_updates)
         # Retire after the edges are gone so leaf-layer matches drop too.
@@ -224,6 +232,8 @@ class BoundedSimulationIndex:
         for u in gained:
             self.eligible[u].add(v)
             self._inner.add_node((u, v), **{LAYER_ATTR: u})
+            if self._summary is not None:
+                self._summary.note_eligible_gained(u, v)
         for u in gained:
             # Outgoing pairs: targets within bound of v, per edge from u.
             for u2 in self.pattern.children(u):
@@ -409,6 +419,8 @@ class BoundedSimulationIndex:
             self._lm.insert_edge(x, y)
         if self._matrix is not None:
             self._matrix_insert(x, y)
+        if self._summary is not None:
+            self._summary.note_inserted([(x, y)])
         bins, bouts = self._balls_around(x, y)
         pair_updates = self._pairs_created_by_insert(x, y, bins, bouts)
         if pair_updates:
@@ -425,6 +437,8 @@ class BoundedSimulationIndex:
             self._lm.delete_edge(x, y)
         if self._matrix is not None:
             self._matrix_delete([(x, y)])
+        if self._summary is not None:
+            self._summary.note_deleted([(x, y)])
         pair_updates = self._pairs_broken_by_delete(x, y, bins, bouts)
         if pair_updates:
             self._inner.apply_batch(pair_updates)
@@ -456,6 +470,8 @@ class BoundedSimulationIndex:
                 self._lm.apply_batch(deleted=[u.edge for u in deletions])
             if self._matrix is not None:
                 self._matrix_delete([u.edge for u in deletions])
+            if self._summary is not None:
+                self._summary.note_deleted([u.edge for u in deletions])
         suspects: Dict[PatternEdge, Set[Tuple[Node, Node]]] = {}
         for x, y, bins, bouts in del_balls:
             self._collect_suspects(bins, bouts, suspects)
@@ -475,6 +491,8 @@ class BoundedSimulationIndex:
             if self._matrix is not None:
                 for u in insertions:
                     self._matrix.apply_insert(u.source, u.target)
+            if self._summary is not None:
+                self._summary.note_inserted([u.edge for u in insertions])
         pending = {
             (pu.source, pu.target) for pu in pair_updates if pu.op == "delete"
         }
@@ -498,21 +516,133 @@ class BoundedSimulationIndex:
                 self.delete_edge(u.source, u.target)
 
     # ------------------------------------------------------------------
-    # Shared-graph repair (MatcherPool plumbing)
+    # Distance-aware routing oracle (MatcherPool plumbing)
     # ------------------------------------------------------------------
-    def routes_all_edges(self) -> bool:
-        """Must this index see *every* edge update of the shared graph?
+    def distance_routed(self) -> bool:
+        """Do the bounds force distance-aware (rather than endpoint) routing?
 
-        Distance structures (landmark vectors, all-pairs matrix) track the
-        whole graph, and any bound ``> 1`` (or ``*``) lets an edge between
-        unlabeled nodes shorten a witness path — in both cases endpoint
-        routing is unsound and the pool must deliver every edge update.
-        Pure bound-1 patterns in BFS mode behave like plain simulation.
+        Any bound ``> 1`` (or ``*``) lets an edge between unlabeled nodes
+        shorten or break a witness path, so endpoint-attribute routing is
+        unsound; :meth:`can_affect_edge` is the sound replacement.  Pure
+        bound-1 patterns behave like plain simulation and stay
+        endpoint-routable.
         """
-        if self._lm is not None or self._matrix is not None:
-            return True
         return any(b != 1 for b in self._bounds.values())
 
+    def needs_edge_observation(self) -> bool:
+        """Must the pool feed every net edge update to ``observe_*_edges``?
+
+        Landmark vectors and the all-pairs matrix track the whole graph,
+        and the bfs-mode ball summary must watch inserts/deletes to stay a
+        sound superset.  Observation is cheap structure upkeep — it does
+        no pair-level repair.
+        """
+        return (
+            self._lm is not None
+            or self._matrix is not None
+            or self.distance_routed()
+        )
+
+    def _ensure_summary(self) -> EligibleBallSummary:
+        if self._summary is None:
+            self._summary = EligibleBallSummary(
+                self.graph, self._bounds, self.eligible
+            )
+        return self._summary
+
+    def ball_summary(self) -> Optional[EligibleBallSummary]:
+        return self._summary
+
+    def can_affect_edge(self, x: Node, y: Node) -> bool:
+        """Sound routing oracle: can an edge update between ``x`` and
+        ``y`` create or break any pair?
+
+        May err towards ``True``; ``False`` is a proof of irrelevance on
+        the distance structure's current state.  The pool consults it
+        *before* the edit for deletions (old witness paths decompose over
+        pre-deletion distances) and *after* :meth:`observe_inserted_edges`
+        for insertions (so same-batch edges are already reflected) —
+        mirroring the ``prepare_deletions`` two-phase dance.
+
+        Backing store per ``distance_mode``: eligible-ball summary
+        (``bfs``), landmark vectors (``landmark``), matrix rows
+        (``matrix``).
+        """
+        if self._lm is None and self._matrix is None:
+            return self._ensure_summary().can_affect(x, y)
+        for (u, u2), bound in self._bounds.items():
+            r = None if bound is None else bound - 1
+            if self._leg_ok(u, x, r, outgoing=False) and self._leg_ok(
+                u2, y, r, outgoing=True
+            ):
+                return True
+        return False
+
+    def _leg_ok(
+        self, u: PatternNode, node: Node, r: Bound, outgoing: bool
+    ) -> bool:
+        """Witness-leg check against ``eligible[u]`` within possibly-empty
+        distance ``r``: some eligible source reaches ``node`` when
+        ``outgoing`` is False, ``node`` reaches some eligible target when
+        True."""
+        elig = self.eligible[u]
+        if node in elig:
+            return True
+        if r == 0:
+            return False
+        for e in elig:
+            v, w = (node, e) if outgoing else (e, node)
+            if self._lm is not None:
+                if self._lm.leg_within(v, w, r):
+                    return True
+            else:
+                d = self._matrix.dist(v, w)
+                if d != INF and (r is None or d <= r):
+                    return True
+        return False
+
+    def observe_deleted_edges(
+        self, edges: Iterable[Tuple[Node, Node]]
+    ) -> None:
+        """Absorb net deletions into the distance structures.
+
+        The pool calls this for **every** net deletion — routed or not —
+        after the shared graph is edited and before
+        :meth:`repair_deleted_edges`, so suspect rechecks see current
+        distances.  No pair-level work happens here.
+        """
+        edges = list(edges)
+        if not edges:
+            return
+        if self._lm is not None:
+            self._lm.apply_batch(deleted=edges)
+        if self._matrix is not None:
+            self._matrix_delete(edges)
+        if self._summary is not None:
+            self._summary.note_deleted(edges)
+
+    def observe_inserted_edges(
+        self, edges: Iterable[Tuple[Node, Node]]
+    ) -> None:
+        """Absorb net insertions into the distance structures.
+
+        Called after the shared graph is edited and *before* insertion
+        routing, so :meth:`can_affect_edge` reflects the whole batch.
+        """
+        edges = list(edges)
+        if not edges:
+            return
+        if self._lm is not None:
+            self._lm.apply_batch(inserted=edges)
+        if self._matrix is not None:
+            for x, y in edges:
+                self._matrix.apply_insert(x, y)
+        if self._summary is not None:
+            self._summary.note_inserted(edges)
+
+    # ------------------------------------------------------------------
+    # Shared-graph repair (MatcherPool plumbing)
+    # ------------------------------------------------------------------
     def prepare_deleted_edges(
         self, edges: Iterable[Tuple[Node, Node]]
     ) -> List[Tuple]:
@@ -524,14 +654,14 @@ class BoundedSimulationIndex:
         return [(x, y, *self._balls_around(x, y)) for x, y in edges]
 
     def repair_deleted_edges(self, prepared: List[Tuple]) -> None:
-        """IncBMatch- for edges already removed from the shared graph."""
+        """IncBMatch- for edges already removed from the shared graph.
+
+        Distance structures are **not** synced here — the pool feeds every
+        net deletion through :meth:`observe_deleted_edges` first (routed
+        edges are a subset, so syncing here would double-apply).
+        """
         if not prepared:
             return
-        deleted = [(x, y) for x, y, _, _ in prepared]
-        if self._lm is not None:
-            self._lm.apply_batch(deleted=deleted)
-        if self._matrix is not None:
-            self._matrix_delete(deleted)
         suspects: Dict[PatternEdge, Set[Tuple[Node, Node]]] = {}
         for _, _, bins, bouts in prepared:
             self._collect_suspects(bins, bouts, suspects)
@@ -541,18 +671,18 @@ class BoundedSimulationIndex:
                 self._inner.apply_batch(pair_updates)
 
     def repair_inserted_edges(self, edges: Iterable[Tuple[Node, Node]]) -> None:
-        """IncBMatch+ for edges already present in the shared graph."""
+        """IncBMatch+ for edges already present in the shared graph.
+
+        Distance structures are **not** synced here — the pool feeds every
+        net insertion through :meth:`observe_inserted_edges` before
+        routing (so the oracle sees the whole batch).
+        """
         edges = list(edges)
         if not edges:
             return
         for x, y in edges:
             self._register_node(x)
             self._register_node(y)
-        if self._lm is not None:
-            self._lm.apply_batch(inserted=edges)
-        if self._matrix is not None:
-            for x, y in edges:
-                self._matrix.apply_insert(x, y)
         pair_updates: List[Update] = []
         for x, y in edges:
             bins, bouts = self._balls_around(x, y)
@@ -567,8 +697,10 @@ class BoundedSimulationIndex:
     # ------------------------------------------------------------------
     def check_invariants(self) -> None:
         """Pair graph must mirror true bounded distances; inner invariants
-        must hold."""
+        must hold; the routing summary (if built) must stay a superset."""
         self._inner.check_invariants()
+        if self._summary is not None:
+            self._summary.check_superset_invariant()
         for (u, u2), bound in self._bounds.items():
             for a in self.eligible[u]:
                 ball = descendants_within(self.graph, a, bound)

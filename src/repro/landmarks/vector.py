@@ -142,6 +142,26 @@ class LandmarkIndex:
                 return True
         return False
 
+    def leg_within(self, v: Node, w: Node, radius: Optional[int]) -> bool:
+        """Early-exit check on *possibly-empty* paths: ``d(v, w) <= radius``.
+
+        The legs of a witness path around an updated edge may be empty
+        (``d(v, v) == 0``), unlike the nonempty-path semantics of
+        :meth:`within` — this is what the distance-aware routing oracle of
+        ``IncBMatch`` needs.  ``radius is None`` means plain reachability.
+        """
+        if v == w:
+            return v in self._graph
+        if radius is None:
+            return self.dist(v, w) != INF
+        for lm, fwd in self._fwd.items():
+            to_lm = self._bwd[lm].dist(v)
+            if to_lm > radius:
+                continue
+            if to_lm + fwd.dist(w) <= radius:
+                return True
+        return False
+
     def ball_out(self, v: Node, k: Optional[int]) -> Dict[Node, int]:
         """Bounded forward ball; BFS is used directly (k is small)."""
         return descendants_within(self._graph, v, k)

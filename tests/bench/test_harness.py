@@ -101,3 +101,36 @@ def test_cli_list_and_single_figure(capsys):
     out = capsys.readouterr().out
     assert "alpha" in out
     assert main(["--figure", "nope"]) == 2
+
+
+def test_bench_pool_tiny_emits_machine_readable_json(tmp_path):
+    """CI uploads BENCH_pool.json; pin its shape and the routing headline
+    (non-owning bounded queries decline the partitioned stream, so the
+    routed count must not grow with pool size)."""
+    import json
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    script = Path(__file__).resolve().parents[2] / "benchmarks" / "bench_pool.py"
+    out = tmp_path / "BENCH_pool.json"
+    proc = subprocess.run(
+        [
+            sys.executable, str(script), "--tiny",
+            "--updates", "8", "--cluster-size", "6", "--reps", "1",
+            "--json", str(out),
+        ],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    doc = json.loads(out.read_text())
+    assert set(doc["scenarios"]) == {"simulation", "bounded"}
+    for scenario in doc["scenarios"].values():
+        assert scenario["results"]
+        for row in scenario["results"]:
+            assert {"n", "pool_ms", "naive_ms", "routed", "skipped"} <= set(row)
+    for name in ("simulation", "bounded"):
+        routed = [r["routed"] for r in doc["scenarios"][name]["results"]]
+        assert len(set(routed)) == 1, (name, routed)

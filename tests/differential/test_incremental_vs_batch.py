@@ -11,6 +11,7 @@ through the shared-graph :class:`~repro.engine.pool.MatcherPool` plumbing
 
 from __future__ import annotations
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -130,6 +131,47 @@ def test_pool_stream_matches_batch_all_semantics(data):
         assert_iso_consistent(iso_pattern, graph, iso_q.embeddings())
         sim_q.index.check_invariants()
         b_q.index.check_invariants()
+
+
+@pytest.mark.parametrize("mode", ["bfs", "landmark", "matrix"])
+@settings(max_examples=12, deadline=None)
+@given(st.data())
+def test_pool_bounded_distance_modes_with_node_churn(mode, data):
+    """The safety net for distance-aware routing: bounded queries in every
+    ``distance_mode``, with node additions, attribute flips (eligibility
+    gained AND lost), and fresh nodes wired mid-flush interleaved with the
+    edge batches — recomputed from scratch after every flush."""
+    from repro.incremental.types import insert as ins
+
+    graph = data.draw(small_graphs(max_nodes=5))
+    pattern = data.draw(small_patterns(max_nodes=3))
+    pool = MatcherPool(graph)
+    q = pool.register(
+        pattern, semantics="bounded", distance_mode=mode, name="b"
+    )
+    next_node = 100
+    for _ in range(FLUSHES):
+        nodes = sorted(graph.nodes())
+        # A brand-new labelled node, sometimes wired in the same flush.
+        if data.draw(st.booleans()):
+            pool.queue_node(
+                next_node, label=data.draw(st.sampled_from(LABELS))
+            )
+            if nodes and data.draw(st.booleans()):
+                pool.queue(
+                    ins(data.draw(st.sampled_from(nodes)), next_node)
+                )
+            next_node += 1
+        # An attribute flip on an existing node (may gain/lose layers).
+        if nodes and data.draw(st.booleans()):
+            pool.queue_node(
+                data.draw(st.sampled_from(nodes)),
+                label=data.draw(st.sampled_from(LABELS)),
+            )
+        pool.queue_updates(data.draw(update_batches(graph, max_updates=6)))
+        pool.flush()
+        assert_bounded_consistent(pattern, graph, q.matches())
+        q.index.check_invariants()
 
 
 @settings(max_examples=15, deadline=None)

@@ -98,7 +98,7 @@ class TestRouting:
         assert report.routed == 0
         assert report.deltas == {}
 
-    def test_bounded_with_bounds_routes_all_edges(self):
+    def test_bounded_with_bounds_is_distance_routed(self):
         g = two_cluster_graph()
         g.add_node("m", label="MID")
         pool = MatcherPool(g)
@@ -107,7 +107,9 @@ class TestRouting:
         )
         q = pool.register(p, semantics="bounded", name="b")
         assert isinstance(q.index, BoundedSimulationIndex)
-        assert q.routes_all_edges
+        assert q.distance_routed
+        assert q.observes_all_edges
+        assert not q.routes_all_edges
         # A 2-hop path through an unlabeled midpoint must be observed
         # even though neither endpoint satisfies any predicate.
         pool.apply([delete("a1", "b1")])
@@ -115,6 +117,47 @@ class TestRouting:
         report = pool.apply([insert("a1", "m"), insert("m", "b1")])
         assert report.routed >= 2
         assert q.matches()["x"] == {"a1"}
+
+    def test_distance_routing_declines_foreign_partition_edges(self):
+        g = two_cluster_graph()
+        pool = MatcherPool(g)
+        p = Pattern.from_spec(
+            {"x": "label = A1", "y": "label = B1"}, [("x", "y", 2)]
+        )
+        q = pool.register(p, semantics="bounded", name="b")
+        assert q.distance_routed
+        # Partition-2 churn can never touch a pair of the partition-1
+        # query: the distance oracle declines it, repair work stays zero.
+        report = pool.apply([insert("b2", "a2")])
+        assert report.routed == 0
+        assert report.skipped == 1
+        assert q.stats.aff_size() == 0
+        report = pool.apply([delete("b2", "a2")])
+        assert report.routed == 0
+        assert q.stats.aff_size() == 0
+        assert q.matches()["x"] == {"a1"}
+
+    def test_distance_routing_observes_multi_hop_batch_interaction(self):
+        # A witness path threading several same-flush insertions must be
+        # caught even when the middle edge has no eligible endpoint.
+        g = DiGraph()
+        g.add_node("a", label="A1")
+        g.add_node("b", label="B1")
+        for n in ("m1", "m2"):
+            g.add_node(n, label="MID")
+        pool = MatcherPool(g)
+        p = Pattern.from_spec(
+            {"x": "label = A1", "y": "label = B1"}, [("x", "y", 3)]
+        )
+        q = pool.register(p, semantics="bounded", name="b")
+        assert q.matches()["x"] == set()
+        report = pool.apply([
+            insert("m1", "m2"),          # neither endpoint near eligible yet
+            insert("m2", "b"),
+            insert("a", "m1"),
+        ])
+        assert q.matches()["x"] == {"a"}
+        assert "b" in report.deltas
 
     def test_bound_one_bounded_is_endpoint_routable(self):
         pool = MatcherPool(two_cluster_graph())
@@ -137,6 +180,27 @@ class TestRouting:
         pool.update_node_attrs("a1", label="Z")
         assert q1.last_delta is not None
         assert ("x", "a1") in q1.last_delta.removed
+
+    def test_routed_skipped_totals_count_fresh_announce_once(self):
+        """The fresh-node announcement is ONE routing decision per flush;
+        counting it once per fresh node inflated the routed/skipped
+        ratios the pool benchmark reports."""
+        g = DiGraph()
+        g.add_node("seed", label="A1")
+        pool = MatcherPool(g)
+        pool.register(
+            Pattern.from_spec({"any": None}, []),
+            semantics="simulation",
+            name="wild",
+        )
+        pool.register(chain_pattern(1), semantics="simulation", name="p1")
+        # Two insertions introduce two fresh nodes -> 2 edge decisions
+        # plus exactly 1 announcement decision, over 2 queries.
+        report = pool.apply([insert("seed", "n1"), insert("n1", "n2")])
+        decisions = 2 + 1
+        assert report.routed + report.skipped == decisions * len(pool)
+        assert report.routed == 1  # only the wildcard query is announced
+        assert pool.query("wild").matches()["any"] == {"seed", "n1", "n2"}
 
     def test_fresh_wildcard_node_matches_true_predicate(self):
         g = DiGraph()
@@ -170,6 +234,29 @@ class TestCoalescing:
         assert pool.delete_edge("b1", "b2")
         assert not pool.delete_edge("b1", "b2")
 
+    def test_unit_helper_flags_follow_net_effect(self):
+        """The changed-flag must reflect the flush's *net* updates, not a
+        pre-flush ``has_edge`` snapshot that pending updates invalidate."""
+        pool = MatcherPool(two_cluster_graph())
+        pool.register(chain_pattern(1), semantics="simulation")
+        # A pending delete of an existing edge is reverted by the insert:
+        # net effect is empty, the graph did not change.
+        pool.queue(delete("a1", "b1"))
+        assert not pool.insert_edge("a1", "b1")
+        assert pool.graph.has_edge("a1", "b1")
+        # A pending insert of a missing edge is swallowed by the delete.
+        pool.queue(insert("b1", "b2"))
+        assert not pool.delete_edge("b1", "b2")
+        assert not pool.graph.has_edge("b1", "b2")
+        # A pending duplicate does not mask a real change.
+        pool.queue(insert("b1", "b2"))
+        assert pool.insert_edge("b1", "b2")
+        assert pool.graph.has_edge("b1", "b2")
+        # And a pending no-op update leaves the flag truthful.
+        pool.queue(insert("b1", "b2"))
+        assert pool.delete_edge("b1", "b2")
+        assert not pool.graph.has_edge("b1", "b2")
+
     def test_pending_counts_and_flush(self):
         pool = MatcherPool(two_cluster_graph())
         q = pool.register(chain_pattern(1), semantics="simulation")
@@ -194,7 +281,8 @@ class TestDistanceModes:
         q = pool.register(
             friendfeed_pattern, semantics="bounded", distance_mode=mode
         )
-        assert q.routes_all_edges  # aux distance structures see every edge
+        assert q.observes_all_edges  # aux distance structures see every edge
+        assert q.distance_routed  # pair repair gated by the oracle
         pool.apply([insert("Don", "Pat"), insert("Pat", "Don")])
         pool.apply([delete("Ann", "Pat"), insert("Don", "Tom")])
         assert as_pairs(q.matches()) == as_pairs(

@@ -32,11 +32,11 @@ def test_route_edge_requires_pattern_edge_pairing():
     router = UpdateRouter()
     q = make_query("q", {"x": "A", "y": "B"}, [("x", "y")])
     router.register(q)
-    assert router.route_edge({"label": "A"}, {"label": "B"}) == [q]
+    assert router.route_edge("v", "w", {"label": "A"}, {"label": "B"}) == [q]
     # Right labels, wrong direction: no pattern edge B -> A.
-    assert router.route_edge({"label": "B"}, {"label": "A"}) == []
-    assert router.route_edge({"label": "A"}, {"label": "Z"}) == []
-    assert router.route_edge({}, {"label": "B"}) == []
+    assert router.route_edge("v", "w", {"label": "B"}, {"label": "A"}) == []
+    assert router.route_edge("v", "w", {"label": "A"}, {"label": "Z"}) == []
+    assert router.route_edge("v", "w", {}, {"label": "B"}) == []
 
 
 def test_route_node_and_attr_change():
@@ -82,7 +82,28 @@ def test_routing_order_is_registration_order():
     qs = [make_query(f"q{i}", {"x": "A", "y": "B"}, [("x", "y")]) for i in range(4)]
     for q in qs:
         router.register(q)
-    assert router.route_edge({"label": "A"}, {"label": "B"}) == qs
+    assert router.route_edge("v", "w", {"label": "A"}, {"label": "B"}) == qs
+
+
+def test_eq_key_representative_is_atom_order_invariant():
+    """Routing must not depend on the order predicate atoms were written."""
+    p1 = Pattern.from_spec({"x": "label = A & kind = K"}, [])
+    p2 = Pattern.from_spec({"x": "kind = K & label = A"}, [])
+    q1 = ContinuousQuery("q1", p1, DiGraph(), "simulation")
+    q2 = ContinuousQuery("q2", p2, DiGraph(), "simulation")
+    assert q1.eq_keys == q2.eq_keys
+    router = UpdateRouter()
+    router.register(q1)
+    router.register(q2)
+    for attrs in (
+        {"label": "A", "kind": "K"},
+        {"label": "A"},
+        {"kind": "K"},
+        {"label": "Z", "kind": "K"},
+    ):
+        routed = set(router.route_node(attrs))
+        # Identical predicates -> identical routing, whatever the order.
+        assert routed in (set(), {q1, q2})
 
 
 def test_conjunction_uses_one_representative_eq_atom():

@@ -1,0 +1,138 @@
+"""Unit tests for the eligible-ball routing summary and the
+``BoundedSimulationIndex.can_affect_edge`` oracle behind distance-aware
+pool routing."""
+
+import random
+
+import pytest
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.traversal import bfs_distances
+from repro.incremental.ballsummary import EligibleBallSummary
+from repro.incremental.incbsim import BoundedSimulationIndex
+from repro.patterns.pattern import Pattern
+
+
+def chain_graph():
+    """a -> m1 -> m2 -> b, with predicates only matching the ends."""
+    g = DiGraph()
+    g.add_node("a", label="A")
+    g.add_node("b", label="B")
+    g.add_node("m1", label="M")
+    g.add_node("m2", label="M")
+    g.add_edge("a", "m1")
+    g.add_edge("m1", "m2")
+    g.add_edge("m2", "b")
+    return g
+
+
+class TestSummary:
+    def test_membership_matches_true_balls(self):
+        g = chain_graph()
+        s = EligibleBallSummary(g, {("x", "y"): 3}, {"x": {"a"}, "y": {"b"}})
+        # Every edge of the a ->(3) b witness path is relevant...
+        assert s.can_affect("a", "m1")
+        assert s.can_affect("m1", "m2")
+        assert s.can_affect("m2", "b")
+        # ... but an edge whose source is out of the radius-2 source ball
+        # (d(a, b) = 3 > 2) is not.
+        assert not s.can_affect("b", "a")
+        s.check_superset_invariant()
+
+    def test_grows_on_insert(self):
+        g = DiGraph()
+        for n, lab in [("a", "A"), ("b", "B"), ("c", "M")]:
+            g.add_node(n, label=lab)
+        s = EligibleBallSummary(g, {("x", "y"): 2}, {"x": {"a"}, "y": {"b"}})
+        assert not s.can_affect("c", "b")
+        g.add_edge("a", "c")
+        s.note_inserted([("a", "c")])
+        assert s.can_affect("c", "b")
+        s.check_superset_invariant()
+
+    def test_grows_on_eligibility_gain(self):
+        g = chain_graph()
+        s = EligibleBallSummary(g, {("x", "y"): 2}, {"x": {"a"}, "y": {"b"}})
+        # b is 3 hops from a: nothing near b is source-relevant yet.
+        assert not s.can_affect("m2", "b")
+        s._eligible["x"].add("m1")
+        s.note_eligible_gained("x", "m1")
+        assert s.can_affect("m2", "b")
+        s.check_superset_invariant()
+
+    def test_stays_superset_after_deletion_and_rebuild_tightens(self):
+        g = chain_graph()
+        s = EligibleBallSummary(g, {("x", "y"): 3}, {"x": {"a"}, "y": {"b"}})
+        g.remove_edge("a", "m1")
+        s.note_deleted([("a", "m1")])
+        # Stale entries keep the check conservative (sound, not tight)...
+        assert s.can_affect("m1", "m2")
+        s.check_superset_invariant()
+        # ... and a rebuild restores tightness.
+        s.rebuild()
+        assert not s.can_affect("m1", "m2")
+
+    def test_auto_rebuild_after_staleness_threshold(self):
+        g = DiGraph()
+        g.add_node("a", label="A")
+        g.add_node("b", label="B")
+        xs = [f"x{i}" for i in range(20)]
+        for x in xs:
+            g.add_node(x, label="M")
+            g.add_edge("a", x)
+            g.add_edge(x, "b")
+        s = EligibleBallSummary(g, {("x", "y"): 2}, {"x": {"a"}, "y": {"b"}})
+        assert s.rebuilds == 1
+        for x in xs:
+            g.remove_edge("a", x)
+            s.note_deleted([("a", x)])
+        assert s.rebuilds >= 2  # threshold crossed at least once
+        s.check_superset_invariant()
+
+    def test_irrelevant_updates_cost_nothing(self):
+        g = chain_graph()
+        for n in ("p", "q"):
+            g.add_node(n, label="Z")
+        g.add_edge("p", "q")
+        s = EligibleBallSummary(g, {("x", "y"): 2}, {"x": {"a"}, "y": {"b"}})
+        # Foreign-component churn neither routes nor accumulates staleness.
+        assert not s.can_affect("p", "q")
+        g.remove_edge("p", "q")
+        s.note_deleted([("p", "q")])
+        assert s._stale == 0
+        g.add_edge("p", "q")
+        s.note_inserted([("p", "q")])
+        assert not s.can_affect("p", "q")
+
+
+@pytest.mark.parametrize("mode", ["bfs", "landmark", "matrix"])
+def test_oracle_agrees_with_ground_truth(mode):
+    """On a freshly built index the oracle must equal the textbook check:
+    some eligible source within k-1 (possibly-empty) hops of x AND y
+    within k-1 hops of some eligible target, for some pattern edge."""
+    rng = random.Random(42)
+    for _ in range(25):
+        n = rng.randint(3, 7)
+        g = DiGraph()
+        for v in range(n):
+            g.add_node(v, label=rng.choice(["A", "B", "M"]))
+        for _ in range(rng.randint(2, 2 * n)):
+            g.add_edge(rng.randrange(n), rng.randrange(n))
+        k = rng.choice([2, 3, None])
+        pattern = Pattern.from_spec(
+            {"x": "label = A", "y": "label = B"},
+            [("x", "y", k)],
+        )
+        idx = BoundedSimulationIndex(pattern, g, distance_mode=mode)
+        r = None if k is None else k - 1
+
+        def leg_ok(src, dst, rad):
+            d = bfs_distances(g, src).get(dst)
+            return d is not None and (rad is None or d <= rad)
+
+        for x in g.nodes():
+            for y in g.nodes():
+                truth = any(
+                    leg_ok(a, x, r) for a in idx.eligible["x"]
+                ) and any(leg_ok(y, c, r) for c in idx.eligible["y"])
+                assert idx.can_affect_edge(x, y) == truth, (mode, k, x, y)

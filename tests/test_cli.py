@@ -134,6 +134,41 @@ class TestPoolCli:
         assert set(out["queries"]) == {"hiring", "hiring2"}
         assert out["queries"]["hiring2"]["matches"]["m"] == ["Ross"]
 
+    def test_distance_mode_per_pattern(
+        self, pool_files, tmp_path, capsys, friendfeed_pattern
+    ):
+        graph, hiring, _, updates = pool_files
+        bounded = tmp_path / "bounded.json"
+        save_pattern(friendfeed_pattern, bounded)
+        assert (
+            main([
+                "pool", "--graph", graph,
+                "--patterns", hiring, str(bounded),
+                "--semantics", "bounded",
+                "--distance-mode", "bfs", "landmark",
+                "--updates", updates,
+            ])
+            == 0
+        )
+        out = json.loads(capsys.readouterr().out)
+        # Bound-1 patterns stay endpoint-routed; the b-pattern with
+        # bounds > 1 is distance-routed through its oracle.
+        assert out["queries"]["hiring"]["routing"] == "endpoint"
+        assert out["queries"]["bounded"]["routing"] == "distance"
+        assert "Don" in out["after_updates"]["hiring"]["matches"]["c"]
+
+    def test_distance_mode_count_mismatch_is_an_error(
+        self, pool_files, capsys
+    ):
+        graph, hiring, medics, _ = pool_files
+        assert (
+            main([
+                "pool", "--graph", graph, "--patterns", hiring, medics,
+                "--distance-mode", "bfs", "landmark", "matrix",
+            ])
+            == 2
+        )
+
     def test_routed_flush_reports_deltas(self, pool_files, capsys):
         graph, hiring, medics, updates = pool_files
         assert (
