@@ -1,6 +1,6 @@
 """Routed-update throughput of MatcherPool vs a naive matcher loop.
 
-Two scenarios, both over one shared graph holding N disjoint labelled
+Three scenarios, all over one shared graph holding N disjoint labelled
 communities with an update stream confined to partition 0's label space:
 
 - ``simulation``: N normal patterns (``A{i} -> B{i} -> C{i}``), routed by
@@ -9,13 +9,20 @@ communities with an update stream confined to partition 0's label space:
   router dumped into the wildcard-edge bucket (every query observed every
   edge); the distance-aware oracle now lets the N-1 non-owning queries
   decline the whole stream, so routed flush cost should stay ~flat here
-  too — the paper's flagship IncBMatch semantics.
+  too — the paper's flagship IncBMatch semantics;
+- ``bounded-shared``: the same N bound-2 patterns in ``landmark`` mode
+  under ``distance_scope='shared'`` vs ``'per-query'`` — the per-query
+  path maintains N private landmark indexes (distance upkeep ~linear in
+  N), the shared substrate maintains ONE (upkeep ~flat in N).  The table
+  reports flush time and the number of structure-level update
+  applications per scope.
 
 The naive baseline is one independent incremental index per pattern, each
 fed the full stream.  The script prints a table per scenario (median pool
 flush ms over ``--reps``, naive ms, speedup, routed/skipped counts),
 writes a machine-readable ``BENCH_pool.json``, and exits non-zero if any
-routed result disagrees with its naive baseline.
+routed result disagrees with its naive baseline.  ``BENCH_pool.json``
+feeds the CI regression compare (``benchmarks/compare_bench.py``).
 
 Run standalone::
 
@@ -98,9 +105,12 @@ SCENARIOS = {
 }
 
 
-def run_pool(graph, scenario, num_patterns, updates, distance_mode):
+def run_pool(
+    graph, scenario, num_patterns, updates, distance_mode,
+    distance_scope="shared",
+):
     spec = SCENARIOS[scenario]
-    pool = MatcherPool(graph)
+    pool = MatcherPool(graph, distance_scope=distance_scope)
     for i in range(num_patterns):
         pool.register(
             spec["pattern"](i),
@@ -188,6 +198,93 @@ def run_scenario(scenario, sizes, graph, updates, reps, distance_mode):
     }
 
 
+def run_shared_substrate_scenario(sizes, graph, updates, reps):
+    """Shared vs per-query distance structures, landmark mode.
+
+    Per-query scope maintains one landmark index per registered pattern
+    (every net edge repairs N vector sets); shared scope leases ONE from
+    the pool substrate.  'upkeep' counts structure-level update
+    applications (observer syncs + substrate syncs) — the quantity the
+    substrate amortizes across the pool.
+    """
+    print(
+        "\n== scenario: bounded-shared "
+        "(landmark mode, shared vs per-query distance structures) =="
+    )
+    print(
+        f"{'N':>4} {'shared ms':>10} {'perq ms':>10} {'perq/shared':>12} "
+        f"{'shared upkeep':>14} {'perq upkeep':>12}"
+    )
+    ok = True
+    results = []
+    times = {"shared": {}, "per-query": {}}
+    for n in sizes:
+        row = {"n": n}
+        pools = {}
+        for scope in ("shared", "per-query"):
+            scope_times = []
+            pool = None
+            for _ in range(reps):
+                t, pool, _ = run_pool(
+                    graph.copy(), "bounded", n, updates, "landmark", scope
+                )
+                scope_times.append(t)
+            times[scope][n] = statistics.median(scope_times)
+            pools[scope] = pool
+            upkeep = (
+                pool.stats.observer_batches
+                + pool.substrate.stats.structure_batches
+            )
+            key = "shared" if scope == "shared" else "per_query"
+            row[f"{key}_ms"] = round(times[scope][n] * 1e3, 3)
+            row[f"{key}_upkeep"] = upkeep
+        # Correctness: both scopes must match the naive per-pattern result.
+        _, indexes = run_naive(graph, "bounded", n, updates)
+        for i, idx in enumerate(indexes):
+            expect = as_pairs(idx.matches())
+            for scope, pool in pools.items():
+                if as_pairs(pool.query(f"p{i}").matches()) != expect:
+                    print(
+                        f"MISMATCH bounded-shared scope={scope} N={n} "
+                        f"pattern {i}",
+                        file=sys.stderr,
+                    )
+                    ok = False
+        ratio = (
+            times["per-query"][n] / times["shared"][n]
+            if times["shared"][n] > 0
+            else float("inf")
+        )
+        row["per_query_over_shared"] = round(ratio, 2)
+        print(
+            f"{n:>4} {row['shared_ms']:>10.2f} {row['per_query_ms']:>10.2f} "
+            f"{ratio:>11.1f}x {row['shared_upkeep']:>14} "
+            f"{row['per_query_upkeep']:>12}"
+        )
+        results.append(row)
+    lo, hi = min(sizes), max(sizes)
+    growth = {
+        scope: (
+            times[scope][hi] / times[scope][lo]
+            if times[scope][lo] > 0
+            else 0.0
+        )
+        for scope in times
+    }
+    print(
+        f"distance-upkeep flush cost grew {growth['shared']:.2f}x (shared) "
+        f"vs {growth['per-query']:.2f}x (per-query) "
+        f"from N={lo} to N={hi} ({hi // lo}x more bounded queries)"
+    )
+    return ok, {
+        "sizes": sizes,
+        "reps": reps,
+        "results": results,
+        "growth_factor_shared": round(growth["shared"], 3),
+        "growth_factor_per_query": round(growth["per-query"], 3),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -209,7 +306,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--scenario",
-        choices=[*SCENARIOS, "all"],
+        choices=[*SCENARIOS, "bounded-shared", "all"],
         default="all",
         help="which workload to run",
     )
@@ -252,7 +349,10 @@ def main(argv=None) -> int:
         f"updates: {len(updates)} (all in partition 0's label space)"
     )
 
-    scenarios = list(SCENARIOS) if args.scenario == "all" else [args.scenario]
+    if args.scenario == "all":
+        scenarios = [*SCENARIOS, "bounded-shared"]
+    else:
+        scenarios = [args.scenario]
     ok = True
     doc = {
         "graph": {"nodes": graph.num_nodes(), "edges": graph.num_edges()},
@@ -261,9 +361,17 @@ def main(argv=None) -> int:
         "scenarios": {},
     }
     for scenario in scenarios:
-        s_ok, s_doc = run_scenario(
-            scenario, sizes, graph, updates, reps, args.distance_mode
-        )
+        if scenario == "bounded-shared":
+            # N private landmark indexes get expensive fast; a capped size
+            # sweep already exposes the linear-vs-flat upkeep contrast.
+            shared_sizes = [n for n in sizes if n <= 16] or sizes[:1]
+            s_ok, s_doc = run_shared_substrate_scenario(
+                shared_sizes, graph, updates, reps
+            )
+        else:
+            s_ok, s_doc = run_scenario(
+                scenario, sizes, graph, updates, reps, args.distance_mode
+            )
         ok = ok and s_ok
         doc["scenarios"][scenario] = s_doc
 

@@ -1,0 +1,107 @@
+"""Compare two ``BENCH_pool.json`` artifacts and flag flush-cost regressions.
+
+CI runs this against the previous successful build's artifact: a routed
+pool-flush cost more than ``--threshold`` (default 1.25 = +25%) above the
+previous build's number for the same scenario and pool size prints a
+``::warning::`` annotation.  The step is **fail-soft** — exit code stays 0
+unless ``--strict`` is passed — because shared runners are noisy and a
+single slow VM must not block a merge; the warnings keep the trajectory
+visible across builds instead of letting it drift silently.
+
+Usage::
+
+    python benchmarks/compare_bench.py PREV.json CURR.json [--threshold 1.25] [--strict]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# Per-scenario keys holding a flush-cost in milliseconds (lower = better).
+COST_KEYS = ("pool_ms", "shared_ms", "per_query_ms")
+
+
+def _rows(scenario_doc):
+    """Yield (size, key, value) cost entries from one scenario document."""
+    for row in scenario_doc.get("results", []):
+        n = row.get("n")
+        for key in COST_KEYS:
+            if key in row:
+                yield n, key, row[key]
+
+
+def compare(prev: dict, curr: dict, threshold: float):
+    """Return (compared_count, regressions) where each regression is
+    (scenario, n, key, prev_ms, curr_ms, ratio).  Entries without a
+    counterpart in the previous artifact are not compared (and not
+    counted — the log must not overstate coverage)."""
+    compared = 0
+    regressions = []
+    prev_scenarios = prev.get("scenarios", {})
+    for name, curr_doc in curr.get("scenarios", {}).items():
+        prev_doc = prev_scenarios.get(name)
+        if prev_doc is None:
+            continue
+        prev_costs = {(n, key): ms for n, key, ms in _rows(prev_doc)}
+        for n, key, curr_ms in _rows(curr_doc):
+            prev_ms = prev_costs.get((n, key))
+            if not prev_ms or not curr_ms:
+                continue
+            compared += 1
+            ratio = curr_ms / prev_ms
+            if ratio > threshold:
+                regressions.append((name, n, key, prev_ms, curr_ms, ratio))
+    return compared, regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("previous", help="previous build's BENCH_pool.json")
+    parser.add_argument("current", help="this build's BENCH_pool.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=1.25,
+        help="warn when current/previous exceeds this ratio (default 1.25)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero on regressions instead of warning",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        prev = json.loads(Path(args.previous).read_text())
+        curr = json.loads(Path(args.current).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        # Fail-soft by design: a missing/corrupt artifact (first build,
+        # expired retention) must not fail the pipeline.
+        print(f"bench compare skipped: {exc}")
+        return 0
+
+    compared, regressions = compare(prev, curr, args.threshold)
+    if not regressions:
+        print(
+            f"bench compare ok: {compared} flush-cost entries within "
+            f"{args.threshold:.2f}x of the previous build"
+        )
+        return 0
+    for name, n, key, prev_ms, curr_ms, ratio in regressions:
+        print(
+            f"::warning title=bench regression::{name} N={n} {key} "
+            f"{prev_ms:.2f}ms -> {curr_ms:.2f}ms ({ratio:.2f}x, "
+            f"threshold {args.threshold:.2f}x)"
+        )
+    print(
+        f"bench compare: {len(regressions)}/{compared} compared entries "
+        f"regressed beyond {args.threshold:.2f}x"
+    )
+    return 1 if args.strict else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -30,6 +30,7 @@ from .engine import (
     ContinuousQuery,
     MatchDelta,
     MatcherPool,
+    SharedDistanceSubstrate,
 )
 from .graphs.digraph import DiGraph, GraphError
 from .incremental.incbsim import BoundedSimulationIndex
@@ -49,6 +50,7 @@ __version__ = "1.0.0"
 __all__ = [
     "Matcher",
     "MatcherPool",
+    "SharedDistanceSubstrate",
     "ContinuousQuery",
     "MatchDelta",
     "ChangeFeed",

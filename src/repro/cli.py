@@ -124,6 +124,13 @@ def main(argv=None) -> int:
         "one per --patterns entry",
     )
     pool.add_argument(
+        "--distance-scope",
+        default="shared",
+        choices=["shared", "per-query"],
+        help="bounded-query distance structures: one pool-level substrate "
+        "shared by every query (default) or a private structure per query",
+    )
+    pool.add_argument(
         "--updates",
         help="JSON update list applied as one coalesced, routed flush",
     )
@@ -171,7 +178,7 @@ def _run_pool(args) -> int:
             file=sys.stderr,
         )
         return 2
-    pool = MatcherPool(graph)
+    pool = MatcherPool(graph, distance_scope=args.distance_scope)
     for path, mode in zip(args.patterns, modes):
         name = Path(path).stem
         suffix = 2
@@ -185,10 +192,11 @@ def _run_pool(args) -> int:
             distance_mode=mode,
         )
     output = {
+        "distance_scope": args.distance_scope,
         "queries": {
             q.name: dict(_render_query(q), routing=_routing_class(q))
             for q in pool.queries()
-        }
+        },
     }
     if args.updates:
         report = pool.apply(load_updates(args.updates))
@@ -204,6 +212,7 @@ def _run_pool(args) -> int:
         output["after_updates"] = {
             q.name: _render_query(q) for q in pool.queries()
         }
+    output["shared_structures"] = pool.substrate.live_structures()
     json.dump(output, sys.stdout, indent=2, default=repr)
     sys.stdout.write("\n")
     return 0

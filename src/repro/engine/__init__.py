@@ -6,10 +6,14 @@
 - :class:`ContinuousQuery` — one registered query: results, routing
   signature, and a match-delta change feed;
 - :class:`UpdateRouter` — the label/predicate-keyed routing index;
+- :class:`SharedDistanceSubstrate` — pool-level shared distance
+  structures (landmark vectors / matrix / ball fields) leased by bounded
+  queries so upkeep is paid once per pool, not once per query;
 - :class:`MatchDelta` / :class:`ChangeFeed` — the per-flush diff events
   and their drainable subscriber buffers.
 """
 
+from .distances import SharedDistanceSubstrate, SubstrateStats
 from .feeds import ChangeFeed, MatchDelta
 from .pool import FlushReport, MatcherPool, PoolStats
 from .query import ContinuousQuery, build_index
@@ -19,6 +23,8 @@ __all__ = [
     "MatcherPool",
     "ContinuousQuery",
     "UpdateRouter",
+    "SharedDistanceSubstrate",
+    "SubstrateStats",
     "MatchDelta",
     "ChangeFeed",
     "FlushReport",

@@ -1,0 +1,310 @@
+"""Pool-level shared distance structures for bounded continuous queries.
+
+Before this module existed, every bounded query in a
+:class:`~repro.engine.pool.MatcherPool` owned a private distance structure
+(landmark vectors, an all-pairs matrix, or an eligible-ball summary) and
+the pool fed **every** net edge update to **every** such query — the
+upkeep that distance-aware routing saves at the pair level was paid right
+back N times over at the structure level.  This is the "one maintained
+auxiliary structure, many queries answered from it" shape of answering
+queries under updates (Berkholz et al.): the substrate owns
+
+- at most **one** :class:`~repro.landmarks.vector.LandmarkIndex` per pool
+  (``distance_mode='landmark'`` queries all read the same vectors; their
+  per-query :class:`~repro.landmarks.vector.EligibleLegMinima` caches are
+  cheap views over it);
+- at most **one** :class:`~repro.graphs.distance.DistanceMatrix` per pool
+  (``'matrix'`` queries share the rows for suspect rechecks);
+- a registry of :class:`~repro.incremental.ballsummary.BallField` ball
+  unions keyed by ``(predicate, radius, direction)`` — queries whose
+  pattern edges agree on those three share one exactly-maintained capped
+  multi-source BFS, and the substrate maintains the member set of each
+  distinct predicate itself (so fields stay correct across queries and
+  across register/unregister churn).
+
+Every structure is leased with a refcount: registering a bounded query in
+shared scope acquires leases, unregistering releases them, and a structure
+whose refcount reaches zero is dropped so the pool stops paying its
+upkeep.  The pool notifies the substrate **once per flush phase** —
+``observe_attr_change`` / ``observe_node_added`` after phase-A node ops,
+``observe_deleted`` after the shared graph drops a deletion batch,
+``observe_node_added`` for fresh endpoints and then ``observe_inserted``
+after an insertion batch lands (and *before* insertion routing, which is
+what makes routing trivial-``TRUE``-predicate bounded queries through the
+shared ball sound: a brand-new attribute-less node is already a pinned
+distance-0 source when the routing oracle is consulted).
+
+Per-query structures remain available (``distance_scope='per-query'``) as
+a fallback path, which the differential fuzz harness pits against this
+substrate flush for flush.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..graphs.digraph import DiGraph, Node
+from ..graphs.distance import DistanceMatrix
+from ..incremental.ballsummary import BallField
+from ..landmarks.vector import LandmarkIndex
+from ..patterns.predicate import Predicate
+
+FieldKey = Tuple[Predicate, Optional[int], bool]
+
+
+class SubstrateStats:
+    """Upkeep counters: how many structure-level update applications the
+    pool paid per flush stream (the quantity sharing amortizes)."""
+
+    __slots__ = (
+        "lm_builds",
+        "matrix_builds",
+        "field_builds",
+        "edge_batches",
+        "structure_batches",
+        "node_events",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.lm_builds = 0
+        self.matrix_builds = 0
+        self.field_builds = 0
+        self.edge_batches = 0
+        self.structure_batches = 0
+        self.node_events = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"SubstrateStats(builds={self.lm_builds}+{self.matrix_builds}"
+            f"+{self.field_builds}, edge_batches={self.edge_batches}, "
+            f"structure_batches={self.structure_batches})"
+        )
+
+
+class SharedDistanceSubstrate:
+    """One maintained distance structure per ``(graph, distance_mode)``,
+    leased by all bounded queries of one pool."""
+
+    def __init__(self, graph: DiGraph) -> None:
+        self._graph = graph
+        self.stats = SubstrateStats()
+        self._lm: Optional[LandmarkIndex] = None
+        self._lm_refs = 0
+        self._matrix: Optional[DistanceMatrix] = None
+        self._matrix_refs = 0
+        # (predicate, radius, reverse) -> [BallField, refcount]
+        self._fields: Dict[FieldKey, List[Any]] = {}
+        # predicate -> substrate-owned member set, shared by that
+        # predicate's fields; refcounted by live field count.  _by_pred
+        # mirrors _fields so node events touch only the fields whose
+        # predicate verdict actually flipped.
+        self._members: Dict[Predicate, Set[Node]] = {}
+        self._member_refs: Dict[Predicate, int] = {}
+        self._by_pred: Dict[Predicate, List[BallField]] = {}
+
+    # ------------------------------------------------------------------
+    # Leases
+    # ------------------------------------------------------------------
+    def lease_landmarks(self, strategy: str = "matching") -> LandmarkIndex:
+        """Acquire the pool-wide landmark index (built on first lease).
+
+        The first lease's ``strategy`` wins; later leases share the same
+        vectors regardless (one structure per pool is the whole point).
+        """
+        if self._lm is None:
+            self._lm = LandmarkIndex(self._graph, strategy=strategy)
+            self.stats.lm_builds += 1
+        self._lm_refs += 1
+        return self._lm
+
+    def release_landmarks(self) -> None:
+        self._lm_refs -= 1
+        if self._lm_refs <= 0:
+            self._lm = None
+            self._lm_refs = 0
+
+    def lease_matrix(self) -> DistanceMatrix:
+        """Acquire the pool-wide all-pairs matrix (built on first lease)."""
+        if self._matrix is None:
+            self._matrix = DistanceMatrix(self._graph)
+            self.stats.matrix_builds += 1
+        self._matrix_refs += 1
+        return self._matrix
+
+    def release_matrix(self) -> None:
+        self._matrix_refs -= 1
+        if self._matrix_refs <= 0:
+            self._matrix = None
+            self._matrix_refs = 0
+
+    def lease_field(
+        self, predicate: Predicate, radius: Optional[int], reverse: bool
+    ) -> BallField:
+        """Acquire the shared ball union for ``(predicate, radius,
+        direction)``; queries agreeing on all three share one field."""
+        key: FieldKey = (predicate, radius, reverse)
+        entry = self._fields.get(key)
+        if entry is None:
+            members = self._members.get(predicate)
+            if members is None:
+                members = {
+                    v
+                    for v in self._graph.nodes()
+                    if predicate.satisfied_by(self._graph.attrs(v))
+                }
+                self._members[predicate] = members
+                self._member_refs[predicate] = 0
+            self._member_refs[predicate] += 1
+            entry = [BallField(self._graph, members, radius, reverse), 0]
+            self._fields[key] = entry
+            self._by_pred.setdefault(predicate, []).append(entry[0])
+            self.stats.field_builds += 1
+        entry[1] += 1
+        return entry[0]
+
+    def release_field(
+        self, predicate: Predicate, radius: Optional[int], reverse: bool
+    ) -> None:
+        key: FieldKey = (predicate, radius, reverse)
+        entry = self._fields.get(key)
+        if entry is None:
+            return
+        entry[1] -= 1
+        if entry[1] <= 0:
+            del self._fields[key]
+            self._by_pred[predicate].remove(entry[0])
+            if not self._by_pred[predicate]:
+                del self._by_pred[predicate]
+            self._member_refs[predicate] -= 1
+            if self._member_refs[predicate] <= 0:
+                del self._member_refs[predicate]
+                del self._members[predicate]
+
+    # ------------------------------------------------------------------
+    # Observation (invoked once per flush phase by the pool)
+    # ------------------------------------------------------------------
+    def observe_deleted(self, edges: List[Tuple[Node, Node]]) -> None:
+        """Absorb net deletions (shared graph already edited) — one pass
+        over each live structure, however many queries lease it."""
+        if not edges:
+            return
+        self.stats.edge_batches += 1
+        if self._lm is not None:
+            self._lm.apply_batch(deleted=edges)
+            self.stats.structure_batches += 1
+        if self._matrix is not None:
+            self._matrix.apply_deletions(edges)
+            self.stats.structure_batches += 1
+        for field, _ in self._fields.values():
+            field.shrink_edges(edges)
+            self.stats.structure_batches += 1
+
+    def observe_inserted(self, edges: List[Tuple[Node, Node]]) -> None:
+        """Absorb net insertions (shared graph already edited).
+
+        The pool calls this *before* insertion routing so every leased
+        oracle reflects the whole batch.
+        """
+        if not edges:
+            return
+        self.stats.edge_batches += 1
+        if self._lm is not None:
+            self._lm.apply_batch(inserted=edges)
+            self.stats.structure_batches += 1
+        if self._matrix is not None:
+            for x, y in edges:
+                self._matrix.apply_insert(x, y)
+            self.stats.structure_batches += 1
+        for field, _ in self._fields.values():
+            field.grow_edges(edges)
+            self.stats.structure_batches += 1
+
+    def observe_node_added(self, v: Node) -> None:
+        """A node appeared in the shared graph (attrs already applied).
+
+        Re-evaluates every leased predicate; a fresh attribute-less node
+        satisfies trivial (TRUE) predicates and becomes a pinned source of
+        their fields immediately — the pool announces fresh endpoints
+        before insertion routing for exactly that reason.
+        """
+        self.stats.node_events += 1
+        attrs = self._graph.attrs(v)
+        for predicate, members in self._members.items():
+            if v not in members and predicate.satisfied_by(attrs):
+                members.add(v)
+                self._field_sources_gained(predicate, v)
+
+    def observe_attr_change(self, v: Node) -> None:
+        """Node ``v``'s attributes changed (already merged into the graph).
+
+        Membership before the change is read off the member sets
+        themselves, so no pre-edit attribute snapshot is needed.
+        """
+        self.stats.node_events += 1
+        new_attrs = self._graph.attrs(v)
+        for predicate, members in self._members.items():
+            now = predicate.satisfied_by(new_attrs)
+            was = v in members
+            if now and not was:
+                members.add(v)
+                self._field_sources_gained(predicate, v)
+            elif was and not now:
+                members.remove(v)
+                self._field_sources_lost(predicate, v)
+
+    def _field_sources_gained(self, predicate: Predicate, v: Node) -> None:
+        for field in self._by_pred.get(predicate, ()):
+            field.source_gained(v)
+
+    def _field_sources_lost(self, predicate: Predicate, v: Node) -> None:
+        for field in self._by_pred.get(predicate, ()):
+            field.source_lost(v)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def landmark_index(self) -> Optional[LandmarkIndex]:
+        return self._lm
+
+    def matrix(self) -> Optional[DistanceMatrix]:
+        return self._matrix
+
+    def num_fields(self) -> int:
+        return len(self._fields)
+
+    def live_structures(self) -> Dict[str, int]:
+        """How many shared structures are alive (and their lease counts)."""
+        return {
+            "landmark": self._lm_refs if self._lm is not None else 0,
+            "matrix": self._matrix_refs if self._matrix is not None else 0,
+            "fields": len(self._fields),
+            "field_leases": sum(e[1] for e in self._fields.values()),
+        }
+
+    # ------------------------------------------------------------------
+    # Invariants (tests)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Members must mirror predicate satisfaction; fields must be exact."""
+        for predicate, members in self._members.items():
+            true_members = {
+                v
+                for v in self._graph.nodes()
+                if predicate.satisfied_by(self._graph.attrs(v))
+            }
+            assert members == true_members, (
+                f"substrate member drift for {predicate!r}: "
+                f"{members ^ true_members}"
+            )
+        for field, _ in self._fields.values():
+            field.check_exact()
+
+    def __repr__(self) -> str:
+        live = self.live_structures()
+        return (
+            f"SharedDistanceSubstrate(lm={live['landmark']}, "
+            f"matrix={live['matrix']}, fields={live['fields']})"
+        )

@@ -23,6 +23,14 @@ against one evolving graph).  Per flush the pool:
 4. pops each touched query's match delta and publishes it to the query's
    change feeds.
 
+Distance structures for bounded queries default to the pool-level
+:class:`~repro.engine.distances.SharedDistanceSubstrate`
+(``distance_scope='shared'``): one landmark index / matrix / ball-field
+set per pool, synced exactly once per flush phase however many queries
+lease it.  ``distance_scope='per-query'`` (pool- or query-level) keeps
+the private-structure fallback, whose upkeep the flush pays once per
+observing query.
+
 The single-pattern :class:`~repro.core.engine.Matcher` facade is a thin
 view over a one-query pool, so both paths share this plumbing.
 """
@@ -34,9 +42,20 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple
 from ..graphs.digraph import DiGraph, Node
 from ..incremental.types import Update, delete, insert, net_updates
 from ..patterns.pattern import Pattern
+from .distances import SharedDistanceSubstrate
 from .feeds import MatchDelta
 from .query import ContinuousQuery
 from .router import UpdateRouter
+
+DISTANCE_SCOPES = ("shared", "per-query")
+
+
+def _check_scope(scope: str) -> str:
+    if scope not in DISTANCE_SCOPES:
+        raise ValueError(
+            f"distance_scope must be one of {DISTANCE_SCOPES}, got {scope!r}"
+        )
+    return scope
 
 
 class PoolStats:
@@ -49,6 +68,7 @@ class PoolStats:
         "attr_updates",
         "routed_pairs",
         "skipped_pairs",
+        "observer_batches",
     )
 
     def __init__(self) -> None:
@@ -61,6 +81,10 @@ class PoolStats:
         self.attr_updates = 0
         self.routed_pairs = 0
         self.skipped_pairs = 0
+        # Per-query distance-structure syncs paid by the observers path
+        # (one per observing query per edge batch); the shared substrate's
+        # counterpart is SubstrateStats.structure_batches.
+        self.observer_batches = 0
 
     def __repr__(self) -> str:
         return (
@@ -98,9 +122,15 @@ class FlushReport:
 class MatcherPool:
     """Many continuous pattern queries over one shared data graph."""
 
-    def __init__(self, graph: DiGraph) -> None:
+    def __init__(self, graph: DiGraph, distance_scope: str = "shared") -> None:
         self.graph = graph
         self.stats = PoolStats()
+        # One distance structure per (graph, distance_mode), leased by all
+        # bounded queries registered with scope 'shared' (the default) and
+        # synced exactly once per flush phase below.  'per-query' queries
+        # keep owning private structures (the observers path).
+        self.distance_scope = _check_scope(distance_scope)
+        self.substrate = SharedDistanceSubstrate(graph)
         self._router = UpdateRouter()
         self._queries: Dict[str, ContinuousQuery] = {}
         self._pending_edges: List[Update] = []
@@ -117,11 +147,15 @@ class MatcherPool:
         name: Optional[str] = None,
         distance_mode: str = "bfs",
         max_embeddings: Optional[int] = None,
+        distance_scope: Optional[str] = None,
     ) -> ContinuousQuery:
         """Register a standing query; its index is built immediately.
 
         Pending (unflushed) updates are flushed first so the new index is
         born consistent with every already-registered query.
+        ``distance_scope`` overrides the pool default for this query:
+        ``'shared'`` leases distance structures from the pool substrate,
+        ``'per-query'`` owns private ones.
         """
         if self._pending_edges or self._pending_nodes:
             self.flush()
@@ -132,6 +166,12 @@ class MatcherPool:
             name = f"q{n}"
         if name in self._queries:
             raise ValueError(f"query name {name!r} already registered")
+        scope = _check_scope(distance_scope or self.distance_scope)
+        substrate = (
+            self.substrate
+            if scope == "shared" and semantics == "bounded"
+            else None
+        )
         query = ContinuousQuery(
             name,
             pattern,
@@ -139,16 +179,20 @@ class MatcherPool:
             semantics=semantics,
             distance_mode=distance_mode,
             max_embeddings=max_embeddings,
+            substrate=substrate,
         )
         self._queries[name] = query
         self._router.register(query)
         return query
 
     def unregister(self, query: ContinuousQuery) -> None:
-        """Drop a standing query; its feeds stop receiving deltas."""
+        """Drop a standing query; its feeds stop receiving deltas and its
+        substrate leases are released (a structure with no leases left is
+        dropped, so the pool stops paying its upkeep)."""
         if self._queries.get(query.name) is query:
             del self._queries[query.name]
             self._router.unregister(query)
+            query.close()
 
     def query(self, name: str) -> ContinuousQuery:
         return self._queries[name]
@@ -248,11 +292,13 @@ class MatcherPool:
                     old, merged, attrs.keys()
                 )
                 self.graph.add_node(v, **attrs)
+                self.substrate.observe_attr_change(v)
                 for q in affected:
                     q.apply_attr_update(v, attrs)
                     touched[q.name] = q
             else:
                 self.graph.add_node(v, **attrs)
+                self.substrate.observe_node_added(v)
                 affected = self._router.route_node(self.graph.attrs(v))
                 for q in affected:
                     q.apply_node_added(v, attrs)
@@ -294,6 +340,8 @@ class MatcherPool:
         for v, w in deletions:
             self.graph.remove_edge(v, w)
         if deletions:
+            self.substrate.observe_deleted(deletions)
+            self.stats.observer_batches += len(observers)
             for q in observers:
                 q.observe_deletions(deletions)
         for name, prep in prepared.items():
@@ -310,7 +358,15 @@ class MatcherPool:
                     self.graph.add_node(node)
                     fresh_nodes.append(node)
             self.graph.add_edge(v, w)
+        # Fresh endpoints must reach the substrate BEFORE the insertion
+        # batch is observed and routed: a trivial-(TRUE)-predicate field
+        # needs them as pinned distance-0 sources for its routing verdicts
+        # on this very batch to be sound.
+        for node in fresh_nodes:
+            self.substrate.observe_node_added(node)
         if insertions:
+            self.substrate.observe_inserted(insertions)
+            self.stats.observer_batches += len(observers)
             for q in observers:
                 q.observe_insertions(insertions)
         routed_ins: Dict[str, List[Tuple[Node, Node]]] = {}

@@ -38,8 +38,14 @@ def build_index(
     semantics: str,
     distance_mode: str = "bfs",
     max_embeddings: Optional[int] = None,
+    substrate=None,
 ):
-    """Validate and build the incremental index for one query."""
+    """Validate and build the incremental index for one query.
+
+    ``substrate`` (a :class:`~repro.engine.distances.SharedDistanceSubstrate`)
+    makes a bounded index lease its distance structures from the pool
+    instead of owning them; other semantics ignore it.
+    """
     if semantics not in SEMANTICS:
         raise ValueError(
             f"semantics must be one of {SEMANTICS}, got {semantics!r}"
@@ -54,7 +60,7 @@ def build_index(
         return SimulationIndex(pattern, graph)
     if semantics == "bounded":
         return BoundedSimulationIndex(
-            pattern, graph, distance_mode=distance_mode
+            pattern, graph, distance_mode=distance_mode, substrate=substrate
         )
     return IsoIndex(pattern, graph, max_embeddings=max_embeddings)
 
@@ -70,6 +76,7 @@ class ContinuousQuery:
         semantics: str = "bounded",
         distance_mode: str = "bfs",
         max_embeddings: Optional[int] = None,
+        substrate=None,
     ) -> None:
         self.name = name
         self.pattern = pattern
@@ -81,6 +88,7 @@ class ContinuousQuery:
             semantics,
             distance_mode=distance_mode,
             max_embeddings=max_embeddings,
+            substrate=substrate,
         )
         self._feeds: List[ChangeFeed] = []
         self.last_delta: Optional[MatchDelta] = None
@@ -113,15 +121,26 @@ class ContinuousQuery:
         self.wildcard_node: bool = wildcard
         # --- edge-routing class ------------------------------------------
         # A TRUE predicate makes brand-new (attribute-less) nodes eligible
-        # mid-flush, which no pre-computed ball can anticipate — such
-        # bounded queries keep observing every edge.  All other bound>1
-        # (or *) queries are distance-routed through the index's
-        # can_affect_edge oracle; bound-1 patterns stay endpoint-routed.
+        # mid-flush, which no *per-query* pre-computed ball can anticipate
+        # — without a substrate such bounded queries keep observing every
+        # edge.  With a shared substrate the pool announces fresh nodes to
+        # the shared ball fields before insertion routing, so even
+        # trivial-predicate queries are soundly distance-routed.  All
+        # other bound>1 (or *) queries are distance-routed through the
+        # index's can_affect_edge oracle; bound-1 patterns stay
+        # endpoint-routed.
         bounded = isinstance(self.index, BoundedSimulationIndex)
-        trivial_pred = any(p.is_trivial() for p in self._node_preds)
+        shared = bounded and self.index.substrate is not None
+        # The index's flag is the single source of truth: it also picks
+        # the can_affect_edge oracle branch, and the two must agree.
+        trivial_pred = bounded and self.index.has_trivial_pred
         needs_distance = bounded and self.index.distance_routed()
-        self.routes_all_edges: bool = needs_distance and trivial_pred
-        self.distance_routed: bool = needs_distance and not trivial_pred
+        self.routes_all_edges: bool = (
+            needs_distance and trivial_pred and not shared
+        )
+        self.distance_routed: bool = needs_distance and (
+            not trivial_pred or shared
+        )
         self.observes_all_edges: bool = (
             bounded and self.index.needs_edge_observation()
         )
@@ -192,6 +211,12 @@ class ContinuousQuery:
             self._feeds.remove(feed)
         except ValueError:
             pass
+
+    def close(self) -> None:
+        """Release shared-substrate leases (called by pool.unregister)."""
+        release = getattr(self.index, "release", None)
+        if release is not None:
+            release()
 
     def emit_delta(self, seq: int) -> MatchDelta:
         """Pop the index's raw delta, totalize, publish, and return it."""

@@ -18,9 +18,12 @@ regime of Berkholz et al. — by indexing each query's *routing signature*:
   :meth:`~repro.engine.query.ContinuousQuery.can_affect_edge` oracle
   (eligible-ball summary / landmark vectors / matrix rows) proves or
   refutes relevance per edge;
-- only bounded queries with a trivial (``TRUE``) node predicate — for
-  which a brand-new attribute-less node is instantly eligible — still
-  observe every edge via the wildcard-edge bucket;
+- bounded queries with a trivial (``TRUE``) node predicate — for which a
+  brand-new attribute-less node is instantly eligible — observe every
+  edge via the wildcard-edge bucket *only* in per-query distance scope;
+  with a shared substrate the pool announces fresh nodes to the shared
+  ball fields before insertion routing, so even those queries are
+  soundly distance-routed;
 - attribute updates route by attribute *name*: merging attributes no
   predicate mentions cannot change any eligibility.
 

@@ -1,6 +1,6 @@
 """Incremental matching: IncMatch, IncBMatch, IncIsoMat, HORNSAT baseline."""
 
-from .ballsummary import EligibleBallSummary
+from .ballsummary import BallField, EligibleBallSummary
 from .affected import (
     AffReport,
     measure_incbsim,
@@ -40,6 +40,7 @@ __all__ = [
     "IncStats",
     "SimulationIndex",
     "BoundedSimulationIndex",
+    "BallField",
     "EligibleBallSummary",
     "HornSimulation",
     "IsoIndex",

@@ -8,30 +8,42 @@ edge update is relevant to the query only if its source sits in the union
 of radius-``(k-1)`` *forward* balls around eligible sources and its target
 in the union of radius-``(k-1)`` *backward* balls around eligible targets.
 
-:class:`EligibleBallSummary` maintains exactly those unions, one
-``(src, tgt)`` distance-map pair per pattern edge, as a **monotone
-over-approximation**:
+:class:`BallField` maintains one such union — a capped multi-source BFS
+distance map over a *source set* owned by the caller — **exactly** under
+every update class:
 
-- edge insertions and eligibility gains *grow* the maps (a capped
-  Dijkstra relaxation from the improved frontier);
-- edge deletions and eligibility losses only *shrink* true balls, so the
-  maps are left in place (a superset stays sound for pruning) and a
-  staleness counter is bumped; crossing a threshold triggers a full
-  rebuild so pruning power does not decay forever.
+- edge insertions and source gains are a capped Dijkstra relaxation from
+  the improved frontier (distances only decrease);
+- edge deletions and source losses run a Ramalingam–Reps-style decremental
+  repair: phase 1 walks the unsupported region in increasing stored
+  distance (a node is supported when a support-direction neighbour sits
+  exactly one layer closer, or when it is a pinned source), phase 2
+  reseeds the affected region from its unaffected boundary and relaxes.
 
-Soundness contract: :meth:`can_affect` may return ``True`` spuriously but
-never returns ``False`` for an edge that could create or break a pair on
-the graph state the summary has observed.  The
-:class:`~repro.engine.pool.MatcherPool` consults it *pre-edit* for
-deletions and *post-edit* (after :meth:`note_inserted`) for insertions,
-mirroring the two-phase deletion dance of the repair path itself.
+Because the repair is exact, the summary needs no staleness counters or
+threshold rebuilds: it tightens on deletions immediately, so routing
+pruning power never decays.
+
+:class:`EligibleBallSummary` bundles one ``(src, tgt)`` field pair per
+pattern edge for a single bounded query.  The same :class:`BallField` is
+what the pool-level :class:`~repro.engine.distances.SharedDistanceSubstrate`
+leases out when several queries share a ``(predicate, radius, direction)``
+ball union.
+
+Soundness contract: :meth:`EligibleBallSummary.can_affect` never returns
+``False`` for an edge that could create or break a pair on the graph state
+the summary has observed (and, being exact, it also never returns ``True``
+spuriously).  The :class:`~repro.engine.pool.MatcherPool` consults it
+*pre-edit* for deletions and *post-edit* (after :meth:`note_inserted`) for
+insertions, mirroring the two-phase deletion dance of the repair path
+itself.
 """
 
 from __future__ import annotations
 
 import heapq
 from itertools import count
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..graphs.digraph import DiGraph, Node
 from ..patterns.pattern import Bound, PatternNode
@@ -66,73 +78,53 @@ def _capped_multi_source(
     return dist
 
 
-class EligibleBallSummary:
-    """Per-pattern-edge ball unions answering "can this edge matter?"."""
+class BallField:
+    """One capped multi-source ball union, maintained exactly.
+
+    ``sources`` is a live reference to a set the owner mutates *before*
+    calling :meth:`source_gained` / :meth:`source_lost`; sources are pinned
+    at distance 0.  ``reverse=True`` measures distances *to* the sources
+    (BFS over reversed edges) — the target-side field of a pattern edge.
+    All edge notifications expect the graph to have been mutated already.
+    """
+
+    __slots__ = ("_graph", "sources", "radius", "reverse", "dist")
 
     def __init__(
         self,
         graph: DiGraph,
-        bounds: Dict[PatternEdge, Bound],
-        eligible: Dict[PatternNode, set],
+        sources: Set[Node],
+        radius: Optional[int],
+        reverse: bool = False,
     ) -> None:
         self._graph = graph
-        self._bounds = bounds
-        self._eligible = eligible
-        self._src: Dict[PatternEdge, Dict[Node, int]] = {}
-        self._tgt: Dict[PatternEdge, Dict[Node, int]] = {}
-        self._stale = 0
-        self.rebuilds = 0
+        self.sources = sources
+        self.radius = radius
+        self.reverse = reverse
+        self.dist: Dict[Node, int] = {}
         self.rebuild()
 
-    # ------------------------------------------------------------------
-    # Construction / rebuild
-    # ------------------------------------------------------------------
-    def _radius(self, bound: Bound) -> Optional[int]:
-        return None if bound is None else bound - 1
-
-    def _rebuild_threshold(self) -> int:
-        return max(16, self._graph.num_nodes() // 8)
-
     def rebuild(self) -> None:
-        """Recompute every ball union from scratch on the current graph."""
-        self.rebuilds += 1
-        self._stale = 0
-        for edge, bound in self._bounds.items():
-            u, u2 = edge
-            r = self._radius(bound)
-            self._src[edge] = _capped_multi_source(
-                self._graph, self._eligible[u], r
-            )
-            self._tgt[edge] = _capped_multi_source(
-                self._graph, self._eligible[u2], r, reverse=True
-            )
+        self.dist = _capped_multi_source(
+            self._graph, self.sources, self.radius, self.reverse
+        )
+
+    def __contains__(self, v: Node) -> bool:
+        return v in self.dist
+
+    def __len__(self) -> int:
+        return len(self.dist)
 
     # ------------------------------------------------------------------
-    # The routing oracle
+    # Growth (insertions / source gains): decrease-only relaxation
     # ------------------------------------------------------------------
-    def can_affect(self, x: Node, y: Node) -> bool:
-        """May an edge update between ``x`` and ``y`` create/break a pair?
-
-        True iff for some pattern edge both ``x`` lies in the (stale-safe
-        superset of the) source ball union and ``y`` in the target one.
-        """
-        for edge in self._bounds:
-            if x in self._src[edge] and y in self._tgt[edge]:
-                return True
-        return False
-
-    # ------------------------------------------------------------------
-    # Incremental maintenance
-    # ------------------------------------------------------------------
-    def _grow(
-        self,
-        dist: Dict[Node, int],
-        radius: Optional[int],
-        seeds: List[Tuple[Node, int]],
-        reverse: bool,
-    ) -> None:
-        """Relax ``dist`` from improved ``seeds`` (entries only decrease)."""
-        neighbours = self._graph.parents if reverse else self._graph.children
+    def _grow(self, seeds: List[Tuple[Node, int]]) -> None:
+        """Relax ``dist`` outward from improved ``seeds`` (already written)."""
+        neighbours = (
+            self._graph.parents if self.reverse else self._graph.children
+        )
+        radius = self.radius
+        dist = self.dist
         tie = count()
         heap = [(d, next(tie), v) for v, d in seeds]
         heapq.heapify(heap)
@@ -148,75 +140,205 @@ class EligibleBallSummary:
                     dist[w] = nd
                     heapq.heappush(heap, (nd, next(tie), w))
 
-    def note_inserted(self, edges: Iterable[Tuple[Node, Node]]) -> None:
-        """Grow the balls for edges already inserted into the graph.
+    def grow_edges(self, edges: Iterable[Tuple[Node, Node]]) -> None:
+        """Absorb edges already inserted into the graph."""
+        r = self.radius
+        dist = self.dist
+        seeds: List[Tuple[Node, int]] = []
+        for near, far in edges:
+            if self.reverse:
+                near, far = far, near
+            d = dist.get(near)
+            if d is None or (r is not None and d + 1 > r):
+                continue
+            if dist.get(far, d + 2) > d + 1:
+                dist[far] = d + 1
+                seeds.append((far, d + 1))
+        if seeds:
+            self._grow(seeds)
 
-        The src map relaxes forward (an edge extends the ball from its
-        source to its target); the tgt map relaxes backward.
+    def source_gained(self, v: Node) -> None:
+        """``v`` joined ``sources`` (already added by the owner)."""
+        if v not in self._graph:
+            return
+        if self.dist.get(v, 1) > 0:
+            self.dist[v] = 0
+            self._grow([(v, 0)])
+
+    # ------------------------------------------------------------------
+    # Shrinkage (deletions / source losses): RR decremental repair
+    # ------------------------------------------------------------------
+    def shrink_edges(self, edges: Iterable[Tuple[Node, Node]]) -> None:
+        """Absorb edges already removed from the graph."""
+        starts = []
+        for x, y in edges:
+            v = x if self.reverse else y  # the endpoint the edge supported
+            if v in self.dist:
+                starts.append(v)
+        if starts:
+            self._shrink(starts)
+
+    def source_lost(self, v: Node) -> None:
+        """``v`` left ``sources`` (already removed by the owner)."""
+        if v in self.dist:
+            self._shrink([v])
+
+    def _shrink(self, starts: List[Node]) -> None:
+        """Two-phase Ramalingam–Reps repair from possibly-unsupported nodes.
+
+        Phase 1 identifies the affected set in increasing stored-distance
+        order: a non-source node at distance ``d`` is supported iff some
+        support-direction neighbour holds distance ``d - 1`` and is not
+        itself affected.  Because support comes strictly from the previous
+        BFS layer, processing by layer finds every affected node exactly
+        once.  Phase 2 deletes the affected entries, reseeds each from its
+        unaffected boundary (or distance 0 if it is a pinned source), and
+        runs the usual capped relaxation.
         """
-        edges = list(edges)
-        for pedge, bound in self._bounds.items():
-            r = self._radius(bound)
-            for dist, reverse in (
-                (self._src[pedge], False),
-                (self._tgt[pedge], True),
+        dist = self.dist
+        support = self._graph.children if self.reverse else self._graph.parents
+        forward = self._graph.parents if self.reverse else self._graph.children
+        tie = count()
+        heap = [
+            (dist[v], next(tie), v) for v in set(starts) if v in dist
+        ]
+        heapq.heapify(heap)
+        affected: Set[Node] = set()
+        done: Set[Node] = set()
+        while heap:
+            d, _, v = heapq.heappop(heap)
+            if v in done or dist.get(v) != d:
+                continue
+            done.add(v)
+            if d == 0 and v in self.sources:
+                continue
+            if any(
+                u not in affected and dist.get(u) == d - 1
+                for u in support(v)
             ):
-                seeds: List[Tuple[Node, int]] = []
-                for near, far in edges:
-                    if reverse:
-                        near, far = far, near
-                    d = dist.get(near)
-                    if d is None or (r is not None and d + 1 > r):
-                        continue
-                    if dist.get(far, d + 2) > d + 1:
-                        dist[far] = d + 1
-                        seeds.append((far, d + 1))
-                if seeds:
-                    self._grow(dist, r, seeds, reverse)
+                continue
+            affected.add(v)
+            for w in forward(v):
+                if w not in done and dist.get(w) == d + 1:
+                    heapq.heappush(heap, (d + 1, next(tie), w))
+        if not affected:
+            return
+        for v in affected:
+            del dist[v]
+        radius = self.radius
+        seeds: List[Tuple[Node, int]] = []
+        for v in affected:
+            if v in self.sources and v in self._graph:
+                best: Optional[int] = 0
+            else:
+                best = None
+                for u in support(v):
+                    du = dist.get(u)
+                    if du is not None and (best is None or du + 1 < best):
+                        best = du + 1
+            if best is not None and (radius is None or best <= radius):
+                dist[v] = best
+                seeds.append((v, best))
+        if seeds:
+            self._grow(seeds)
+
+    # ------------------------------------------------------------------
+    # Invariants (tests)
+    # ------------------------------------------------------------------
+    def check_exact(self) -> None:
+        """The maintained map must equal a from-scratch recomputation."""
+        true = _capped_multi_source(
+            self._graph, self.sources, self.radius, self.reverse
+        )
+        stale = {k: v for k, v in self.dist.items() if true.get(k) != v}
+        assert self.dist == true, (
+            f"ball field drift (radius={self.radius}, reverse={self.reverse}): "
+            f"stale={stale} missing={set(true) - set(self.dist)}"
+        )
+
+
+class EligibleBallSummary:
+    """Per-pattern-edge ball unions answering "can this edge matter?"."""
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        bounds: Dict[PatternEdge, Bound],
+        eligible: Dict[PatternNode, set],
+    ) -> None:
+        self._graph = graph
+        self._bounds = bounds
+        self._eligible = eligible
+        self._src: Dict[PatternEdge, BallField] = {}
+        self._tgt: Dict[PatternEdge, BallField] = {}
+        self.rebuilds = 0
+        self.rebuild()
+
+    # ------------------------------------------------------------------
+    # Construction / rebuild
+    # ------------------------------------------------------------------
+    def _radius(self, bound: Bound) -> Optional[int]:
+        return None if bound is None else bound - 1
+
+    def rebuild(self) -> None:
+        """Recompute every ball union from scratch on the current graph."""
+        self.rebuilds += 1
+        for edge, bound in self._bounds.items():
+            u, u2 = edge
+            r = self._radius(bound)
+            self._src[edge] = BallField(
+                self._graph, self._eligible[u], r, reverse=False
+            )
+            self._tgt[edge] = BallField(
+                self._graph, self._eligible[u2], r, reverse=True
+            )
+
+    # ------------------------------------------------------------------
+    # The routing oracle
+    # ------------------------------------------------------------------
+    def can_affect(self, x: Node, y: Node) -> bool:
+        """May an edge update between ``x`` and ``y`` create/break a pair?
+
+        True iff for some pattern edge ``x`` lies in the source ball union
+        and ``y`` in the target one; exact on the observed graph state.
+        """
+        for edge in self._bounds:
+            if x in self._src[edge] and y in self._tgt[edge]:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+    def note_inserted(self, edges: Iterable[Tuple[Node, Node]]) -> None:
+        """Grow the balls for edges already inserted into the graph."""
+        edges = list(edges)
+        for edge in self._bounds:
+            self._src[edge].grow_edges(edges)
+            self._tgt[edge].grow_edges(edges)
 
     def note_deleted(self, edges: Iterable[Tuple[Node, Node]]) -> None:
-        """Record deletions (balls may shrink; supersets stay sound)."""
-        touched = 0
-        for x, y in edges:
-            for pedge in self._bounds:
-                if x in self._src[pedge] or y in self._tgt[pedge]:
-                    touched += 1
-        if not touched:
-            return
-        self._stale += touched
-        if self._stale > self._rebuild_threshold():
-            self.rebuild()
+        """Decrementally repair the balls for already-removed edges."""
+        edges = list(edges)
+        for edge in self._bounds:
+            self._src[edge].shrink_edges(edges)
+            self._tgt[edge].shrink_edges(edges)
 
     def note_eligible_gained(self, u: PatternNode, v: Node) -> None:
         """Node ``v`` became eligible for pattern node ``u``: grow balls."""
-        if v not in self._graph:
-            return
-        for (pu, pu2), bound in self._bounds.items():
-            r = self._radius(bound)
+        for (pu, pu2) in self._bounds:
             if pu == u:
-                src = self._src[(pu, pu2)]
-                if src.get(v, 1) > 0:
-                    src[v] = 0
-                    self._grow(src, r, [(v, 0)], reverse=False)
+                self._src[(pu, pu2)].source_gained(v)
             if pu2 == u:
-                tgt = self._tgt[(pu, pu2)]
-                if tgt.get(v, 1) > 0:
-                    tgt[v] = 0
-                    self._grow(tgt, r, [(v, 0)], reverse=True)
+                self._tgt[(pu, pu2)].source_gained(v)
 
     def note_eligible_lost(self, u: PatternNode, v: Node) -> None:
-        """Node ``v`` lost eligibility for ``u`` (balls may shrink)."""
-        touched = sum(
-            1
-            for (pu, pu2) in self._bounds
-            if (pu == u and v in self._src[(pu, pu2)])
-            or (pu2 == u and v in self._tgt[(pu, pu2)])
-        )
-        if not touched:
-            return
-        self._stale += touched
-        if self._stale > self._rebuild_threshold():
-            self.rebuild()
+        """Node ``v`` lost eligibility for ``u``: repair decrementally."""
+        for (pu, pu2) in self._bounds:
+            if pu == u:
+                self._src[(pu, pu2)].source_lost(v)
+            if pu2 == u:
+                self._tgt[(pu, pu2)].source_lost(v)
 
     # ------------------------------------------------------------------
     # Invariants (tests)
@@ -230,11 +352,17 @@ class EligibleBallSummary:
             true_tgt = _capped_multi_source(
                 self._graph, self._eligible[u2], r, reverse=True
             )
-            missing_src = set(true_src) - set(self._src[edge])
-            missing_tgt = set(true_tgt) - set(self._tgt[edge])
+            missing_src = set(true_src) - set(self._src[edge].dist)
+            missing_tgt = set(true_tgt) - set(self._tgt[edge].dist)
             assert not missing_src, (
                 f"summary src ball for {edge} missing {missing_src}"
             )
             assert not missing_tgt, (
                 f"summary tgt ball for {edge} missing {missing_tgt}"
             )
+
+    def check_exact_invariant(self) -> None:
+        """Decremental repair keeps every field equal to a fresh rebuild."""
+        for edge in self._bounds:
+            self._src[edge].check_exact()
+            self._tgt[edge].check_exact()

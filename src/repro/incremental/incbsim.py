@@ -34,6 +34,17 @@ a data edge changes.
 - ``'matrix'``    — maintains a full all-pairs matrix (min-plus updates on
   insert, rebuild on delete): the ``IncBMatch_m`` baseline of Exp-2, whose
   heavier auxiliary structure is exactly what Fig. 19 measures.
+
+Distance structures are owned per index by default; when a pool-level
+:class:`~repro.engine.distances.SharedDistanceSubstrate` is passed, the
+landmark index / matrix / routing-oracle ball fields are **leased** from
+it instead and the pool keeps them in sync once per flush for every
+leasing query (see :meth:`BoundedSimulationIndex.needs_edge_observation`).
+The distance-aware routing oracle (:meth:`can_affect_edge`) consults
+per-landmark minima over the eligible sets in ``landmark`` mode (one
+O(|lm|) early-exit scan per pattern edge) and an exactly-maintained
+eligible-ball summary (or the substrate's shared fields) in ``bfs`` and
+``matrix`` modes.
 """
 
 from __future__ import annotations
@@ -43,8 +54,8 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 from ..graphs.digraph import DiGraph, Node
 from ..graphs.distance import DistanceMatrix
 from ..graphs.traversal import INF, ancestors_within, descendants_within
-from ..landmarks.vector import LandmarkIndex
-from .ballsummary import EligibleBallSummary
+from ..landmarks.vector import EligibleLegMinima, LandmarkIndex
+from .ballsummary import BallField, EligibleBallSummary
 from ..matching.relation import MatchRelation, totalize
 from ..matching.simulation import candidate_sets
 from ..patterns.pattern import Bound, Pattern, PatternNode
@@ -75,12 +86,22 @@ class BoundedSimulationIndex:
         graph: DiGraph,
         distance_mode: str = "bfs",
         landmark_strategy: str = "matching",
+        substrate=None,
     ) -> None:
         if distance_mode not in ("bfs", "landmark", "matrix"):
             raise ValueError(f"unknown distance_mode {distance_mode!r}")
         self.pattern = pattern
         self.graph = graph
         self.distance_mode = distance_mode
+        # A pool-level SharedDistanceSubstrate (engine.distances).  When
+        # set, the landmark index / matrix are leased rather than owned,
+        # the routing-oracle ball fields are leased per (predicate,
+        # radius, direction), and the *pool* keeps every shared structure
+        # in sync (needs_edge_observation() turns False).  A
+        # substrate-backed index must therefore be driven through the
+        # pool's prepare/observe/repair entry points, not the raw
+        # insert_edge/delete_edge/apply_batch unit paths.
+        self.substrate = substrate
         self._bounds: Dict[PatternEdge, Bound] = {
             (u, u2): pattern.bound(u, u2) for u, u2 in pattern.edges()
         }
@@ -90,13 +111,35 @@ class BoundedSimulationIndex:
         self._inner = SimulationIndex(_layered_pattern(pattern), self._pair_graph)
         self._lm: Optional[LandmarkIndex] = None
         self._matrix: Optional[DistanceMatrix] = None
-        # Built lazily on first routing-oracle consult (bfs mode only), so
-        # standalone batch users never pay for it.
+        self._minima: Optional[EligibleLegMinima] = None
+        # Built lazily on first routing-oracle consult (bfs/matrix modes),
+        # so standalone batch users never pay for it.
         self._summary: Optional[EligibleBallSummary] = None
+        # Shared-scope oracle: pattern edge -> (src, tgt) leased BallField,
+        # plus the exact lease keys so release() returns what was taken.
+        self._shared_fields: Optional[Dict[PatternEdge, Tuple[BallField, BallField]]] = None
+        self._field_keys: List[Tuple] = []
+        # Single source of truth for trivialness: ContinuousQuery's router
+        # bucketing and can_affect_edge's oracle branch must agree on it.
+        self.has_trivial_pred = any(
+            pattern.predicate(u).is_trivial() for u in pattern.nodes()
+        )
         if distance_mode == "landmark":
-            self._lm = LandmarkIndex(graph, strategy=landmark_strategy)
+            if substrate is not None:
+                self._lm = substrate.lease_landmarks(strategy=landmark_strategy)
+            else:
+                self._lm = LandmarkIndex(graph, strategy=landmark_strategy)
+            self._minima = EligibleLegMinima(self._lm, self.eligible)
         elif distance_mode == "matrix":
-            self._matrix = DistanceMatrix(graph)
+            if substrate is not None:
+                self._matrix = substrate.lease_matrix()
+            else:
+                self._matrix = DistanceMatrix(graph)
+        # Shared ball fields are leased eagerly when this index's routing
+        # oracle will read them (build cost belongs to registration, not
+        # to the first flush that happens to consult the oracle).
+        if self._routes_via_shared_fields() and self.distance_routed():
+            self._ensure_shared_fields()
 
     # ------------------------------------------------------------------
     # Pair graph construction
@@ -187,6 +230,8 @@ class BoundedSimulationIndex:
                 self._inner.add_node((u, v), **{LAYER_ATTR: u})
                 if self._summary is not None:
                     self._summary.note_eligible_gained(u, v)
+                if self._minima is not None:
+                    self._minima.note_gained(u, v)
 
     def update_node_attrs(self, v: Node, **attrs) -> None:
         """Change ``v``'s attributes and repair the match.
@@ -219,6 +264,8 @@ class BoundedSimulationIndex:
                 self.eligible[u].remove(v)
                 if self._summary is not None:
                     self._summary.note_eligible_lost(u, v)
+                if self._minima is not None:
+                    self._minima.note_lost(u, v)
         if pair_updates:
             self._inner.apply_batch(pair_updates)
         # Retire after the edges are gone so leaf-layer matches drop too.
@@ -234,6 +281,8 @@ class BoundedSimulationIndex:
             self._inner.add_node((u, v), **{LAYER_ATTR: u})
             if self._summary is not None:
                 self._summary.note_eligible_gained(u, v)
+            if self._minima is not None:
+                self._minima.note_gained(u, v)
         for u in gained:
             # Outgoing pairs: targets within bound of v, per edge from u.
             for u2 in self.pattern.children(u):
@@ -533,10 +582,15 @@ class BoundedSimulationIndex:
         """Must the pool feed every net edge update to ``observe_*_edges``?
 
         Landmark vectors and the all-pairs matrix track the whole graph,
-        and the bfs-mode ball summary must watch inserts/deletes to stay a
-        sound superset.  Observation is cheap structure upkeep — it does
-        no pair-level repair.
+        and the ball summary behind the ``bfs``/``matrix`` routing oracle
+        must watch inserts/deletes to stay exact.  Observation is cheap
+        structure upkeep — it does no pair-level repair.  With a shared
+        substrate every structure this index reads is pool-owned and the
+        pool syncs each one exactly once per flush, so the index itself
+        needs no per-query observation at all.
         """
+        if self.substrate is not None:
+            return False
         return (
             self._lm is not None
             or self._matrix is not None
@@ -553,6 +607,60 @@ class BoundedSimulationIndex:
     def ball_summary(self) -> Optional[EligibleBallSummary]:
         return self._summary
 
+    def _routes_via_shared_fields(self) -> bool:
+        """Does the routing oracle read the substrate's shared ball fields
+        (vs the landmark minima / per-query summary)?  Single predicate
+        for the eager-lease decision and the can_affect_edge branch."""
+        return self.substrate is not None and (
+            self._minima is None or self.has_trivial_pred
+        )
+
+    def _ensure_shared_fields(
+        self,
+    ) -> Dict[PatternEdge, Tuple[BallField, BallField]]:
+        """Lease the substrate's (src, tgt) ball pair per pattern edge.
+
+        Queries whose pattern edges agree on (predicate, radius,
+        direction) end up reading the same field objects — that is the
+        pool-level amortization.
+        """
+        if self._shared_fields is None:
+            fields: Dict[PatternEdge, Tuple[BallField, BallField]] = {}
+            for (u, u2), bound in self._bounds.items():
+                r = None if bound is None else bound - 1
+                src_key = (self.pattern.predicate(u), r, False)
+                tgt_key = (self.pattern.predicate(u2), r, True)
+                fields[(u, u2)] = (
+                    self.substrate.lease_field(*src_key),
+                    self.substrate.lease_field(*tgt_key),
+                )
+                self._field_keys.extend((src_key, tgt_key))
+            self._shared_fields = fields
+        return self._shared_fields
+
+    def release(self) -> None:
+        """Release every substrate lease (pool unregister).
+
+        Idempotent; a released index must not be consulted again through
+        the routing oracle.
+        """
+        if self.substrate is None:
+            return
+        if self._lm is not None:
+            self.substrate.release_landmarks()
+            self._lm = None
+            self._minima = None
+        if self._matrix is not None:
+            self.substrate.release_matrix()
+            self._matrix = None
+        for key in self._field_keys:
+            self.substrate.release_field(*key)
+        self._field_keys = []
+        self._shared_fields = None
+        # Detach so a stray consult on a released index cannot silently
+        # re-lease substrate structures nobody will ever release again.
+        self.substrate = None
+
     def can_affect_edge(self, x: Node, y: Node) -> bool:
         """Sound routing oracle: can an edge update between ``x`` and
         ``y`` create or break any pair?
@@ -560,46 +668,37 @@ class BoundedSimulationIndex:
         May err towards ``True``; ``False`` is a proof of irrelevance on
         the distance structure's current state.  The pool consults it
         *before* the edit for deletions (old witness paths decompose over
-        pre-deletion distances) and *after* :meth:`observe_inserted_edges`
-        for insertions (so same-batch edges are already reflected) —
-        mirroring the ``prepare_deletions`` two-phase dance.
+        pre-deletion distances) and *after* the insertion batch is
+        observed (so same-batch edges are already reflected) — mirroring
+        the ``prepare_deletions`` two-phase dance.
 
-        Backing store per ``distance_mode``: eligible-ball summary
-        (``bfs``), landmark vectors (``landmark``), matrix rows
-        (``matrix``).
+        Backing store: in ``landmark`` mode, per-landmark minima over the
+        eligible sets (:class:`EligibleLegMinima`) make each consult one
+        O(|lm|) early-exit scan; ``bfs`` and ``matrix`` modes consult the
+        exactly-maintained eligible-ball summary (per-query) or the
+        substrate's shared ball fields.  Trivial-(TRUE)-predicate queries
+        always go through the shared fields when a substrate exists: the
+        pool announces fresh nodes to the substrate before insertion
+        routing, so a brand-new attribute-less node is already a pinned
+        distance-0 source when this oracle runs — the one case the
+        eligible-set-based structures cannot anticipate.
         """
-        if self._lm is None and self._matrix is None:
-            return self._ensure_summary().can_affect(x, y)
-        for (u, u2), bound in self._bounds.items():
-            r = None if bound is None else bound - 1
-            if self._leg_ok(u, x, r, outgoing=False) and self._leg_ok(
-                u2, y, r, outgoing=True
-            ):
-                return True
-        return False
-
-    def _leg_ok(
-        self, u: PatternNode, node: Node, r: Bound, outgoing: bool
-    ) -> bool:
-        """Witness-leg check against ``eligible[u]`` within possibly-empty
-        distance ``r``: some eligible source reaches ``node`` when
-        ``outgoing`` is False, ``node`` reaches some eligible target when
-        True."""
-        elig = self.eligible[u]
-        if node in elig:
-            return True
-        if r == 0:
+        if self._minima is not None and not self._routes_via_shared_fields():
+            for (u, u2), bound in self._bounds.items():
+                r = None if bound is None else bound - 1
+                if self._minima.reaches_within(
+                    u, x, r
+                ) and self._minima.reached_within(u2, y, r):
+                    return True
             return False
-        for e in elig:
-            v, w = (node, e) if outgoing else (e, node)
-            if self._lm is not None:
-                if self._lm.leg_within(v, w, r):
+        if self.substrate is not None:
+            fields = self._ensure_shared_fields()
+            for edge in self._bounds:
+                src, tgt = fields[edge]
+                if x in src and y in tgt:
                     return True
-            else:
-                d = self._matrix.dist(v, w)
-                if d != INF and (r is None or d <= r):
-                    return True
-        return False
+            return False
+        return self._ensure_summary().can_affect(x, y)
 
     def observe_deleted_edges(
         self, edges: Iterable[Tuple[Node, Node]]

@@ -126,11 +126,25 @@ def test_bench_pool_tiny_emits_machine_readable_json(tmp_path):
     )
     assert proc.returncode == 0, proc.stderr
     doc = json.loads(out.read_text())
-    assert set(doc["scenarios"]) == {"simulation", "bounded"}
-    for scenario in doc["scenarios"].values():
+    assert set(doc["scenarios"]) == {"simulation", "bounded", "bounded-shared"}
+    for name in ("simulation", "bounded"):
+        scenario = doc["scenarios"][name]
         assert scenario["results"]
         for row in scenario["results"]:
             assert {"n", "pool_ms", "naive_ms", "routed", "skipped"} <= set(row)
-    for name in ("simulation", "bounded"):
-        routed = [r["routed"] for r in doc["scenarios"][name]["results"]]
+        routed = [r["routed"] for r in scenario["results"]]
         assert len(set(routed)) == 1, (name, routed)
+    shared = doc["scenarios"]["bounded-shared"]
+    assert shared["results"]
+    for row in shared["results"]:
+        assert {
+            "n", "shared_ms", "per_query_ms",
+            "shared_upkeep", "per_query_upkeep",
+        } <= set(row)
+    # The substrate's headline: per-query structure syncs grow with N,
+    # shared syncs do not.
+    shared_upkeep = [r["shared_upkeep"] for r in shared["results"]]
+    per_query_upkeep = [r["per_query_upkeep"] for r in shared["results"]]
+    assert len(set(shared_upkeep)) == 1, shared_upkeep
+    assert per_query_upkeep == sorted(per_query_upkeep)
+    assert per_query_upkeep[-1] > per_query_upkeep[0]

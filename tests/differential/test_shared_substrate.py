@@ -1,0 +1,280 @@
+"""Stateful differential fuzzer: shared substrate ≡ per-query ≡ batch.
+
+Two :class:`~repro.engine.pool.MatcherPool` instances — one in
+``distance_scope='shared'`` (the pool-level
+:class:`~repro.engine.distances.SharedDistanceSubstrate`), one in
+``'per-query'`` (private distance structures, the fallback path) — are
+driven through the *same* seeded random op sequence: edge insert/delete
+churn, brand-new labelled nodes, attribute flips that gain/lose
+eligibility, attribute-less fresh nodes wired mid-flush, and bounded-query
+register/unregister mid-stream (which exercises substrate lease/release
+and structure drop/rebuild).  After every flush, each registered query's
+match set under both scopes must equal a from-scratch batch recomputation
+(:func:`~repro.matching.bounded.bounded_match`) on the current graph, and
+the substrate's member sets and ball fields must pass their exactness
+invariants.
+
+All randomness flows from ``random.Random`` seeds derived from a pinned
+base, so every failure message names the exact seed that replays it:
+
+    SHARED_SUBSTRATE_SEQUENCES=1 PYTHONPATH=src python -m pytest \
+        "tests/differential/test_shared_substrate.py::test_shared_substrate_differential_fuzz[bfs]"
+
+then rerun ``_run_sequence(<seed>, "<mode>")`` from a REPL, or simply
+re-run the test — the sweep is deterministic end to end.  Scale with
+``SHARED_SUBSTRATE_SEQUENCES`` (default 200 sequences per distance mode).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.engine import MatcherPool
+from repro.graphs.digraph import DiGraph
+from repro.incremental.types import delete, insert
+from repro.matching.bounded import bounded_match
+from repro.matching.relation import as_pairs, totalize
+from repro.patterns.pattern import Pattern
+from repro.patterns.predicate import Predicate
+
+MODES = ["bfs", "landmark", "matrix"]
+SEQUENCES = int(os.environ.get("SHARED_SUBSTRATE_SEQUENCES", "200"))
+BASE_SEED = 0x5D1575
+FLUSHES = 3
+LABELS = ["A", "B", "C"]
+
+
+def _random_graph(rng: random.Random) -> DiGraph:
+    n = rng.randint(2, 5)
+    g = DiGraph()
+    for v in range(n):
+        g.add_node(v, label=rng.choice(LABELS))
+    for _ in range(rng.randint(1, 2 * n)):
+        g.add_edge(rng.randrange(n), rng.randrange(n))
+    return g
+
+
+def _random_pattern(rng: random.Random) -> Pattern:
+    """A small b-pattern; ~1 in 3 nodes carries a trivial (TRUE)
+    predicate — the class whose routing soundness is scope-dependent."""
+    n = rng.randint(1, 3)
+    p = Pattern()
+    for u in range(n):
+        if rng.random() < 0.35:
+            p.add_node(u, Predicate.true())
+        else:
+            p.add_node(u, Predicate.label(rng.choice(LABELS)))
+    for u in range(n):
+        for w in range(n):
+            if u != w and rng.random() < 0.4:
+                p.add_edge(u, w, rng.choice([1, 2, 3, None]))
+    return p
+
+
+class _Harness:
+    """One differential run: two pools, one op stream, one oracle."""
+
+    def __init__(self, seed: int, mode: str) -> None:
+        self.rng = random.Random(seed)
+        self.mode = mode
+        base = _random_graph(self.rng)
+        self.shared = MatcherPool(base.copy(), distance_scope="shared")
+        self.per_query = MatcherPool(base.copy(), distance_scope="per-query")
+        self.patterns = {}
+        self._counter = 0
+        self._next_node = 100
+        for _ in range(self.rng.randint(1, 2)):
+            self.register()
+
+    def pools(self):
+        return (self.shared, self.per_query)
+
+    def register(self) -> None:
+        pattern = _random_pattern(self.rng)
+        name = f"q{self._counter}"
+        self._counter += 1
+        for pool in self.pools():
+            pool.register(
+                pattern, semantics="bounded", name=name,
+                distance_mode=self.mode,
+            )
+        self.patterns[name] = pattern
+
+    def unregister(self) -> None:
+        if len(self.patterns) <= 1:
+            return
+        name = self.rng.choice(sorted(self.patterns))
+        for pool in self.pools():
+            pool.unregister(pool.query(name))
+        del self.patterns[name]
+
+    def step(self) -> None:
+        """Queue one random op batch into both pools, then flush both."""
+        rng = self.rng
+        nodes = sorted(self.shared.graph.nodes(), key=repr)
+        edges = sorted(self.shared.graph.edges(), key=repr)
+        for _ in range(rng.randint(0, 5)):
+            roll = rng.random()
+            if roll < 0.28 and edges:
+                e = rng.choice(edges)
+                for pool in self.pools():
+                    pool.queue(delete(*e))
+            elif roll < 0.60 and nodes:
+                v, w = rng.choice(nodes), rng.choice(nodes)
+                for pool in self.pools():
+                    pool.queue(insert(v, w))
+            elif roll < 0.75 and nodes:
+                # Wire a brand-new attribute-less node mid-flush: the case
+                # only the substrate's fresh-node announcement makes
+                # distance-routable for trivial predicates.
+                v, w = rng.choice(nodes), self._next_node
+                self._next_node += 1
+                if rng.random() < 0.5:
+                    v, w = w, v
+                for pool in self.pools():
+                    pool.queue(insert(v, w))
+            elif roll < 0.84:
+                v = self._next_node
+                self._next_node += 1
+                label = rng.choice(LABELS)
+                for pool in self.pools():
+                    pool.queue_node(v, label=label)
+            elif nodes:
+                # Attribute flip on an existing node: eligibility may be
+                # gained and lost, shrinking/growing member sets.
+                v = rng.choice(nodes)
+                label = rng.choice(LABELS)
+                for pool in self.pools():
+                    pool.queue_node(v, label=label)
+        self.shared.flush()
+        self.per_query.flush()
+
+    def check(self) -> None:
+        assert self.shared.graph == self.per_query.graph, "graph divergence"
+        for name, pattern in sorted(self.patterns.items()):
+            truth = as_pairs(
+                totalize(bounded_match(pattern, self.shared.graph))
+            )
+            got_shared = as_pairs(self.shared.query(name).matches())
+            got_per_query = as_pairs(self.per_query.query(name).matches())
+            assert got_shared == truth, (
+                f"shared-substrate mismatch for {name}: "
+                f"extra={got_shared - truth} missing={truth - got_shared}"
+            )
+            assert got_per_query == truth, (
+                f"per-query mismatch for {name}: "
+                f"extra={got_per_query - truth} "
+                f"missing={truth - got_per_query}"
+            )
+        self.shared.substrate.check_invariants()
+
+    def check_oracles(self) -> None:
+        """At quiescence every distance-routed oracle must agree with the
+        textbook check on the current graph: some eligible source within
+        r possibly-empty hops of x AND y within r hops of some eligible
+        target, for some pattern edge.  (Mid-flush the oracle may lag by
+        design — deletions consult pre-edit state — but between flushes
+        exact structures admit no slack, so a stale minima cache or ball
+        field surfaces here even when no match pair happens to depend on
+        the mis-routed edge.)
+        """
+        from repro.graphs.traversal import bfs_distances
+
+        graph = self.shared.graph
+        nodes = sorted(graph.nodes(), key=repr)
+        fwd = {v: bfs_distances(graph, v) for v in nodes}
+
+        def leg(src, dst, r):
+            d = fwd[src].get(dst)
+            return d is not None and (r is None or d <= r)
+
+        for name, pattern in sorted(self.patterns.items()):
+            for pool in self.pools():
+                q = pool.query(name)
+                if not q.distance_routed:
+                    continue
+                idx = q.index
+                edges = [
+                    (u, u2, pattern.bound(u, u2)) for u, u2 in pattern.edges()
+                ]
+                for x in nodes:
+                    for y in nodes:
+                        truth = any(
+                            any(leg(a, x, None if b is None else b - 1)
+                                for a in idx.eligible[u])
+                            and any(leg(y, c, None if b is None else b - 1)
+                                    for c in idx.eligible[u2])
+                            for u, u2, b in edges
+                        )
+                        got = idx.can_affect_edge(x, y)
+                        assert got == truth, (
+                            f"oracle drift for {name} "
+                            f"(scope={pool.distance_scope}): "
+                            f"can_affect_edge({x!r}, {y!r}) = {got}, "
+                            f"ground truth {truth}"
+                        )
+
+    def check_deep(self) -> None:
+        """Pair-graph drift checks — pricier, run on a sample of steps."""
+        for name in self.patterns:
+            self.shared.query(name).index.check_invariants()
+            self.per_query.query(name).index.check_invariants()
+
+
+def _run_sequence(seed: int, mode: str) -> None:
+    harness = _Harness(seed, mode)
+    for step in range(FLUSHES):
+        roll = harness.rng.random()
+        if roll < 0.15:
+            harness.register()
+        elif roll < 0.25:
+            harness.unregister()
+        harness.step()
+        harness.check()
+        harness.check_oracles()
+        if step == FLUSHES - 1:
+            harness.check_deep()
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_shared_substrate_differential_fuzz(mode):
+    for i in range(SEQUENCES):
+        seed = BASE_SEED * 1_000 + i
+        try:
+            _run_sequence(seed, mode)
+        except AssertionError as exc:
+            raise AssertionError(
+                f"differential fuzz failure: mode={mode!r} seed={seed} — "
+                f"replay with _run_sequence({seed}, {mode!r})"
+            ) from exc
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_unregister_drops_structures_and_reregister_rebuilds(mode):
+    """Lease bookkeeping across register/unregister churn: structures die
+    with their last lease and are rebuilt fresh (and correct) on the next
+    registration."""
+    rng = random.Random(BASE_SEED)
+    g = _random_graph(rng)
+    pool = MatcherPool(g, distance_scope="shared")
+    p = Pattern.from_spec(
+        {"x": "label = A", "y": "label = B"}, [("x", "y", 2)]
+    )
+    q1 = pool.register(p, semantics="bounded", name="q1", distance_mode=mode)
+    pool.apply([insert(0, 1)])  # force oracle consults / leases
+    pool.unregister(q1)
+    live = pool.substrate.live_structures()
+    assert live["landmark"] == 0
+    assert live["matrix"] == 0
+    assert live["fields"] == 0
+    # Mutate while nothing leases, then re-register: index must be built
+    # on the current graph and stay correct through further flushes.
+    pool.apply([insert(1, 0), delete(0, 1)])
+    q2 = pool.register(p, semantics="bounded", name="q2", distance_mode=mode)
+    pool.apply([insert(0, 1)])
+    truth = as_pairs(totalize(bounded_match(p, pool.graph)))
+    assert as_pairs(q2.matches()) == truth
+    pool.substrate.check_invariants()

@@ -60,19 +60,19 @@ class TestSummary:
         assert s.can_affect("m2", "b")
         s.check_superset_invariant()
 
-    def test_stays_superset_after_deletion_and_rebuild_tightens(self):
+    def test_tightens_immediately_on_deletion(self):
+        """Decremental repair replaces threshold rebuilds: pruning power
+        is restored by the deletion itself, with no rebuild at all."""
         g = chain_graph()
         s = EligibleBallSummary(g, {("x", "y"): 3}, {"x": {"a"}, "y": {"b"}})
         g.remove_edge("a", "m1")
         s.note_deleted([("a", "m1")])
-        # Stale entries keep the check conservative (sound, not tight)...
-        assert s.can_affect("m1", "m2")
-        s.check_superset_invariant()
-        # ... and a rebuild restores tightness.
-        s.rebuild()
         assert not s.can_affect("m1", "m2")
+        assert s.rebuilds == 1  # only the constructor's build
+        s.check_superset_invariant()
+        s.check_exact_invariant()
 
-    def test_auto_rebuild_after_staleness_threshold(self):
+    def test_deletion_burst_repairs_without_rebuilds(self):
         g = DiGraph()
         g.add_node("a", label="A")
         g.add_node("b", label="B")
@@ -86,8 +86,19 @@ class TestSummary:
         for x in xs:
             g.remove_edge("a", x)
             s.note_deleted([("a", x)])
-        assert s.rebuilds >= 2  # threshold crossed at least once
-        s.check_superset_invariant()
+            assert not s.can_affect(x, "b")  # tight after every deletion
+        assert s.rebuilds == 1  # never rebuilt
+        s.check_exact_invariant()
+
+    def test_eligibility_loss_repairs_decrementally(self):
+        g = chain_graph()
+        elig = {"x": {"a", "m1"}, "y": {"b"}}
+        s = EligibleBallSummary(g, {("x", "y"): 2}, elig)
+        assert s.can_affect("m2", "b")  # via the m1 source
+        elig["x"].remove("m1")
+        s.note_eligible_lost("x", "m1")
+        assert not s.can_affect("m2", "b")
+        s.check_exact_invariant()
 
     def test_irrelevant_updates_cost_nothing(self):
         g = chain_graph()
@@ -95,14 +106,14 @@ class TestSummary:
             g.add_node(n, label="Z")
         g.add_edge("p", "q")
         s = EligibleBallSummary(g, {("x", "y"): 2}, {"x": {"a"}, "y": {"b"}})
-        # Foreign-component churn neither routes nor accumulates staleness.
+        # Foreign-component churn neither routes nor perturbs the fields.
         assert not s.can_affect("p", "q")
         g.remove_edge("p", "q")
         s.note_deleted([("p", "q")])
-        assert s._stale == 0
         g.add_edge("p", "q")
         s.note_inserted([("p", "q")])
         assert not s.can_affect("p", "q")
+        s.check_exact_invariant()
 
 
 @pytest.mark.parametrize("mode", ["bfs", "landmark", "matrix"])

@@ -1,0 +1,110 @@
+"""Unit tests for :class:`~repro.landmarks.vector.EligibleLegMinima` —
+the per-landmark minima that make ``can_affect_edge`` consults O(|lm|)."""
+
+import random
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.traversal import bfs_distances
+from repro.landmarks.vector import EligibleLegMinima, LandmarkIndex
+
+
+def _truth_reaches(graph, members, node, r):
+    """∃ m in members: possibly-empty-path d(m, node) <= r."""
+    for m in members:
+        if m == node:
+            return True
+        d = bfs_distances(graph, m).get(node)
+        if d is not None and (r is None or d <= r):
+            return True
+    return False
+
+
+def _truth_reached(graph, members, node, r):
+    for m in members:
+        if m == node:
+            return True
+        d = bfs_distances(graph, node).get(m)
+        if d is not None and (r is None or d <= r):
+            return True
+    return False
+
+
+def _assert_agrees(graph, minima, eligible):
+    for layer, members in eligible.items():
+        for node in graph.nodes():
+            for r in (0, 1, 2, None):
+                assert minima.reaches_within(layer, node, r) == _truth_reaches(
+                    graph, members, node, r
+                ), (layer, node, r, "reaches")
+                assert minima.reached_within(layer, node, r) == _truth_reached(
+                    graph, members, node, r
+                ), (layer, node, r, "reached")
+
+
+def test_minima_agree_with_bruteforce_over_random_graphs():
+    rng = random.Random(0xA11C)
+    for _ in range(25):
+        n = rng.randint(3, 7)
+        g = DiGraph()
+        for v in range(n):
+            g.add_node(v)
+        for _ in range(rng.randint(2, 2 * n)):
+            g.add_edge(rng.randrange(n), rng.randrange(n))
+        lm = LandmarkIndex(g)
+        eligible = {"u": set(rng.sample(range(n), rng.randint(1, n)))}
+        minima = EligibleLegMinima(lm, eligible)
+        _assert_agrees(g, minima, eligible)
+
+
+def test_gain_updates_a_valid_cache_without_version_bump():
+    """An eligibility gain between structural updates must reach an
+    already-built cache entry: the landmark version has not moved, so the
+    next consult would otherwise trust stale (too-large) minima and could
+    unsoundly decline a relevant edge."""
+    g = DiGraph()
+    for v in "abcz":
+        g.add_node(v)
+    g.add_edge("a", "b")
+    g.add_edge("b", "c")
+    lm = LandmarkIndex(g)
+    eligible = {"u": {"z"}}  # isolated member: reaches nothing
+    minima = EligibleLegMinima(lm, eligible)
+    assert not minima.reaches_within("u", "c", 2)  # builds the cache
+    version = lm.version
+    # 'a' (well-connected) gains eligibility with NO landmark change.
+    eligible["u"].add("a")
+    minima.note_gained("u", "a")
+    assert lm.version == version
+    assert minima.reaches_within("u", "c", 2)  # a ->2-> c
+    _assert_agrees(g, minima, eligible)
+
+
+def test_loss_invalidates_the_cache():
+    g = DiGraph()
+    for v in "abc":
+        g.add_node(v)
+    g.add_edge("a", "b")
+    g.add_edge("b", "c")
+    lm = LandmarkIndex(g)
+    eligible = {"u": {"a"}}
+    minima = EligibleLegMinima(lm, eligible)
+    assert minima.reaches_within("u", "c", 2)  # builds the cache via a
+    eligible["u"].remove("a")
+    minima.note_lost("u", "a")
+    assert not minima.reaches_within("u", "c", 2)
+    _assert_agrees(g, minima, eligible)
+
+
+def test_version_bump_refreshes_after_structural_change():
+    g = DiGraph()
+    for v in "abc":
+        g.add_node(v)
+    g.add_edge("a", "b")
+    lm = LandmarkIndex(g)
+    eligible = {"u": {"a"}}
+    minima = EligibleLegMinima(lm, eligible)
+    assert not minima.reaches_within("u", "c", 2)
+    g.add_edge("b", "c")
+    lm.insert_edge("b", "c")
+    assert minima.reaches_within("u", "c", 2)
+    _assert_agrees(g, minima, eligible)
