@@ -131,6 +131,14 @@ def main(argv=None) -> int:
         "shared by every query (default) or a private structure per query",
     )
     pool.add_argument(
+        "--eligibility-scope",
+        default="shared",
+        choices=["shared", "per-query"],
+        help="predicate-eligibility sets: one pool-level substrate with a "
+        "set per distinct predicate shared by every query (default) or a "
+        "private candidate-set copy per query",
+    )
+    pool.add_argument(
         "--updates",
         help="JSON update list applied as one coalesced, routed flush",
     )
@@ -178,7 +186,11 @@ def _run_pool(args) -> int:
             file=sys.stderr,
         )
         return 2
-    pool = MatcherPool(graph, distance_scope=args.distance_scope)
+    pool = MatcherPool(
+        graph,
+        distance_scope=args.distance_scope,
+        eligibility_scope=args.eligibility_scope,
+    )
     for path, mode in zip(args.patterns, modes):
         name = Path(path).stem
         suffix = 2
@@ -193,6 +205,7 @@ def _run_pool(args) -> int:
         )
     output = {
         "distance_scope": args.distance_scope,
+        "eligibility_scope": args.eligibility_scope,
         "queries": {
             q.name: dict(_render_query(q), routing=_routing_class(q))
             for q in pool.queries()
@@ -213,6 +226,9 @@ def _run_pool(args) -> int:
             q.name: _render_query(q) for q in pool.queries()
         }
     output["shared_structures"] = pool.substrate.live_structures()
+    output["shared_structures"]["eligibility_sets"] = (
+        pool.eligibility.num_entries()
+    )
     json.dump(output, sys.stdout, indent=2, default=repr)
     sys.stdout.write("\n")
     return 0

@@ -118,11 +118,13 @@ class Matcher:
         return self.pool.delete_edge(v, w)
 
     def add_node(self, v: Node, **attrs) -> None:
-        """Add/refresh a node (isomorphism indexes re-anchor lazily)."""
-        if self.semantics == "isomorphism":
-            self.graph.add_node(v, **attrs)
-        else:
-            self.pool.add_node(v, **attrs)
+        """Add/refresh a node (and repair the match/embedding set).
+
+        All semantics route through the pool's flush — the single writer
+        of the graph and the shared eligibility sets — so isomorphism
+        indexes re-anchor here too rather than lazily on the next edge op.
+        """
+        self.pool.add_node(v, **attrs)
 
     def update_node_attrs(self, v: Node, **attrs) -> None:
         """Merge new attributes into ``v`` and repair the match — the

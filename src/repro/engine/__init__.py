@@ -9,11 +9,17 @@
 - :class:`SharedDistanceSubstrate` — pool-level shared distance
   structures (landmark vectors / matrix / ball fields) leased by bounded
   queries so upkeep is paid once per pool, not once per query;
+- :class:`SharedEligibilityIndex` — pool-level predicate-eligibility
+  substrate: one version-counted eligible-node set per *distinct*
+  predicate, leased as read-views by queries and by the distance
+  substrate, so per-flush predicate evaluations scale with distinct
+  predicates rather than pool size;
 - :class:`MatchDelta` / :class:`ChangeFeed` — the per-flush diff events
   and their drainable subscriber buffers.
 """
 
 from .distances import SharedDistanceSubstrate, SubstrateStats
+from .eligibility import EligibilityStats, EligibleSet, SharedEligibilityIndex
 from .feeds import ChangeFeed, MatchDelta
 from .pool import FlushReport, MatcherPool, PoolStats
 from .query import ContinuousQuery, build_index
@@ -25,6 +31,9 @@ __all__ = [
     "UpdateRouter",
     "SharedDistanceSubstrate",
     "SubstrateStats",
+    "SharedEligibilityIndex",
+    "EligibleSet",
+    "EligibilityStats",
     "MatchDelta",
     "ChangeFeed",
     "FlushReport",

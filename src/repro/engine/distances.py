@@ -18,21 +18,31 @@ queries under updates (Berkholz et al.): the substrate owns
 - a registry of :class:`~repro.incremental.ballsummary.BallField` ball
   unions keyed by ``(predicate, radius, direction)`` — queries whose
   pattern edges agree on those three share one exactly-maintained capped
-  multi-source BFS, and the substrate maintains the member set of each
-  distinct predicate itself (so fields stay correct across queries and
-  across register/unregister churn).
+  multi-source BFS, with member sets leased from the pool's
+  :class:`~repro.engine.eligibility.SharedEligibilityIndex` (one set per
+  distinct predicate, shared with the queries' own candidate views) and
+  flip notifications delivered through its listener hooks;
+- one :class:`~repro.landmarks.vector.EligibleLegMinima` cache keyed by
+  **interned predicate** (effectively ``(predicate, lm-version)``) so
+  same-predicate landmark queries share one minima refresh per flush
+  instead of paying O(|eligible|·|lm|) each.
 
 Every structure is leased with a refcount: registering a bounded query in
 shared scope acquires leases, unregistering releases them, and a structure
 whose refcount reaches zero is dropped so the pool stops paying its
-upkeep.  The pool notifies the substrate **once per flush phase** —
-``observe_attr_change`` / ``observe_node_added`` after phase-A node ops,
-``observe_deleted`` after the shared graph drops a deletion batch,
-``observe_node_added`` for fresh endpoints and then ``observe_inserted``
-after an insertion batch lands (and *before* insertion routing, which is
-what makes routing trivial-``TRUE``-predicate bounded queries through the
-shared ball sound: a brand-new attribute-less node is already a pinned
-distance-0 source when the routing oracle is consulted).
+upkeep.  The pool syncs the substrate **once per flush phase** — node
+events flow through the eligibility index (whose listeners update ball
+sources and leg minima), ``observe_deleted`` runs after the shared graph
+drops a deletion batch, and ``observe_inserted`` after an insertion batch
+lands (and *before* insertion routing, which is what makes routing
+trivial-``TRUE``-predicate bounded queries through the shared ball sound:
+a brand-new attribute-less node is already a pinned distance-0 source when
+the routing oracle is consulted).
+
+When the shared landmark index outgrows its
+:class:`~repro.landmarks.selection.LandmarkBudget` (``InsLM`` growth is
+monotone), the pool triggers a ``BatchLM`` re-selection at the end of the
+flush via :meth:`SharedDistanceSubstrate.enforce_lm_budget`.
 
 Per-query structures remain available (``distance_scope='per-query'``) as
 a fallback path, which the differential fuzz harness pits against this
@@ -46,8 +56,10 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 from ..graphs.digraph import DiGraph, Node
 from ..graphs.distance import DistanceMatrix
 from ..incremental.ballsummary import BallField
-from ..landmarks.vector import LandmarkIndex
+from ..landmarks.selection import LandmarkBudget
+from ..landmarks.vector import EligibleLegMinima, LandmarkIndex
 from ..patterns.predicate import Predicate
+from .eligibility import SharedEligibilityIndex
 
 FieldKey = Tuple[Predicate, Optional[int], bool]
 
@@ -58,11 +70,11 @@ class SubstrateStats:
 
     __slots__ = (
         "lm_builds",
+        "lm_rebuilds",
         "matrix_builds",
         "field_builds",
         "edge_batches",
         "structure_batches",
-        "node_events",
     )
 
     def __init__(self) -> None:
@@ -70,11 +82,11 @@ class SubstrateStats:
 
     def reset(self) -> None:
         self.lm_builds = 0
+        self.lm_rebuilds = 0
         self.matrix_builds = 0
         self.field_builds = 0
         self.edge_batches = 0
         self.structure_batches = 0
-        self.node_events = 0
 
     def __repr__(self) -> str:
         return (
@@ -88,22 +100,35 @@ class SharedDistanceSubstrate:
     """One maintained distance structure per ``(graph, distance_mode)``,
     leased by all bounded queries of one pool."""
 
-    def __init__(self, graph: DiGraph) -> None:
+    def __init__(
+        self,
+        graph: DiGraph,
+        eligibility: Optional[SharedEligibilityIndex] = None,
+        lm_budget: Optional[LandmarkBudget] = None,
+    ) -> None:
         self._graph = graph
+        # Member sets come from the pool-wide eligibility substrate (one
+        # set per distinct predicate, shared with the queries' candidate
+        # views); a standalone substrate builds a private one.
+        self._eligibility = (
+            eligibility
+            if eligibility is not None
+            else SharedEligibilityIndex(graph)
+        )
+        self.lm_budget = lm_budget if lm_budget is not None else LandmarkBudget()
         self.stats = SubstrateStats()
         self._lm: Optional[LandmarkIndex] = None
         self._lm_refs = 0
         self._matrix: Optional[DistanceMatrix] = None
         self._matrix_refs = 0
-        # (predicate, radius, reverse) -> [BallField, refcount]
+        # (predicate, radius, reverse) -> [BallField, refcount, listener]
         self._fields: Dict[FieldKey, List[Any]] = {}
-        # predicate -> substrate-owned member set, shared by that
-        # predicate's fields; refcounted by live field count.  _by_pred
-        # mirrors _fields so node events touch only the fields whose
-        # predicate verdict actually flipped.
-        self._members: Dict[Predicate, Set[Node]] = {}
-        self._member_refs: Dict[Predicate, int] = {}
-        self._by_pred: Dict[Predicate, List[BallField]] = {}
+        # Shared leg minima (landmark-mode routing oracle): one cache
+        # entry per (predicate, lm-version), member sets leased from the
+        # eligibility index.  predicate -> [refcount, listener token].
+        self._minima: Optional[EligibleLegMinima] = None
+        self._minima_sets: Dict[Predicate, Set[Node]] = {}
+        self._minima_refs: Dict[Predicate, List[Any]] = {}
 
     # ------------------------------------------------------------------
     # Leases
@@ -116,6 +141,7 @@ class SharedDistanceSubstrate:
         """
         if self._lm is None:
             self._lm = LandmarkIndex(self._graph, strategy=strategy)
+            self._minima = EligibleLegMinima(self._lm, self._minima_sets)
             self.stats.lm_builds += 1
         self._lm_refs += 1
         return self._lm
@@ -124,7 +150,55 @@ class SharedDistanceSubstrate:
         self._lm_refs -= 1
         if self._lm_refs <= 0:
             self._lm = None
+            self._minima = None
             self._lm_refs = 0
+
+    def lease_leg_minima(self, predicate: Predicate) -> None:
+        """Acquire the shared leg-minima member set for ``predicate``.
+
+        Landmark-mode bounded queries lease one per distinct pattern-node
+        predicate; the minima cache entry is keyed by the predicate and
+        checked against the landmark version, so however many
+        same-predicate queries consult it, one O(|members|·|lm|) refresh
+        per flush serves them all.
+        """
+        entry = self._minima_refs.get(predicate)
+        if entry is not None:
+            entry[0] += 1
+            return
+        eset = self._eligibility.lease(predicate)
+        self._minima_sets[predicate] = eset.members
+        token = self._eligibility.add_listener(
+            predicate,
+            lambda v, p=predicate: self._minima_note(p, v, gained=True),
+            lambda v, p=predicate: self._minima_note(p, v, gained=False),
+        )
+        self._minima_refs[predicate] = [1, token]
+
+    def release_leg_minima(self, predicate: Predicate) -> None:
+        entry = self._minima_refs.get(predicate)
+        if entry is None:
+            return
+        entry[0] -= 1
+        if entry[0] <= 0:
+            del self._minima_refs[predicate]
+            del self._minima_sets[predicate]
+            self._eligibility.remove_listener(predicate, entry[1])
+            self._eligibility.release(predicate)
+            if self._minima is not None:
+                self._minima.drop(predicate)
+
+    def _minima_note(self, predicate: Predicate, v: Node, gained: bool) -> None:
+        if self._minima is None:
+            return
+        if gained:
+            self._minima.note_gained(predicate, v)
+        else:
+            self._minima.note_lost(predicate, v)
+
+    def leg_minima(self) -> Optional[EligibleLegMinima]:
+        """The shared (predicate, lm-version)-keyed leg-minima cache."""
+        return self._minima
 
     def lease_matrix(self) -> DistanceMatrix:
         """Acquire the pool-wide all-pairs matrix (built on first lease)."""
@@ -144,23 +218,24 @@ class SharedDistanceSubstrate:
         self, predicate: Predicate, radius: Optional[int], reverse: bool
     ) -> BallField:
         """Acquire the shared ball union for ``(predicate, radius,
-        direction)``; queries agreeing on all three share one field."""
+        direction)``; queries agreeing on all three share one field.
+
+        The field's source set is the eligibility substrate's member set
+        for the interned predicate (the same object the queries' own
+        candidate views alias), and membership flips reach the field
+        through the substrate's listener hooks — each flip updates each
+        live field exactly once, however many queries lease it.
+        """
         key: FieldKey = (predicate, radius, reverse)
         entry = self._fields.get(key)
         if entry is None:
-            members = self._members.get(predicate)
-            if members is None:
-                members = {
-                    v
-                    for v in self._graph.nodes()
-                    if predicate.satisfied_by(self._graph.attrs(v))
-                }
-                self._members[predicate] = members
-                self._member_refs[predicate] = 0
-            self._member_refs[predicate] += 1
-            entry = [BallField(self._graph, members, radius, reverse), 0]
+            eset = self._eligibility.lease(predicate)
+            field = BallField(self._graph, eset.members, radius, reverse)
+            token = self._eligibility.add_listener(
+                predicate, field.source_gained, field.source_lost
+            )
+            entry = [field, 0, token]
             self._fields[key] = entry
-            self._by_pred.setdefault(predicate, []).append(entry[0])
             self.stats.field_builds += 1
         entry[1] += 1
         return entry[0]
@@ -175,13 +250,8 @@ class SharedDistanceSubstrate:
         entry[1] -= 1
         if entry[1] <= 0:
             del self._fields[key]
-            self._by_pred[predicate].remove(entry[0])
-            if not self._by_pred[predicate]:
-                del self._by_pred[predicate]
-            self._member_refs[predicate] -= 1
-            if self._member_refs[predicate] <= 0:
-                del self._member_refs[predicate]
-                del self._members[predicate]
+            self._eligibility.remove_listener(predicate, entry[2])
+            self._eligibility.release(predicate)
 
     # ------------------------------------------------------------------
     # Observation (invoked once per flush phase by the pool)
@@ -198,8 +268,8 @@ class SharedDistanceSubstrate:
         if self._matrix is not None:
             self._matrix.apply_deletions(edges)
             self.stats.structure_batches += 1
-        for field, _ in self._fields.values():
-            field.shrink_edges(edges)
+        for entry in self._fields.values():
+            entry[0].shrink_edges(edges)
             self.stats.structure_batches += 1
 
     def observe_inserted(self, edges: List[Tuple[Node, Node]]) -> None:
@@ -218,50 +288,29 @@ class SharedDistanceSubstrate:
             for x, y in edges:
                 self._matrix.apply_insert(x, y)
             self.stats.structure_batches += 1
-        for field, _ in self._fields.values():
-            field.grow_edges(edges)
+        for entry in self._fields.values():
+            entry[0].grow_edges(edges)
             self.stats.structure_batches += 1
 
-    def observe_node_added(self, v: Node) -> None:
-        """A node appeared in the shared graph (attrs already applied).
+    # Node events (additions, attribute flips) flow through the pool's
+    # SharedEligibilityIndex: its listeners pin/unpin ball-field sources
+    # and merge/invalidate leg minima, so the substrate needs no node
+    # observation entry points of its own.
 
-        Re-evaluates every leased predicate; a fresh attribute-less node
-        satisfies trivial (TRUE) predicates and becomes a pinned source of
-        their fields immediately — the pool announces fresh endpoints
-        before insertion routing for exactly that reason.
+    def enforce_lm_budget(self) -> bool:
+        """``BatchLM`` re-selection when ``InsLM`` growth exceeds the
+        budget (invoked by the pool at the end of a flush).
+
+        The rebuild bumps the landmark version, so every version-keyed
+        cache (the shared leg minima, per-query minima) refreshes lazily
+        on its next consult; correctness is unaffected either way.
+        Returns whether a rebuild happened.
         """
-        self.stats.node_events += 1
-        attrs = self._graph.attrs(v)
-        for predicate, members in self._members.items():
-            if v not in members and predicate.satisfied_by(attrs):
-                members.add(v)
-                self._field_sources_gained(predicate, v)
-
-    def observe_attr_change(self, v: Node) -> None:
-        """Node ``v``'s attributes changed (already merged into the graph).
-
-        Membership before the change is read off the member sets
-        themselves, so no pre-edit attribute snapshot is needed.
-        """
-        self.stats.node_events += 1
-        new_attrs = self._graph.attrs(v)
-        for predicate, members in self._members.items():
-            now = predicate.satisfied_by(new_attrs)
-            was = v in members
-            if now and not was:
-                members.add(v)
-                self._field_sources_gained(predicate, v)
-            elif was and not now:
-                members.remove(v)
-                self._field_sources_lost(predicate, v)
-
-    def _field_sources_gained(self, predicate: Predicate, v: Node) -> None:
-        for field in self._by_pred.get(predicate, ()):
-            field.source_gained(v)
-
-    def _field_sources_lost(self, predicate: Predicate, v: Node) -> None:
-        for field in self._by_pred.get(predicate, ()):
-            field.source_lost(v)
+        if self._lm is None or not self.lm_budget.exceeded(self._lm):
+            return False
+        self._lm.rebuild()
+        self.stats.lm_rebuilds += 1
+        return True
 
     # ------------------------------------------------------------------
     # Introspection
@@ -282,25 +331,25 @@ class SharedDistanceSubstrate:
             "matrix": self._matrix_refs if self._matrix is not None else 0,
             "fields": len(self._fields),
             "field_leases": sum(e[1] for e in self._fields.values()),
+            "minima_keys": len(self._minima_refs),
         }
 
     # ------------------------------------------------------------------
     # Invariants (tests)
     # ------------------------------------------------------------------
     def check_invariants(self) -> None:
-        """Members must mirror predicate satisfaction; fields must be exact."""
-        for predicate, members in self._members.items():
-            true_members = {
-                v
-                for v in self._graph.nodes()
-                if predicate.satisfied_by(self._graph.attrs(v))
-            }
-            assert members == true_members, (
-                f"substrate member drift for {predicate!r}: "
-                f"{members ^ true_members}"
+        """Leased member sets must mirror predicate satisfaction (checked
+        by the eligibility substrate); fields must be exact; the shared
+        minima must read live leased sets only."""
+        self._eligibility.check_invariants()
+        for entry in self._fields.values():
+            entry[0].check_exact()
+        for predicate in self._minima_refs:
+            eset = self._eligibility.entry(predicate)
+            assert eset is not None and eset.members is self._minima_sets[predicate], (
+                f"leg-minima member set for {predicate!r} detached from "
+                f"the eligibility substrate"
             )
-        for field, _ in self._fields.values():
-            field.check_exact()
 
     def __repr__(self) -> str:
         live = self.live_structures()

@@ -1,0 +1,297 @@
+"""Pool-wide predicate-eligibility substrate.
+
+Every incremental index in this codebase starts from per-pattern-node
+candidate sets (the paper's ``candt``/``match`` seeds): the nodes whose
+attribute tuples satisfy the pattern node's predicate.  Before this module
+existed each standing query of a :class:`~repro.engine.pool.MatcherPool`
+computed and incrementally maintained its *own* copy — a pool with 64
+queries over a handful of distinct predicates re-evaluated the same
+predicate on the same churned node up to 64 times per flush.
+
+:class:`SharedEligibilityIndex` is the "one maintained auxiliary structure
+per sub-formula" move of answering queries under updates (Berkholz–
+Keppeler–Schweikardt) applied to predicates:
+
+- predicates are **interned** into canonical keys
+  (:class:`~repro.patterns.predicate.Predicate` canonicalizes conjunct
+  order and dedupes atoms at construction, so ``age>25 & job=DB`` and its
+  permutation hash equal);
+- per interned predicate the index owns **one** version-counted
+  :class:`EligibleSet` of currently-satisfying data nodes, built on first
+  lease and updated **once** per node event per flush — however many
+  queries, pattern nodes, or distance-substrate ball fields read it;
+- consumers hold refcounted **leases**; a set whose last lease is released
+  is dropped so the pool stops paying its upkeep;
+- membership flips notify registered **listeners** (the distance
+  substrate's :class:`~repro.incremental.ballsummary.BallField` sources
+  and the shared landmark leg-minima cache), in set-already-mutated order,
+  so every downstream structure sees each flip exactly once.
+
+The pool invokes :meth:`observe_node_added` / :meth:`observe_attr_change`
+once per node event during flush phase A and routes the returned *flips*
+(gained/lost predicate verdicts) to exactly the queries whose patterns use
+a flipped predicate — replacing the per-query ``touches_attr_change`` /
+``touches_node`` predicate re-evaluation of the old router stage.
+
+``eligibility_scope='per-query'`` (pool- or per-register) keeps the
+private-copy fallback, which the differential fuzz harness pits against
+this substrate flush for flush.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..graphs.digraph import DiGraph, Node
+from ..patterns.predicate import Predicate
+
+# (on_gain, on_loss) callbacks invoked after the member set was mutated.
+Listener = Tuple[Callable[[Node], None], Callable[[Node], None]]
+# One membership flip: (predicate, gained?) — False means lost.
+Flip = Tuple[Predicate, bool]
+
+
+class EligibilityStats:
+    """Work counters: how many predicate applications the pool paid, and
+    how they amortize (the quantity sharing makes scale with *distinct*
+    predicates instead of pool size)."""
+
+    __slots__ = ("sets_built", "predicate_evals", "node_events", "flips")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.sets_built = 0
+        self.predicate_evals = 0
+        self.node_events = 0
+        self.flips = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"EligibilityStats(sets={self.sets_built}, "
+            f"evals={self.predicate_evals}, events={self.node_events}, "
+            f"flips={self.flips})"
+        )
+
+
+class EligibleSet:
+    """One interned predicate's eligible-node set — a shared read-view.
+
+    ``members`` is the live set; **only** the owning
+    :class:`SharedEligibilityIndex` mutates it.  ``version`` bumps on
+    every membership change — an introspection/change-detection counter
+    (surfaced via ``live_entries``) for consumers that poll rather than
+    subscribe; the current downstream caches (ball-field sources, the
+    substrate's landmark leg minima) are push-invalidated through the
+    flip ``listeners`` instead.
+    """
+
+    __slots__ = (
+        "predicate",
+        "members",
+        "attr_names",
+        "version",
+        "refs",
+        "listeners",
+    )
+
+    def __init__(self, predicate: Predicate, members: Set[Node]) -> None:
+        self.predicate = predicate
+        self.members = members
+        # The attributes the verdict depends on: an attr merge touching
+        # none of them cannot flip membership, so observation skips the
+        # evaluation entirely (the attr-name routing stage, kept at the
+        # substrate level).
+        self.attr_names = frozenset(a.attribute for a in predicate.atoms)
+        self.version = 0
+        self.refs = 0
+        self.listeners: List[Listener] = []
+
+    def __contains__(self, v: Node) -> bool:
+        return v in self.members
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __repr__(self) -> str:
+        return (
+            f"EligibleSet({self.predicate!r}, |members|={len(self.members)}, "
+            f"version={self.version}, refs={self.refs})"
+        )
+
+
+class SharedEligibilityIndex:
+    """One eligible-node set per distinct predicate per pool."""
+
+    def __init__(self, graph: DiGraph) -> None:
+        self._graph = graph
+        self._entries: Dict[Predicate, EligibleSet] = {}
+        self.stats = EligibilityStats()
+
+    # ------------------------------------------------------------------
+    # Leases
+    # ------------------------------------------------------------------
+    def lease(self, predicate: Predicate) -> EligibleSet:
+        """Acquire the shared set for ``predicate`` (built on first lease).
+
+        Structurally-equal predicates — whatever their spelling — intern
+        to the same entry; the caller must treat ``entry.members`` as
+        read-only and :meth:`release` with an equal predicate later.
+        """
+        entry = self._entries.get(predicate)
+        if entry is None:
+            members = {
+                v
+                for v in self._graph.nodes()
+                if predicate.satisfied_by(self._graph.attrs(v))
+            }
+            self.stats.predicate_evals += self._graph.num_nodes()
+            self.stats.sets_built += 1
+            entry = EligibleSet(predicate, members)
+            self._entries[predicate] = entry
+        entry.refs += 1
+        return entry
+
+    def release(self, predicate: Predicate) -> None:
+        """Release one lease; the entry dies with its last lease."""
+        entry = self._entries.get(predicate)
+        if entry is None:
+            return
+        entry.refs -= 1
+        if entry.refs <= 0:
+            del self._entries[predicate]
+
+    # ------------------------------------------------------------------
+    # Flip listeners
+    # ------------------------------------------------------------------
+    def add_listener(
+        self,
+        predicate: Predicate,
+        on_gain: Callable[[Node], None],
+        on_loss: Callable[[Node], None],
+    ) -> Listener:
+        """Register membership-flip callbacks on a *leased* predicate.
+
+        Callbacks run after the member set is mutated (the contract of
+        :meth:`BallField.source_gained` / ``source_lost``).  Returns the
+        token to pass to :meth:`remove_listener`.
+        """
+        entry = self._entries[predicate]
+        token: Listener = (on_gain, on_loss)
+        entry.listeners.append(token)
+        return token
+
+    def remove_listener(self, predicate: Predicate, token: Listener) -> None:
+        entry = self._entries.get(predicate)
+        if entry is not None:
+            try:
+                entry.listeners.remove(token)
+            except ValueError:
+                pass
+
+    # ------------------------------------------------------------------
+    # Observation (invoked once per node event by the pool, post-edit)
+    # ------------------------------------------------------------------
+    def observe_node_added(self, v: Node) -> List[Flip]:
+        """A node appeared in the shared graph (attrs already applied).
+
+        Evaluates every interned predicate **once** and returns the gains;
+        a fresh attribute-less node gains exactly the trivial (TRUE)
+        predicates, which is what makes routing such nodes' edges through
+        shared ball fields sound (the pool announces them before insertion
+        routing).
+        """
+        self.stats.node_events += 1
+        attrs = self._graph.attrs(v)
+        flips: List[Flip] = []
+        for predicate, entry in self._entries.items():
+            self.stats.predicate_evals += 1
+            if v not in entry.members and predicate.satisfied_by(attrs):
+                entry.members.add(v)
+                entry.version += 1
+                flips.append((predicate, True))
+                for on_gain, _ in entry.listeners:
+                    on_gain(v)
+        self.stats.flips += len(flips)
+        return flips
+
+    def observe_attr_change(self, v: Node, changed_names=None) -> List[Flip]:
+        """Node ``v``'s attributes changed (already merged into the graph).
+
+        Membership before the change is read off the member sets
+        themselves, so no pre-edit attribute snapshot is needed.
+        ``changed_names`` (the merged attribute names, when the caller
+        has them) prunes the scan: a predicate mentioning none of them
+        cannot flip, so it is not evaluated at all.  Returns every
+        verdict flip; the pool routes repair to exactly the queries
+        whose patterns use a flipped predicate.
+        """
+        self.stats.node_events += 1
+        new_attrs = self._graph.attrs(v)
+        names = None if changed_names is None else frozenset(changed_names)
+        flips: List[Flip] = []
+        for predicate, entry in self._entries.items():
+            if names is not None and entry.attr_names.isdisjoint(names):
+                continue
+            self.stats.predicate_evals += 1
+            now = predicate.satisfied_by(new_attrs)
+            was = v in entry.members
+            if now and not was:
+                entry.members.add(v)
+                entry.version += 1
+                flips.append((predicate, True))
+                for on_gain, _ in entry.listeners:
+                    on_gain(v)
+            elif was and not now:
+                entry.members.remove(v)
+                entry.version += 1
+                flips.append((predicate, False))
+                for _, on_loss in entry.listeners:
+                    on_loss(v)
+        self.stats.flips += len(flips)
+        return flips
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def entry(self, predicate: Predicate) -> Optional[EligibleSet]:
+        return self._entries.get(predicate)
+
+    def num_entries(self) -> int:
+        return len(self._entries)
+
+    def live_entries(self) -> Dict[str, Dict[str, int]]:
+        """Per interned predicate: lease count, member count, listeners."""
+        return {
+            repr(predicate): {
+                "refs": entry.refs,
+                "members": len(entry.members),
+                "listeners": len(entry.listeners),
+                "version": entry.version,
+            }
+            for predicate, entry in self._entries.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Invariants (tests)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Member sets must mirror predicate satisfaction exactly."""
+        for predicate, entry in self._entries.items():
+            true_members = {
+                v
+                for v in self._graph.nodes()
+                if predicate.satisfied_by(self._graph.attrs(v))
+            }
+            assert entry.members == true_members, (
+                f"eligibility drift for {predicate!r}: "
+                f"{entry.members ^ true_members}"
+            )
+            assert entry.refs > 0, f"zombie entry for {predicate!r}"
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedEligibilityIndex(entries={len(self._entries)}, "
+            f"{self.stats!r})"
+        )

@@ -31,29 +31,47 @@ lease it.  ``distance_scope='per-query'`` (pool- or query-level) keeps
 the private-structure fallback, whose upkeep the flush pays once per
 observing query.
 
+Predicate eligibility likewise defaults to the pool-level
+:class:`~repro.engine.eligibility.SharedEligibilityIndex`
+(``eligibility_scope='shared'``): one version-counted eligible-node set
+per *distinct* predicate, updated once per node event, with queries
+leasing read-views — so per-flush predicate evaluations scale with
+distinct predicates, not pool size.  Node events then route as predicate
+*flips* (:meth:`UpdateRouter.route_flips`) instead of per-query predicate
+re-evaluation.  ``eligibility_scope='per-query'`` keeps the private
+candidate-set fallback.
+
 The single-pattern :class:`~repro.core.engine.Matcher` facade is a thin
 view over a one-query pool, so both paths share this plumbing.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
 from ..graphs.digraph import DiGraph, Node
 from ..incremental.types import Update, delete, insert, net_updates
+from ..landmarks.selection import LandmarkBudget
 from ..patterns.pattern import Pattern
+from ..patterns.predicate import Predicate
 from .distances import SharedDistanceSubstrate
+from .eligibility import SharedEligibilityIndex
 from .feeds import MatchDelta
 from .query import ContinuousQuery
 from .router import UpdateRouter
 
 DISTANCE_SCOPES = ("shared", "per-query")
+ELIGIBILITY_SCOPES = ("shared", "per-query")
 
 
-def _check_scope(scope: str) -> str:
-    if scope not in DISTANCE_SCOPES:
+def _check_scope(
+    scope: str,
+    name: str = "distance_scope",
+    allowed: Tuple[str, ...] = DISTANCE_SCOPES,
+) -> str:
+    if scope not in allowed:
         raise ValueError(
-            f"distance_scope must be one of {DISTANCE_SCOPES}, got {scope!r}"
+            f"{name} must be one of {allowed}, got {scope!r}"
         )
     return scope
 
@@ -122,7 +140,13 @@ class FlushReport:
 class MatcherPool:
     """Many continuous pattern queries over one shared data graph."""
 
-    def __init__(self, graph: DiGraph, distance_scope: str = "shared") -> None:
+    def __init__(
+        self,
+        graph: DiGraph,
+        distance_scope: str = "shared",
+        eligibility_scope: str = "shared",
+        lm_budget: Optional[LandmarkBudget] = None,
+    ) -> None:
         self.graph = graph
         self.stats = PoolStats()
         # One distance structure per (graph, distance_mode), leased by all
@@ -130,7 +154,18 @@ class MatcherPool:
         # synced exactly once per flush phase below.  'per-query' queries
         # keep owning private structures (the observers path).
         self.distance_scope = _check_scope(distance_scope)
-        self.substrate = SharedDistanceSubstrate(graph)
+        # One eligible-node set per distinct predicate, leased by every
+        # query registered with eligibility scope 'shared' (the default)
+        # and by the distance substrate's ball fields / leg minima.  The
+        # index always exists — even an all-per-query pool needs it for
+        # shared distance structures' member sets.
+        self.eligibility_scope = _check_scope(
+            eligibility_scope, "eligibility_scope", ELIGIBILITY_SCOPES
+        )
+        self.eligibility = SharedEligibilityIndex(graph)
+        self.substrate = SharedDistanceSubstrate(
+            graph, eligibility=self.eligibility, lm_budget=lm_budget
+        )
         self._router = UpdateRouter()
         self._queries: Dict[str, ContinuousQuery] = {}
         self._pending_edges: List[Update] = []
@@ -148,14 +183,16 @@ class MatcherPool:
         distance_mode: str = "bfs",
         max_embeddings: Optional[int] = None,
         distance_scope: Optional[str] = None,
+        eligibility_scope: Optional[str] = None,
     ) -> ContinuousQuery:
         """Register a standing query; its index is built immediately.
 
         Pending (unflushed) updates are flushed first so the new index is
         born consistent with every already-registered query.
-        ``distance_scope`` overrides the pool default for this query:
-        ``'shared'`` leases distance structures from the pool substrate,
-        ``'per-query'`` owns private ones.
+        ``distance_scope`` / ``eligibility_scope`` override the pool
+        defaults for this query: ``'shared'`` leases distance structures /
+        eligible sets from the pool substrates, ``'per-query'`` owns
+        private ones.
         """
         if self._pending_edges or self._pending_nodes:
             self.flush()
@@ -172,6 +209,12 @@ class MatcherPool:
             if scope == "shared" and semantics == "bounded"
             else None
         )
+        escope = _check_scope(
+            eligibility_scope or self.eligibility_scope,
+            "eligibility_scope",
+            ELIGIBILITY_SCOPES,
+        )
+        eligibility = self.eligibility if escope == "shared" else None
         query = ContinuousQuery(
             name,
             pattern,
@@ -180,6 +223,7 @@ class MatcherPool:
             distance_mode=distance_mode,
             max_embeddings=max_embeddings,
             substrate=substrate,
+            eligibility=eligibility,
         )
         self._queries[name] = query
         self._router.register(query)
@@ -282,29 +326,43 @@ class MatcherPool:
         touched: Dict[str, ContinuousQuery] = {}
 
         # ---- Phase A: node additions / attribute merges ----------------
+        # Per-query-eligibility queries route by predicate re-evaluation
+        # (legacy stages); shared-eligibility queries route by the flips
+        # the substrate reports — each distinct predicate is evaluated
+        # exactly once per node event, pool-wide, and the flip listeners
+        # have already synced the shared distance structures' sources.
         report.attr_ops = len(node_ops)
         for v, attrs in node_ops:
             if self.graph.has_node(v):
                 old = dict(self.graph.attrs(v))
                 merged = dict(old)
                 merged.update(attrs)
-                affected = self._router.route_attr_change(
+                legacy = self._router.route_attr_change(
                     old, merged, attrs.keys()
                 )
                 self.graph.add_node(v, **attrs)
-                self.substrate.observe_attr_change(v)
-                for q in affected:
+                flips = self.eligibility.observe_attr_change(v, attrs.keys())
+                flipped = self._router.route_flips(p for p, _ in flips)
+                for q in legacy:
                     q.apply_attr_update(v, attrs)
+                    touched[q.name] = q
+                for q in flipped:
+                    q.apply_eligibility_flips(v, flips)
                     touched[q.name] = q
             else:
                 self.graph.add_node(v, **attrs)
-                self.substrate.observe_node_added(v)
-                affected = self._router.route_node(self.graph.attrs(v))
-                for q in affected:
+                flips = self.eligibility.observe_node_added(v)
+                legacy = self._router.route_node(self.graph.attrs(v))
+                flipped = self._router.route_flips(p for p, _ in flips)
+                for q in legacy:
                     q.apply_node_added(v, attrs)
                     touched[q.name] = q
-            report.routed += len(affected)
-            report.skipped += len(self._queries) - len(affected)
+                for q in flipped:
+                    q.apply_node_added(v, attrs)
+                    touched[q.name] = q
+            affected = len(legacy) + len(flipped)
+            report.routed += affected
+            report.skipped += len(self._queries) - affected
 
         # ---- Phase B: coalesce edge updates ----------------------------
         net = net_updates(self.graph, edge_ops)
@@ -358,12 +416,19 @@ class MatcherPool:
                     self.graph.add_node(node)
                     fresh_nodes.append(node)
             self.graph.add_edge(v, w)
-        # Fresh endpoints must reach the substrate BEFORE the insertion
-        # batch is observed and routed: a trivial-(TRUE)-predicate field
-        # needs them as pinned distance-0 sources for its routing verdicts
-        # on this very batch to be sound.
+        # Fresh endpoints must reach the eligibility substrate BEFORE the
+        # insertion batch is observed and routed: a trivial-(TRUE)-
+        # predicate field needs them as pinned distance-0 sources (the
+        # flip listeners pin them) for its routing verdicts on this very
+        # batch to be sound.  An attribute-less node gains exactly the
+        # trivial predicates, so the union is the same for every fresh
+        # node; it drives the shared-eligibility wildcard announcements
+        # below.
+        fresh_gains: Set[Predicate] = set()
         for node in fresh_nodes:
-            self.substrate.observe_node_added(node)
+            fresh_gains.update(
+                p for p, _ in self.eligibility.observe_node_added(node)
+            )
         if insertions:
             self.substrate.observe_inserted(insertions)
             self.stats.observer_batches += len(observers)
@@ -388,6 +453,7 @@ class MatcherPool:
         # counted once per flush, not once per node.
         if fresh_nodes:
             wildcard_queries = self._router.route_node({})
+            wildcard_queries += self._router.route_flips(fresh_gains)
             for node in fresh_nodes:
                 for q in wildcard_queries:
                     q.apply_node_added(node, {})
@@ -400,6 +466,9 @@ class MatcherPool:
             report.deltas[name] = q.emit_delta(report.seq)
         self.stats.routed_pairs += report.routed
         self.stats.skipped_pairs += report.skipped
+        # End-of-flush upkeep: BatchLM re-selection when InsLM growth blew
+        # past the shared landmark index's size budget.
+        self.substrate.enforce_lm_budget()
         return report
 
     def __repr__(self) -> str:

@@ -39,12 +39,17 @@ def build_index(
     distance_mode: str = "bfs",
     max_embeddings: Optional[int] = None,
     substrate=None,
+    eligibility=None,
 ):
     """Validate and build the incremental index for one query.
 
     ``substrate`` (a :class:`~repro.engine.distances.SharedDistanceSubstrate`)
     makes a bounded index lease its distance structures from the pool
-    instead of owning them; other semantics ignore it.
+    instead of owning them; other semantics ignore it.  ``eligibility``
+    (a :class:`~repro.engine.eligibility.SharedEligibilityIndex`) makes
+    any index lease its per-pattern-node eligible sets from the pool —
+    one shared member set per distinct predicate — instead of owning and
+    re-evaluating private copies.
     """
     if semantics not in SEMANTICS:
         raise ValueError(
@@ -57,12 +62,18 @@ def build_index(
         )
     pattern.validate()
     if semantics == "simulation":
-        return SimulationIndex(pattern, graph)
+        return SimulationIndex(pattern, graph, eligibility=eligibility)
     if semantics == "bounded":
         return BoundedSimulationIndex(
-            pattern, graph, distance_mode=distance_mode, substrate=substrate
+            pattern,
+            graph,
+            distance_mode=distance_mode,
+            substrate=substrate,
+            eligibility=eligibility,
         )
-    return IsoIndex(pattern, graph, max_embeddings=max_embeddings)
+    return IsoIndex(
+        pattern, graph, max_embeddings=max_embeddings, eligibility=eligibility
+    )
 
 
 class ContinuousQuery:
@@ -77,6 +88,7 @@ class ContinuousQuery:
         distance_mode: str = "bfs",
         max_embeddings: Optional[int] = None,
         substrate=None,
+        eligibility=None,
     ) -> None:
         self.name = name
         self.pattern = pattern
@@ -89,6 +101,7 @@ class ContinuousQuery:
             distance_mode=distance_mode,
             max_embeddings=max_embeddings,
             substrate=substrate,
+            eligibility=eligibility,
         )
         self._feeds: List[ChangeFeed] = []
         self.last_delta: Optional[MatchDelta] = None
@@ -100,6 +113,28 @@ class ContinuousQuery:
             (pattern.predicate(u), pattern.predicate(u2))
             for u, u2 in pattern.edges()
         ]
+        # --- shared-eligibility signature ------------------------------
+        # With a pool eligibility substrate, node events route as
+        # predicate *flips* (the substrate evaluates each distinct
+        # predicate once and tells the router which verdicts changed), and
+        # endpoint confirms become member-set lookups; the legacy
+        # per-query predicate evaluation paths stay for per-query scope.
+        self.shared_eligibility: bool = eligibility is not None
+        self.predicates: FrozenSet[Predicate] = frozenset(self._node_preds)
+        self._nodes_by_pred: Dict[Predicate, List[PatternNode]] = {}
+        for u in pattern.nodes():
+            self._nodes_by_pred.setdefault(pattern.predicate(u), []).append(u)
+        self._edge_member_pairs: List[Tuple[Set[Node], Set[Node]]] = []
+        if eligibility is not None:
+            # The index's leases keep these entries alive for the query's
+            # lifetime; build_index ran above, so they all exist.
+            self._edge_member_pairs = [
+                (
+                    eligibility.entry(pu).members,
+                    eligibility.entry(pw).members,
+                )
+                for pu, pw in self._edge_pred_pairs
+            ]
         self.attr_names: FrozenSet[str] = frozenset(
             atom.attribute for pred in self._node_preds for atom in pred.atoms
         )
@@ -283,15 +318,29 @@ class ContinuousQuery:
     # Routing predicates (consulted by UpdateRouter)
     # ------------------------------------------------------------------
     def touches_edge(
-        self, v_attrs: Mapping[str, Any], w_attrs: Mapping[str, Any]
+        self,
+        v_attrs: Mapping[str, Any],
+        w_attrs: Mapping[str, Any],
+        v: Optional[Node] = None,
+        w: Optional[Node] = None,
     ) -> bool:
         """Can an edge between nodes with these attrs affect this query?
 
         Endpoint-attribute stage only; distance-routed queries are
-        additionally consulted through :meth:`can_affect_edge`.
+        additionally consulted through :meth:`can_affect_edge`.  With a
+        shared eligibility substrate and endpoint ids supplied, the
+        confirm is a pair of member-set lookups on the shared sets (no
+        predicate re-evaluation) — sound either way, since the substrate
+        keeps the sets mirroring predicate truth through flush phase A
+        before any edge is routed.
         """
         if self.routes_all_edges:
             return True
+        if self._edge_member_pairs and v is not None and w is not None:
+            return any(
+                v in src and w in tgt
+                for src, tgt in self._edge_member_pairs
+            )
         return any(
             pu.satisfied_by(v_attrs) and pw.satisfied_by(w_attrs)
             for pu, pw in self._edge_pred_pairs
@@ -359,6 +408,19 @@ class ContinuousQuery:
     def apply_attr_update(self, v: Node, attrs: Mapping[str, Any]) -> None:
         """Node ``v``'s attributes changed (already merged into the graph)."""
         self.index.update_node_attrs(v, **dict(attrs))
+
+    def apply_eligibility_flips(self, v: Node, flips) -> None:
+        """Shared-eligibility repair: the substrate flipped some predicate
+        verdicts for ``v`` (sets already mutated); resolve the flipped
+        predicates to this pattern's nodes and repair the index without
+        re-evaluating anything."""
+        gained: List[PatternNode] = []
+        lost: List[PatternNode] = []
+        for pred, is_gain in flips:
+            for u in self._nodes_by_pred.get(pred, ()):
+                (gained if is_gain else lost).append(u)
+        if gained or lost:
+            self.index.apply_eligibility_flips(v, gained, lost)
 
     def __repr__(self) -> str:
         return (

@@ -25,18 +25,25 @@ regime of Berkholz et al. — by indexing each query's *routing signature*:
   ball fields before insertion routing, so even those queries are
   soundly distance-routed;
 - attribute updates route by attribute *name*: merging attributes no
-  predicate mentions cannot change any eligibility.
+  predicate mentions cannot change any eligibility;
+- queries leasing the pool's shared eligibility substrate route node
+  events by predicate **flips** instead: the substrate evaluates each
+  distinct predicate once per event, and :meth:`route_flips` selects
+  exactly the queries whose patterns use a flipped predicate — the
+  attr-name stage, ``touches_node``, and ``touches_attr_change`` predicate
+  re-evaluations are skipped for them entirely.
 
 Edge routing is therefore three-staged: eq-key candidate lookup, endpoint
-predicate confirm (``touches_edge``), and the distance oracle for
-distance-routed queries.  Queries that fail every stage do **zero** work
-for the update.
+predicate confirm (``touches_edge`` — member-set lookups under shared
+eligibility), and the distance oracle for distance-routed queries.
+Queries that fail every stage do **zero** work for the update.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Mapping, Set
+from typing import Any, Dict, Iterable, List, Mapping, Set
 
+from ..patterns.predicate import Predicate
 from .query import ContinuousQuery, EqKey
 
 
@@ -52,6 +59,11 @@ class UpdateRouter:
         self._wild_node: Set[int] = set()
         self._wild_edge: Set[int] = set()
         self._dist: Set[int] = set()
+        # Shared-eligibility queries, indexed by interned predicate for
+        # flip routing; they are excluded from the legacy attr-name and
+        # node-predicate stages.
+        self._flip_routed: Set[int] = set()
+        self._by_pred: Dict[Predicate, Set[int]] = {}
 
     def __len__(self) -> int:
         return len(self._queries)
@@ -63,8 +75,13 @@ class UpdateRouter:
         self._next_rank += 1
         for key in query.eq_keys:
             self._eq.setdefault(key, set()).add(qid)
-        for name in query.attr_names:
-            self._by_attr.setdefault(name, set()).add(qid)
+        if query.shared_eligibility:
+            self._flip_routed.add(qid)
+            for pred in query.predicates:
+                self._by_pred.setdefault(pred, set()).add(qid)
+        else:
+            for name in query.attr_names:
+                self._by_attr.setdefault(name, set()).add(qid)
         if query.wildcard_node:
             self._wild_node.add(qid)
         if query.routes_all_edges:
@@ -90,6 +107,13 @@ class UpdateRouter:
                 bucket.discard(qid)
                 if not bucket:
                     del self._by_attr[name]
+        for pred in query.predicates:
+            bucket = self._by_pred.get(pred)
+            if bucket is not None:
+                bucket.discard(qid)
+                if not bucket:
+                    del self._by_pred[pred]
+        self._flip_routed.discard(qid)
         self._wild_node.discard(qid)
         self._wild_edge.discard(qid)
         self._dist.discard(qid)
@@ -149,7 +173,7 @@ class UpdateRouter:
             if qid in selected:
                 continue
             q = self._queries[qid]
-            if q.touches_edge(v_attrs, w_attrs):
+            if q.touches_edge(v_attrs, w_attrs, v, w):
                 selected.add(qid)
             elif qid in self._dist and q.can_affect_edge(v, w):
                 selected.add(qid)
@@ -162,10 +186,18 @@ class UpdateRouter:
         return self._sorted(selected)
 
     def route_node(self, attrs: Mapping[str, Any]) -> List[ContinuousQuery]:
-        """Queries for which a (new) node with these attrs is eligible."""
+        """Per-query-eligibility queries for which a (new) node with these
+        attrs is eligible.
+
+        Shared-eligibility queries are excluded — the pool routes them
+        through :meth:`route_flips` with the gains the substrate reported
+        for the node, so their predicates are never re-evaluated here.
+        """
         return [
             q
-            for q in self._sorted(self._node_candidates(attrs))
+            for q in self._sorted(
+                self._node_candidates(attrs) - self._flip_routed
+            )
             if q.touches_node(attrs)
         ]
 
@@ -175,7 +207,9 @@ class UpdateRouter:
         new_attrs: Mapping[str, Any],
         changed_names,
     ) -> List[ContinuousQuery]:
-        """Queries whose eligibility the old->new attr merge can flip."""
+        """Per-query-eligibility queries whose eligibility the old->new
+        attr merge can flip (shared-eligibility queries route through
+        :meth:`route_flips` instead)."""
         cands: Set[int] = set()
         for name in changed_names:
             bucket = self._by_attr.get(name)
@@ -186,3 +220,21 @@ class UpdateRouter:
             for q in self._sorted(cands)
             if q.touches_attr_change(old_attrs, new_attrs)
         ]
+
+    def route_flips(
+        self, predicates: Iterable[Predicate]
+    ) -> List[ContinuousQuery]:
+        """Shared-eligibility queries whose patterns use a flipped
+        predicate.
+
+        The substrate already evaluated each distinct predicate exactly
+        once for the node event; this stage is pure dict lookups, so the
+        per-event routing cost scales with the number of *flipped*
+        predicates and their users, not with pool size.
+        """
+        selected: Set[int] = set()
+        for pred in predicates:
+            bucket = self._by_pred.get(pred)
+            if bucket:
+                selected.update(bucket)
+        return self._sorted(selected)

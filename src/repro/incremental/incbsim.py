@@ -87,6 +87,7 @@ class BoundedSimulationIndex:
         distance_mode: str = "bfs",
         landmark_strategy: str = "matching",
         substrate=None,
+        eligibility=None,
     ) -> None:
         if distance_mode not in ("bfs", "landmark", "matrix"):
             raise ValueError(f"unknown distance_mode {distance_mode!r}")
@@ -102,10 +103,22 @@ class BoundedSimulationIndex:
         # pool's prepare/observe/repair entry points, not the raw
         # insert_edge/delete_edge/apply_batch unit paths.
         self.substrate = substrate
+        # A pool-level SharedEligibilityIndex (engine.eligibility): the
+        # per-pattern-node eligible sets become leased read-views of one
+        # shared member set per distinct predicate.  The substrate
+        # mutates them; attribute churn arrives as resolved flips
+        # (apply_eligibility_flips), never via update_node_attrs.
+        self._eligibility = eligibility
         self._bounds: Dict[PatternEdge, Bound] = {
             (u, u2): pattern.bound(u, u2) for u, u2 in pattern.edges()
         }
-        self.eligible: MatchRelation = candidate_sets(pattern, graph)
+        if eligibility is not None:
+            self.eligible: MatchRelation = {
+                u: eligibility.lease(pattern.predicate(u)).members
+                for u in pattern.nodes()
+            }
+        else:
+            self.eligible = candidate_sets(pattern, graph)
         self._pair_graph = DiGraph()
         self._build_pair_graph()
         self._inner = SimulationIndex(_layered_pattern(pattern), self._pair_graph)
@@ -119,6 +132,9 @@ class BoundedSimulationIndex:
         # plus the exact lease keys so release() returns what was taken.
         self._shared_fields: Optional[Dict[PatternEdge, Tuple[BallField, BallField]]] = None
         self._field_keys: List[Tuple] = []
+        # Substrate leg-minima leases (landmark mode): distinct predicates
+        # whose shared member minima this index's oracle reads.
+        self._minima_keys: List[Predicate] = []
         # Single source of truth for trivialness: ContinuousQuery's router
         # bucketing and can_affect_edge's oracle branch must agree on it.
         self.has_trivial_pred = any(
@@ -127,9 +143,18 @@ class BoundedSimulationIndex:
         if distance_mode == "landmark":
             if substrate is not None:
                 self._lm = substrate.lease_landmarks(strategy=landmark_strategy)
+                # The leg minima are hoisted to the substrate, keyed by
+                # (predicate, lm-version): same-predicate landmark queries
+                # share one minima refresh per flush instead of one per
+                # query.  Lease the member sets the oracle will read.
+                for u in pattern.nodes():
+                    pred = pattern.predicate(u)
+                    if pred not in self._minima_keys:
+                        self._minima_keys.append(pred)
+                        substrate.lease_leg_minima(pred)
             else:
                 self._lm = LandmarkIndex(graph, strategy=landmark_strategy)
-            self._minima = EligibleLegMinima(self._lm, self.eligible)
+                self._minima = EligibleLegMinima(self._lm, self.eligible)
         elif distance_mode == "matrix":
             if substrate is not None:
                 self._matrix = substrate.lease_matrix()
@@ -221,17 +246,39 @@ class BoundedSimulationIndex:
         self._register_node(v)
 
     def _register_node(self, v: Node) -> None:
+        if self._eligibility is not None:
+            # Shared sets: membership is already current (the substrate
+            # evaluated each distinct predicate once for the whole pool);
+            # adopt layers whose pair node this index has not wired yet.
+            for u in self.pattern.nodes():
+                if v in self.eligible[u] and not self._adopted(u, v):
+                    self._adopt(u, v)
+            return
         attrs = self.graph.attrs(v)
         for u in self.pattern.nodes():
             if v in self.eligible[u]:
                 continue
             if self.pattern.predicate(u).satisfied_by(attrs):
                 self.eligible[u].add(v)
-                self._inner.add_node((u, v), **{LAYER_ATTR: u})
-                if self._summary is not None:
-                    self._summary.note_eligible_gained(u, v)
-                if self._minima is not None:
-                    self._minima.note_gained(u, v)
+                self._adopt(u, v)
+
+    def _adopted(self, u: PatternNode, v: Node) -> bool:
+        """Has this index wired ``v`` into layer ``u``'s pair bookkeeping?
+
+        The inner index's eligible set is the marker (pair-graph node
+        presence alone would lie after a retire, which leaves the orphaned
+        pair node in the graph).  In per-query mode adoption coincides
+        with ``v in self.eligible[u]``; with shared sets a member may
+        predate this index's sight of it.
+        """
+        return (u, v) in self._inner.eligible[u]
+
+    def _adopt(self, u: PatternNode, v: Node) -> None:
+        self._inner.add_node((u, v), **{LAYER_ATTR: u})
+        if self._summary is not None:
+            self._summary.note_eligible_gained(u, v)
+        if self._minima is not None:
+            self._minima.note_gained(u, v)
 
     def update_node_attrs(self, v: Node, **attrs) -> None:
         """Change ``v``'s attributes and repair the match.
@@ -241,12 +288,17 @@ class BoundedSimulationIndex:
         a gained layer materializes the node's pairs in both directions and
         feeds them to the inner incremental simulation.
         """
+        if self._eligibility is not None:
+            raise RuntimeError(
+                "a shared-eligibility BoundedSimulationIndex receives "
+                "attribute changes as resolved flips "
+                "(apply_eligibility_flips), driven by the pool"
+            )
         if v not in self.graph:
             self.add_node(v, **attrs)
             return
         self.graph.add_node(v, **attrs)
         node_attrs = self.graph.attrs(v)
-        pair_updates: List[Update] = []
         gained: List[PatternNode] = []
         lost: List[PatternNode] = []
         for u in self.pattern.nodes():
@@ -256,16 +308,53 @@ class BoundedSimulationIndex:
                 gained.append(u)
             elif not ok and was:
                 lost.append(u)
-                pv = (u, v)
-                for child in list(self._pair_graph.children(pv)):
-                    pair_updates.append(upd_delete(pv, child))
-                for parent in list(self._pair_graph.parents(pv)):
-                    pair_updates.append(upd_delete(parent, pv))
-                self.eligible[u].remove(v)
-                if self._summary is not None:
-                    self._summary.note_eligible_lost(u, v)
-                if self._minima is not None:
-                    self._minima.note_lost(u, v)
+        for u in lost:
+            self.eligible[u].remove(v)
+        for u in gained:
+            self.eligible[u].add(v)
+        self._apply_layer_flips(v, gained, lost)
+
+    def apply_eligibility_flips(
+        self,
+        v: Node,
+        gained: List[PatternNode],
+        lost: List[PatternNode],
+    ) -> None:
+        """Repair after the shared substrate flipped ``v``'s eligibility.
+
+        The leased sets are already mutated and the flipped predicates
+        already resolved to pattern nodes, so no predicate is evaluated:
+        lost layers retire their pair nodes (with the usual pair-edge
+        cascade), gained layers materialize their pairs in both
+        directions.
+        """
+        self._apply_layer_flips(
+            v,
+            [u for u in gained if not self._adopted(u, v)],
+            [u for u in lost if self._adopted(u, v)],
+        )
+
+    def _apply_layer_flips(
+        self, v: Node, gained: List[PatternNode], lost: List[PatternNode]
+    ) -> None:
+        """Pair-level repair for per-layer eligibility flips of ``v``.
+
+        Expects ``self.eligible`` to reflect the flips already (whether
+        mutated here in per-query mode or by the substrate in shared
+        mode) and ``gained``/``lost`` to name exactly the layers whose
+        adoption state must change.
+        """
+        pair_updates: List[Update] = []
+        for u in lost:
+            pv = (u, v)
+            for child in list(self._pair_graph.children(pv)):
+                pair_updates.append(upd_delete(pv, child))
+            for parent in list(self._pair_graph.parents(pv)):
+                pair_updates.append(upd_delete(parent, pv))
+            if self._summary is not None:
+                self._summary.note_eligible_lost(u, v)
+            if self._minima is not None:
+                self._minima.note_lost(u, v)
         if pair_updates:
             self._inner.apply_batch(pair_updates)
         # Retire after the edges are gone so leaf-layer matches drop too.
@@ -277,12 +366,7 @@ class BoundedSimulationIndex:
         # Register all gained layers first so pairs between two layers
         # gained in the same call (e.g. via a pattern self-cycle) are seen.
         for u in gained:
-            self.eligible[u].add(v)
-            self._inner.add_node((u, v), **{LAYER_ATTR: u})
-            if self._summary is not None:
-                self._summary.note_eligible_gained(u, v)
-            if self._minima is not None:
-                self._minima.note_gained(u, v)
+            self._adopt(u, v)
         for u in gained:
             # Outgoing pairs: targets within bound of v, per edge from u.
             for u2 in self.pattern.children(u):
@@ -612,7 +696,7 @@ class BoundedSimulationIndex:
         (vs the landmark minima / per-query summary)?  Single predicate
         for the eager-lease decision and the can_affect_edge branch."""
         return self.substrate is not None and (
-            self._minima is None or self.has_trivial_pred
+            self.distance_mode != "landmark" or self.has_trivial_pred
         )
 
     def _ensure_shared_fields(
@@ -644,12 +728,19 @@ class BoundedSimulationIndex:
         Idempotent; a released index must not be consulted again through
         the routing oracle.
         """
+        if self._eligibility is not None:
+            for u in self.pattern.nodes():
+                self._eligibility.release(self.pattern.predicate(u))
+            self._eligibility = None
         if self.substrate is None:
             return
         if self._lm is not None:
             self.substrate.release_landmarks()
             self._lm = None
             self._minima = None
+        for pred in self._minima_keys:
+            self.substrate.release_leg_minima(pred)
+        self._minima_keys = []
         if self._matrix is not None:
             self.substrate.release_matrix()
             self._matrix = None
@@ -674,16 +765,33 @@ class BoundedSimulationIndex:
 
         Backing store: in ``landmark`` mode, per-landmark minima over the
         eligible sets (:class:`EligibleLegMinima`) make each consult one
-        O(|lm|) early-exit scan; ``bfs`` and ``matrix`` modes consult the
-        exactly-maintained eligible-ball summary (per-query) or the
-        substrate's shared ball fields.  Trivial-(TRUE)-predicate queries
-        always go through the shared fields when a substrate exists: the
-        pool announces fresh nodes to the substrate before insertion
-        routing, so a brand-new attribute-less node is already a pinned
-        distance-0 source when this oracle runs — the one case the
-        eligible-set-based structures cannot anticipate.
+        O(|lm|) early-exit scan — per-query minima keyed by pattern node
+        without a substrate, or the substrate's shared cache keyed by
+        ``(predicate, lm-version)`` with one (so same-predicate queries
+        share one minima refresh per flush); ``bfs`` and ``matrix`` modes
+        consult the exactly-maintained eligible-ball summary (per-query)
+        or the substrate's shared ball fields.  Trivial-(TRUE)-predicate
+        queries always go through the shared fields when a substrate
+        exists: the pool announces fresh nodes to the substrate before
+        insertion routing, so a brand-new attribute-less node is already
+        a pinned distance-0 source when this oracle runs — the one case
+        the eligible-set-based structures cannot anticipate.
         """
-        if self._minima is not None and not self._routes_via_shared_fields():
+        if (
+            self.distance_mode == "landmark"
+            and not self._routes_via_shared_fields()
+        ):
+            if self.substrate is not None:
+                minima = self.substrate.leg_minima()
+                for (u, u2), bound in self._bounds.items():
+                    r = None if bound is None else bound - 1
+                    if minima.reaches_within(
+                        self.pattern.predicate(u), x, r
+                    ) and minima.reached_within(
+                        self.pattern.predicate(u2), y, r
+                    ):
+                        return True
+                return False
             for (u, u2), bound in self._bounds.items():
                 r = None if bound is None else bound - 1
                 if self._minima.reaches_within(

@@ -19,7 +19,7 @@ simulation family is the practical choice on evolving graphs.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from ..graphs.digraph import DiGraph, Node
 from ..matching.isomorphism import Embedding, iter_embeddings
@@ -60,12 +60,25 @@ class IsoIndex:
         pattern: Pattern,
         graph: DiGraph,
         max_embeddings: Optional[int] = None,
+        eligibility=None,
     ) -> None:
         if not pattern.is_normal():
             raise PatternError("IsoIndex requires a normal pattern")
         self.pattern = pattern
         self.graph = graph
         self.max_embeddings = max_embeddings
+        # A pool-level SharedEligibilityIndex: per-pattern-node predicate
+        # verdicts are read off the shared member sets (one evaluation per
+        # distinct predicate per pool) instead of re-evaluated here, and
+        # attribute churn arrives as resolved flips
+        # (apply_eligibility_flips) rather than update_node_attrs.
+        self._eligibility = eligibility
+        self._elig_views: Dict[PatternNode, Any] = {}
+        if eligibility is not None:
+            self._elig_views = {
+                u: eligibility.lease(pattern.predicate(u))
+                for u in pattern.nodes()
+            }
         self._embeddings: Dict[EmbKey, Embedding] = {}
         self._by_edge: Dict[EdgeKey, Set[EmbKey]] = {}
         self.delta = DeltaLog()
@@ -175,6 +188,13 @@ class IsoIndex:
                 ):
                     return
 
+    def _satisfies(self, u: PatternNode, v: Node, attrs) -> bool:
+        """Predicate verdict for ``v`` at pattern node ``u`` — a shared
+        member-set lookup when leased, a predicate evaluation otherwise."""
+        if self._eligibility is not None:
+            return v in self._elig_views[u].members
+        return self.pattern.predicate(u).satisfied_by(attrs)
+
     def update_node_attrs(self, v: Node, **attrs) -> None:
         """Change ``v``'s attributes and repair the embedding set.
 
@@ -188,14 +208,12 @@ class IsoIndex:
         for key in list(self._embeddings):
             emb = self._embeddings[key]
             for u, node in emb.items():
-                if node == v and not self.pattern.predicate(u).satisfied_by(
-                    node_attrs
-                ):
+                if node == v and not self._satisfies(u, v, node_attrs):
                     self._discard(key)
                     break
         # Anchor a search at every pattern node v could now play.
         for u in self.pattern.nodes():
-            if not self.pattern.predicate(u).satisfied_by(node_attrs):
+            if not self._satisfies(u, v, node_attrs):
                 continue
             for emb in iter_embeddings(self.pattern, self.graph, partial={u: v}):
                 self._store(emb)
@@ -204,6 +222,44 @@ class IsoIndex:
                     and len(self._embeddings) >= self.max_embeddings
                 ):
                     return
+
+    def apply_eligibility_flips(
+        self,
+        v: Node,
+        gained: Iterable[PatternNode],
+        lost: Iterable[PatternNode],
+    ) -> None:
+        """Repair after the shared substrate flipped ``v``'s eligibility.
+
+        A lost layer invalidates exactly the embeddings mapping that
+        pattern node to ``v``; a gained layer can only create embeddings
+        that map it to ``v``, found by anchored search.  Layers whose
+        verdict did not flip need no work: the graph's edges are
+        unchanged, so their embedding sets through ``v`` are unchanged.
+        """
+        lost = set(lost)
+        if lost:
+            for key in list(self._embeddings):
+                emb = self._embeddings[key]
+                if any(emb.get(u) == v for u in lost):
+                    self._discard(key)
+        for u in gained:
+            for emb in iter_embeddings(self.pattern, self.graph, partial={u: v}):
+                self._store(emb)
+                if (
+                    self.max_embeddings is not None
+                    and len(self._embeddings) >= self.max_embeddings
+                ):
+                    return
+
+    def release(self) -> None:
+        """Release shared-eligibility leases (pool unregister); idempotent."""
+        if self._eligibility is None:
+            return
+        for u in self.pattern.nodes():
+            self._eligibility.release(self.pattern.predicate(u))
+        self._eligibility = None
+        self._elig_views = {}
 
     def apply_batch(self, updates: Iterable[Update]) -> None:
         """Deletions drop postings; insertions anchor-search afterwards."""

@@ -74,9 +74,24 @@ class IncStats:
 
 
 class SimulationIndex:
-    """Maximum graph simulation maintained under edge updates."""
+    """Maximum graph simulation maintained under edge updates.
 
-    def __init__(self, pattern: Pattern, graph: DiGraph) -> None:
+    ``eligibility`` (a pool-level
+    :class:`~repro.engine.eligibility.SharedEligibilityIndex`) makes this
+    index *lease* its per-pattern-node eligible sets instead of owning
+    private copies: ``self.eligible[u]`` becomes the shared member set of
+    ``pattern.predicate(u)``, maintained once per pool however many
+    queries read it.  A leased index never evaluates predicates or
+    mutates the sets itself — the substrate mutates them before the pool
+    invokes the repair entry points, and attribute-driven eligibility
+    changes arrive through :meth:`apply_eligibility_flips` (already
+    resolved to gained/lost pattern nodes) rather than
+    :meth:`update_node_attrs`.
+    """
+
+    def __init__(
+        self, pattern: Pattern, graph: DiGraph, eligibility=None
+    ) -> None:
         if not pattern.is_normal():
             raise PatternError(
                 "SimulationIndex requires a normal pattern; "
@@ -84,6 +99,7 @@ class SimulationIndex:
             )
         self.pattern = pattern
         self.graph = graph
+        self._eligibility = eligibility
         self.stats = IncStats()
         self.delta = DeltaLog()
         # Pattern structure is immutable: precompute SCC data once.
@@ -109,7 +125,15 @@ class SimulationIndex:
     # ------------------------------------------------------------------
     def _rebuild(self) -> None:
         """Batch computation of match/candt and all support counters."""
-        eligible = candidate_sets(self.pattern, self.graph)
+        if self._eligibility is not None:
+            # Shared read-views: one leased set per pattern-node predicate
+            # (pattern nodes with equal predicates alias the same object).
+            eligible = {
+                u: self._eligibility.lease(self.pattern.predicate(u)).members
+                for u in self.pattern.nodes()
+            }
+        else:
+            eligible = candidate_sets(self.pattern, self.graph)
         self.eligible: MatchRelation = eligible
         # Nodes whose predicates have been evaluated; registration of a
         # known node is a no-op unless add_node refreshes its attributes.
@@ -179,32 +203,93 @@ class SimulationIndex:
             self._promote_sweep()
 
     def _register_node(self, v: Node) -> bool:
-        """Evaluate a node's predicates once; True iff it was unseen."""
+        """Wire a node's eligibility into candt/counters; True iff unseen.
+
+        Per-query mode evaluates the node's predicates once; shared mode
+        reads membership off the leased sets (the substrate evaluated each
+        distinct predicate once for the whole pool) and adopts layers the
+        index has not wired yet.
+        """
         if v in self._registered:
             return False
         self._registered.add(v)
+        if self._eligibility is not None:
+            self._adopt_layers(
+                v,
+                [
+                    u
+                    for u in self.pattern.nodes()
+                    if v in self.eligible[u] and not self._adopted(u, v)
+                ],
+            )
+            return True
         attrs = self.graph.attrs(v)
         for u in self.pattern.nodes():
             if v in self.eligible[u]:
                 continue
             if self.pattern.predicate(u).satisfied_by(attrs):
                 self.eligible[u].add(v)
-                self.candt[u].add(v)
-                supported = True
-                for u2 in self.pattern.children(u):
-                    c = 0
-                    for w in self.graph.children(v):
-                        if w in self.match[u2]:
-                            c += 1
-                    self._cnt[(u, u2, v)] = c
-                    if c == 0:
-                        supported = False
-                # A fresh node matching a childless pattern node (or one
-                # whose obligations are already met) is a match right away;
-                # _promote_node also fixes up its parents' counters.
-                if supported:
-                    self._promote_node(u, v)
+                self._adopt_candidate(u, v)
         return True
+
+    def _adopted(self, u: PatternNode, v: Node) -> bool:
+        """Has this index wired ``v`` into layer ``u``'s bookkeeping?
+
+        In per-query mode adoption coincides with eligibility membership;
+        with shared sets a member may predate this index's sight of it.
+        """
+        return v in self.match[u] or v in self.candt[u]
+
+    def _adopt_candidate(self, u: PatternNode, v: Node) -> bool:
+        """Add an eligible node to candt, compute its counters, and promote
+        it immediately when every obligation is already met (a node
+        matching a childless pattern node is a match right away;
+        _promote_node also fixes up its parents' counters).  Returns
+        whether it was promoted."""
+        self.candt[u].add(v)
+        supported = True
+        for u2 in self.pattern.children(u):
+            c = 0
+            for w in self.graph.children(v):
+                if w in self.match[u2]:
+                    c += 1
+            self._cnt[(u, u2, v)] = c
+            if c == 0:
+                supported = False
+        if supported:
+            self._promote_node(u, v)
+        return supported
+
+    def _adopt_layers(self, v: Node, layers: List[PatternNode]) -> bool:
+        """Two-phase adoption of ``v`` into several layers at once.
+
+        With shared eligible sets every gained layer's membership is
+        already visible, so a promotion during layer A's adoption walks
+        parent counters that mention layer B — all counters must exist
+        before any promotion runs.  Phase 1 wires candt and counters for
+        every layer; phase 2 promotes the supported ones (a promotion's
+        counter bumps then land on initialized keys).  Returns whether
+        anything was promoted; promotions unlocked *across* the adopted
+        layers are the caller's trailing sweep's job, exactly as in the
+        per-query path.
+        """
+        for u in layers:
+            self.candt[u].add(v)
+            for u2 in self.pattern.children(u):
+                c = 0
+                for w in self.graph.children(v):
+                    if w in self.match[u2]:
+                        c += 1
+                self._cnt[(u, u2, v)] = c
+        promoted = False
+        for u in layers:
+            if v in self.candt[u] and all(
+                self._cnt[(u, u2, v)] >= 1
+                for u2 in self.pattern.children(u)
+            ):
+                self._promote_node(u, v)
+                promoted = True
+        return promoted
 
     def update_node_attrs(self, v: Node, **attrs) -> None:
         """Change ``v``'s attributes and repair the match.
@@ -215,6 +300,12 @@ class SimulationIndex:
         forces demotions (with the usual cascade); gained eligibility adds
         a candidate and runs a promotion pass.
         """
+        if self._eligibility is not None:
+            raise RuntimeError(
+                "a shared-eligibility SimulationIndex receives attribute "
+                "changes as resolved flips (apply_eligibility_flips), "
+                "driven by the pool"
+            )
         if v not in self.graph:
             self.add_node(v, **attrs)
             return
@@ -233,21 +324,44 @@ class SimulationIndex:
         promoted = False
         for u in gained:
             self.eligible[u].add(v)
-            self.candt[u].add(v)
-            supported = True
-            for u2 in self.pattern.children(u):
-                c = sum(
-                    1 for w in self.graph.children(v) if w in self.match[u2]
-                )
-                self._cnt[(u, u2, v)] = c
-                if c == 0:
-                    supported = False
-            if supported:
-                self._promote_node(u, v)
+            if self._adopt_candidate(u, v):
                 promoted = True
         if gained and (promoted or self._has_cycles):
             # New candidacy can unlock further promotions (or coinductive
             # SCC promotions); one sweep settles everything.
+            self._promote_sweep()
+
+    def apply_eligibility_flips(
+        self,
+        v: Node,
+        gained: Iterable[PatternNode],
+        lost: Iterable[PatternNode],
+    ) -> None:
+        """Repair after the shared substrate flipped ``v``'s eligibility.
+
+        The leased sets are already mutated and the flipped predicates
+        already resolved to this pattern's nodes (by
+        :meth:`ContinuousQuery.apply_eligibility_flips`), so no predicate
+        is evaluated here: gained layers adopt, lost layers demote with
+        the usual cascade, and a promotion pass settles the gains.
+
+        Gains are adopted *before* the losses cascade — the shared sets
+        already contain ``v`` for the gained layers, and a demotion
+        cascade reaching ``v`` through a graph cycle reads those sets to
+        find support counters, so the counters must exist by then.  The
+        ordering is otherwise equivalent: demotions can never enable a
+        promotion, so the closing sweep sees the same fixpoint the
+        legacy lost-then-gained order reaches.
+        """
+        self._registered.add(v)
+        adopt = [u for u in gained if not self._adopted(u, v)]
+        promoted = self._adopt_layers(v, adopt)
+        queue: Deque[Tuple[PatternNode, Node]] = deque()
+        for u in lost:
+            if self._adopted(u, v):
+                self._withdraw(u, v, queue, mutate_eligible=False)
+        self._demote_cascade(queue)
+        if adopt and (promoted or self._has_cycles):
             self._promote_sweep()
 
     def retire_node(self, v: Node) -> None:
@@ -255,16 +369,26 @@ class SimulationIndex:
 
         Used by the bounded-simulation layer to retire pair-graph nodes;
         also handy when a node is being deleted from the data graph.
+        Unavailable on shared eligible sets (they mirror predicate truth,
+        which retirement would falsify for every other leaseholder).
         """
+        if self._eligibility is not None:
+            raise RuntimeError(
+                "cannot retire nodes from shared eligible sets"
+            )
         queue: Deque[Tuple[PatternNode, Node]] = deque()
         for u in self.pattern.nodes():
             if v in self.eligible[u]:
                 self._withdraw(u, v, queue)
         self._demote_cascade(queue)
 
-    def _withdraw(self, u: PatternNode, v: Node, queue) -> None:
-        """Remove ``v`` from ``u``'s eligible/candt/match sets, seeding the
-        demote queue with parents that lose support."""
+    def _withdraw(
+        self, u: PatternNode, v: Node, queue, mutate_eligible: bool = True
+    ) -> None:
+        """Remove ``v`` from ``u``'s candt/match sets (and, unless the
+        eligible set is substrate-owned and already updated, from
+        eligible), seeding the demote queue with parents that lose
+        support."""
         if v in self.match[u]:
             self.match[u].remove(v)
             self.delta.remove((u, v))
@@ -278,7 +402,8 @@ class SimulationIndex:
                         if self._cnt[key] == 0 and p in self.match[u0]:
                             queue.append((u0, p))
         self.candt[u].discard(v)
-        self.eligible[u].remove(v)
+        if mutate_eligible:
+            self.eligible[u].remove(v)
         for u2 in self.pattern.children(u):
             self._cnt.pop((u, u2, v), None)
 
@@ -625,6 +750,18 @@ class SimulationIndex:
                     if p in self.candt[u0]:
                         seeds.append((u0, p))
         self._promote_worklist(seeds)
+
+    def release(self) -> None:
+        """Release shared-eligibility leases (pool unregister); idempotent.
+
+        A released index must not be driven again — its eligible views
+        may be dropped by the substrate once the last lease is gone.
+        """
+        if self._eligibility is None:
+            return
+        for u in self.pattern.nodes():
+            self._eligibility.release(self.pattern.predicate(u))
+        self._eligibility = None
 
     # ------------------------------------------------------------------
     # Invariant check (used by tests)

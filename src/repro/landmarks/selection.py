@@ -81,6 +81,40 @@ def stability_weighted_cover(
     return cover
 
 
+class LandmarkBudget:
+    """``BatchLM``-style re-selection trigger under a size budget.
+
+    ``InsLM`` (Prop. 6.2) may add one landmark per edge insertion and
+    never removes any, so a long-lived index's vectors grow monotonically
+    even when the graph churns in place.  The budget compares the live
+    landmark count against the size of the last from-scratch selection
+    (:attr:`LandmarkIndex.selected_size`): once it exceeds
+    ``max(floor, slack * selected_size)``, a ``BatchLM`` re-selection
+    (:meth:`LandmarkIndex.rebuild`) is due.  ``floor`` keeps tiny graphs
+    from rebuilding constantly; ``slack`` trades rebuild frequency
+    against vector bloat.  The rebuild bumps the index version, so every
+    version-keyed cache (leg minima) refreshes lazily — correctness is
+    unaffected either way, only space and per-consult cost.
+    """
+
+    def __init__(self, slack: float = 2.0, floor: int = 16) -> None:
+        if slack < 1.0:
+            raise ValueError(f"slack must be >= 1.0, got {slack}")
+        self.slack = slack
+        self.floor = floor
+
+    def limit(self, lm_index) -> float:
+        return max(self.floor, self.slack * lm_index.selected_size)
+
+    def exceeded(self, lm_index) -> bool:
+        """Has ``InsLM`` growth blown past the budget since the last
+        re-selection?"""
+        return len(lm_index.landmarks()) > self.limit(lm_index)
+
+    def __repr__(self) -> str:
+        return f"LandmarkBudget(slack={self.slack}, floor={self.floor})"
+
+
 def select_landmarks(graph: DiGraph, strategy: str = "matching") -> List[Node]:
     """Entry point: 'matching' (default), 'degree', or 'stability'."""
     if strategy == "matching":

@@ -59,6 +59,11 @@ class LandmarkIndex:
             landmarks = select_landmarks(graph, strategy)
         for lm in landmarks:
             self._add(lm)
+        # Size of the last from-scratch selection.  ``InsLM`` may add one
+        # landmark per insertion, so the live set grows monotonically
+        # between re-selections; budget policies (BatchLM triggers) compare
+        # the live size against this baseline.
+        self.selected_size = len(self._fwd)
 
     # ------------------------------------------------------------------
     # Structure
@@ -229,6 +234,7 @@ class LandmarkIndex:
         self._bwd = {}
         for lm in landmarks:
             self._add(lm)
+        self.selected_size = len(self._fwd)
         self.version += 1
 
     # ------------------------------------------------------------------
@@ -248,31 +254,44 @@ class LandmarkIndex:
 
 
 class EligibleLegMinima:
-    """Per-landmark minima over per-layer member sets: O(|lm|) leg checks.
+    """Per-landmark minima over keyed member sets: O(|lm|) leg checks.
 
     The naive witness-leg consult of the distance-aware routing oracle asks
-    "is some member of ``eligible[u]`` within ``r`` possibly-empty hops of
-    ``node``?" by scanning the eligible set with one vector query each —
-    O(|eligible| * |lm|) per consult.  Since ``min_e d(e, node) =
+    "is some member of a set within ``r`` possibly-empty hops of ``node``?"
+    by scanning the member set with one vector query each —
+    O(|members| * |lm|) per consult.  Since ``min_e d(e, node) =
     min_lm (min_e d(e, lm) + d(lm, node))`` for ``node`` outside the member
     set (every nonempty shortest path crosses a landmark when ``lm`` covers
     the edges), precomputing ``min_e d(e, lm)`` and ``min_e d(lm, e)`` per
     landmark collapses the consult to a single O(|lm|) early-exit scan.
 
-    The minima are cached per layer and keyed to
-    :attr:`LandmarkIndex.version`, so one O(|eligible| * |lm|) refresh per
-    layer per *flush* amortizes over every per-edge consult in that flush.
-    Membership gains merge in O(|lm|); losses invalidate the layer (the
-    departed member may have been the minimum).
+    ``members_of`` maps opaque hashable keys to live member sets.  A
+    per-query :class:`~repro.incremental.incbsim.BoundedSimulationIndex`
+    keys by *pattern node* over its private eligible sets; the pool-level
+    :class:`~repro.engine.distances.SharedDistanceSubstrate` keys by
+    **interned predicate** over the shared eligibility member sets — the
+    cache entry is then effectively keyed ``(predicate, lm-version)``, so
+    however many same-predicate landmark queries the pool holds, one
+    O(|members| * |lm|) refresh per flush serves them all.
+
+    The minima are cached per key and checked against
+    :attr:`LandmarkIndex.version`, so one refresh per key per *flush*
+    amortizes over every per-edge consult in that flush.  Membership gains
+    merge in O(|lm|); losses invalidate the key (the departed member may
+    have been the minimum).
     """
 
     def __init__(
-        self, lm: LandmarkIndex, eligible: Dict[Node, set]
+        self, lm: LandmarkIndex, members_of: Dict[Node, set]
     ) -> None:
         self._lm = lm
-        self._eligible = eligible
-        # layer -> (lm.version, {lm: min d(member, lm)}, {lm: min d(lm, member)})
+        self._eligible = members_of
+        # key -> (lm.version, {lm: min d(member, lm)}, {lm: min d(lm, member)})
         self._cache: Dict[Node, Tuple[int, Dict[Node, float], Dict[Node, float]]] = {}
+        # Full O(|members| * |lm|) cache refreshes performed — the
+        # quantity the substrate-level (predicate, lm-version) keying
+        # amortizes across same-predicate queries.
+        self.refreshes = 0
 
     def _entry(
         self, layer: Node
@@ -281,6 +300,7 @@ class EligibleLegMinima:
         cached = self._cache.get(layer)
         if cached is not None and cached[0] == version:
             return cached
+        self.refreshes += 1
         members = self._eligible[layer]
         to_lm: Dict[Node, float] = {}
         from_lm: Dict[Node, float] = {}
@@ -316,7 +336,11 @@ class EligibleLegMinima:
                 from_lm[lm] = d
 
     def note_lost(self, layer: Node, v: Node) -> None:
-        """``v`` left ``eligible[layer]``: its minima may have been tight."""
+        """``v`` left the key's member set: its minima may have been tight."""
+        self._cache.pop(layer, None)
+
+    def drop(self, layer: Node) -> None:
+        """Forget a key entirely (its member set is being unleased)."""
         self._cache.pop(layer, None)
 
     def reaches_within(

@@ -33,6 +33,24 @@ class PredicateError(ValueError):
     """Raised for malformed predicate expressions."""
 
 
+# Global count of Predicate.satisfied_by applications.  The pool-level
+# eligibility substrate exists to make this number scale with *distinct*
+# predicates rather than pool size; the ``overlap`` benchmark scenario
+# reads it around each flush to verify exactly that.
+_EVALUATIONS = 0
+
+
+def evaluation_count() -> int:
+    """Total ``Predicate.satisfied_by`` applications since process start
+    (or the last :func:`reset_evaluation_count`)."""
+    return _EVALUATIONS
+
+
+def reset_evaluation_count() -> None:
+    global _EVALUATIONS
+    _EVALUATIONS = 0
+
+
 class Atom:
     """One atomic formula ``attribute op constant``."""
 
@@ -76,13 +94,30 @@ class Atom:
         return f"{self.attribute} {self.op} {value}"
 
 
+def _atom_key(atom: Atom) -> Tuple[str, str, str, str]:
+    """Deterministic, type-safe sort key for canonical conjunct order."""
+    return (atom.attribute, atom.op, type(atom.value).__name__, repr(atom.value))
+
+
 class Predicate:
-    """A conjunction of :class:`Atom` (empty conjunction == always true)."""
+    """A conjunction of :class:`Atom` (empty conjunction == always true).
+
+    Atoms are **canonicalized at construction** — duplicates dropped and
+    conjuncts sorted by ``(attribute, op, value)`` — so structurally equal
+    predicates (``age > 25 & job = DB`` vs its permutation, or a repeated
+    atom) are *identical* objects in every observable way: ``==``,
+    ``hash``, ``repr``, and atom iteration order.  That is what lets the
+    pool-level :class:`~repro.engine.eligibility.SharedEligibilityIndex`
+    intern predicates as dict keys and share one eligible-node set across
+    every query using the same conjunction, however it was spelled.
+    """
 
     __slots__ = ("atoms",)
 
     def __init__(self, atoms: Iterable[Atom] = ()) -> None:
-        self.atoms: Tuple[Atom, ...] = tuple(atoms)
+        self.atoms: Tuple[Atom, ...] = tuple(
+            sorted(dict.fromkeys(atoms), key=_atom_key)
+        )
 
     @staticmethod
     def true() -> "Predicate":
@@ -94,6 +129,8 @@ class Predicate:
         return Predicate((Atom(attribute, "=", value),))
 
     def satisfied_by(self, attrs: Mapping[str, Any]) -> bool:
+        global _EVALUATIONS
+        _EVALUATIONS += 1
         return all(atom.satisfied_by(attrs) for atom in self.atoms)
 
     def conjoin(self, other: "Predicate") -> "Predicate":
@@ -105,10 +142,12 @@ class Predicate:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Predicate):
             return NotImplemented
-        return set(self.atoms) == set(other.atoms)
+        # Atoms are canonically ordered and deduped, so tuple comparison
+        # is order/multiplicity-insensitive equality of the conjunctions.
+        return self.atoms == other.atoms
 
     def __hash__(self) -> int:
-        return hash(frozenset(self.atoms))
+        return hash(self.atoms)
 
     def __repr__(self) -> str:
         if not self.atoms:

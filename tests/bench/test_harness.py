@@ -126,7 +126,9 @@ def test_bench_pool_tiny_emits_machine_readable_json(tmp_path):
     )
     assert proc.returncode == 0, proc.stderr
     doc = json.loads(out.read_text())
-    assert set(doc["scenarios"]) == {"simulation", "bounded", "bounded-shared"}
+    assert set(doc["scenarios"]) == {
+        "simulation", "bounded", "bounded-shared", "overlap",
+    }
     for name in ("simulation", "bounded"):
         scenario = doc["scenarios"][name]
         assert scenario["results"]
@@ -148,3 +150,75 @@ def test_bench_pool_tiny_emits_machine_readable_json(tmp_path):
     assert len(set(shared_upkeep)) == 1, shared_upkeep
     assert per_query_upkeep == sorted(per_query_upkeep)
     assert per_query_upkeep[-1] > per_query_upkeep[0]
+    # The eligibility substrate's headline: per-query predicate
+    # evaluations grow with N, shared evaluations do not (once the pool
+    # holds all distinct patterns).
+    overlap = doc["scenarios"]["overlap"]
+    assert overlap["results"]
+    for row in overlap["results"]:
+        assert {
+            "n", "shared_ms", "per_query_ms",
+            "shared_evals", "per_query_evals",
+        } <= set(row)
+    k = overlap["distinct_patterns"]
+    shared_evals = [
+        r["shared_evals"] for r in overlap["results"] if r["n"] >= k
+    ]
+    per_query_evals = [r["per_query_evals"] for r in overlap["results"]]
+    assert len(set(shared_evals)) == 1, shared_evals
+    assert per_query_evals == sorted(per_query_evals)
+    assert per_query_evals[-1] > per_query_evals[0]
+
+
+def test_compare_bench_trend_accumulates_over_history(tmp_path):
+    """compare_bench --trend: each run appends a snapshot, seeding from
+    the previous build's trend artifact, capped at --trend-cap."""
+    import importlib.util
+    import json
+    from pathlib import Path
+
+    spec = importlib.util.spec_from_file_location(
+        "compare_bench",
+        Path(__file__).resolve().parents[2] / "benchmarks" / "compare_bench.py",
+    )
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+
+    curr = tmp_path / "curr.json"
+    curr.write_text(json.dumps({
+        "scenarios": {
+            "overlap": {"results": [
+                {"n": 4, "shared_ms": 1.0, "per_query_ms": 2.0},
+            ]},
+        },
+    }))
+    trend = tmp_path / "trend.json"
+    prev_trend = tmp_path / "prev_trend.json"
+
+    # First build: no previous pool artifact, no previous trend — still
+    # writes a one-snapshot history and exits 0 (fail-soft compare).
+    assert mod.main([
+        str(tmp_path / "missing.json"), str(curr), "--trend", str(trend),
+    ]) == 0
+    history = json.loads(trend.read_text())
+    assert len(history) == 1
+    assert history[0]["costs"] == {
+        "overlap/n=4/shared_ms": 1.0,
+        "overlap/n=4/per_query_ms": 2.0,
+    }
+
+    # Later build seeds from the downloaded previous trend.
+    prev_trend.write_text(trend.read_text())
+    trend.unlink()
+    assert mod.main([
+        str(curr), str(curr),
+        "--trend", str(trend), "--trend-previous", str(prev_trend),
+    ]) == 0
+    assert len(json.loads(trend.read_text())) == 2
+
+    # The cap bounds the history.
+    for _ in range(5):
+        assert mod.main([
+            str(curr), str(curr), "--trend", str(trend), "--trend-cap", "3",
+        ]) == 0
+    assert len(json.loads(trend.read_text())) == 3

@@ -1,28 +1,54 @@
-"""Stateful differential fuzzer: shared substrate ≡ per-query ≡ batch.
+"""Stateful differential fuzzer: shared substrates ≡ per-query ≡ batch.
 
 Two :class:`~repro.engine.pool.MatcherPool` instances — one in
 ``distance_scope='shared'`` (the pool-level
 :class:`~repro.engine.distances.SharedDistanceSubstrate`), one in
 ``'per-query'`` (private distance structures, the fallback path) — are
 driven through the *same* seeded random op sequence: edge insert/delete
-churn, brand-new labelled nodes, attribute flips that gain/lose
-eligibility, attribute-less fresh nodes wired mid-flush, and bounded-query
-register/unregister mid-stream (which exercises substrate lease/release
-and structure drop/rebuild).  After every flush, each registered query's
-match set under both scopes must equal a from-scratch batch recomputation
-(:func:`~repro.matching.bounded.bounded_match`) on the current graph, and
-the substrate's member sets and ball fields must pass their exactness
-invariants.
+churn, brand-new labelled nodes, attribute flips (label *and* numeric
+``score``) that gain/lose eligibility mid-stream — including for
+conjunction predicates like ``label = A & score > 1`` whose canonical
+interning the eligibility substrate relies on — attribute-less fresh
+nodes wired mid-flush, and query register/unregister mid-stream (which
+exercises substrate lease/release and structure drop/rebuild).  Queries
+mix all three semantics — mostly bounded (the distance substrate's
+clients) with simulation and isomorphism blended in — so every index
+family's shared-eligibility paths (flip adoption, withdrawal cascades,
+embedding re-anchoring) run under the same churn.
+
+The sweep runs once per ``(distance mode × eligibility scope)``: the
+shared-distance pool takes the parametrized ``eligibility_scope`` while
+the per-query-distance pool takes the *opposite*, so all four
+(distance, eligibility) scope combinations are differentially exercised
+across the two parameter values.  After every flush, each registered
+query's match set under both pools must equal a from-scratch batch
+recomputation (:func:`~repro.matching.bounded.bounded_match`) on the
+current graph, and the eligibility member sets, ball fields, and leased
+minima must pass their exactness invariants.
 
 All randomness flows from ``random.Random`` seeds derived from a pinned
 base, so every failure message names the exact seed that replays it:
 
     SHARED_SUBSTRATE_SEQUENCES=1 PYTHONPATH=src python -m pytest \
-        "tests/differential/test_shared_substrate.py::test_shared_substrate_differential_fuzz[bfs]"
+        "tests/differential/test_shared_substrate.py::test_shared_substrate_differential_fuzz[bfs-shared]"
 
-then rerun ``_run_sequence(<seed>, "<mode>")`` from a REPL, or simply
-re-run the test — the sweep is deterministic end to end.  Scale with
-``SHARED_SUBSTRATE_SEQUENCES`` (default 200 sequences per distance mode).
+then rerun ``_run_sequence(<seed>, "<mode>", "<eligibility scope>")``
+from a REPL, or simply re-run the test — the sweep is deterministic end
+to end.  Scale with ``SHARED_SUBSTRATE_SEQUENCES`` (default 200 sequences
+per (distance mode × eligibility scope)).
+
+Mutation-tested: the sweep (at its default scale) catches each of these
+bugs injected one at a time into the new eligibility substrate —
+(1) ``observe_attr_change`` forgetting to notify loss listeners (ball
+sources never unpin), (2) ``observe_attr_change`` reporting a loss flip
+without removing the member (set/report desync, caught by the member
+invariants), (3) ``route_flips`` dropping lost-only flips (demotions
+never routed), (4) incsim's shared-layer adoption skipping the
+support-counter init (KeyError / drift on later cascades), and (5) the
+pool announcing fresh-node gains only *after* insertion routing
+(trivial-predicate balls lack the pinned distance-0 sources when the
+oracle rules on the very batch that wired them, so same-flush witness
+paths are declined).
 """
 
 from __future__ import annotations
@@ -36,53 +62,73 @@ from repro.engine import MatcherPool
 from repro.graphs.digraph import DiGraph
 from repro.incremental.types import delete, insert
 from repro.matching.bounded import bounded_match
+from repro.matching.isomorphism import iter_embeddings
 from repro.matching.relation import as_pairs, totalize
+from repro.matching.simulation import maximum_simulation
 from repro.patterns.pattern import Pattern
-from repro.patterns.predicate import Predicate
+from repro.patterns.predicate import Atom, Predicate
 
 MODES = ["bfs", "landmark", "matrix"]
+ELIGIBILITY_SCOPES = ["shared", "per-query"]
 SEQUENCES = int(os.environ.get("SHARED_SUBSTRATE_SEQUENCES", "200"))
 BASE_SEED = 0x5D1575
 FLUSHES = 3
 LABELS = ["A", "B", "C"]
+SCORES = [0, 1, 2]
 
 
 def _random_graph(rng: random.Random) -> DiGraph:
     n = rng.randint(2, 5)
     g = DiGraph()
     for v in range(n):
-        g.add_node(v, label=rng.choice(LABELS))
+        g.add_node(v, label=rng.choice(LABELS), score=rng.choice(SCORES))
     for _ in range(rng.randint(1, 2 * n)):
         g.add_edge(rng.randrange(n), rng.randrange(n))
     return g
 
 
-def _random_pattern(rng: random.Random) -> Pattern:
-    """A small b-pattern; ~1 in 3 nodes carries a trivial (TRUE)
-    predicate — the class whose routing soundness is scope-dependent."""
+def _random_predicate(rng: random.Random) -> Predicate:
+    """~1 in 3 trivial (TRUE, routing-soundness is scope-dependent), else
+    a label atom, sometimes conjoined with a score comparison — spelled
+    in random conjunct order, so structurally-equal predicates exercise
+    the canonical interning."""
+    if rng.random() < 0.35:
+        return Predicate.true()
+    atoms = [Atom("label", "=", rng.choice(LABELS))]
+    if rng.random() < 0.4:
+        atoms.append(Atom("score", rng.choice([">", ">=", "<"]), 1))
+        rng.shuffle(atoms)
+    return Predicate(atoms)
+
+
+def _random_pattern(rng: random.Random, normal: bool = False) -> Pattern:
+    """A small b-pattern over label/score predicates (``normal=True``
+    forces bound-1 edges, the class simulation/isomorphism accept)."""
     n = rng.randint(1, 3)
     p = Pattern()
     for u in range(n):
-        if rng.random() < 0.35:
-            p.add_node(u, Predicate.true())
-        else:
-            p.add_node(u, Predicate.label(rng.choice(LABELS)))
+        p.add_node(u, _random_predicate(rng))
     for u in range(n):
         for w in range(n):
             if u != w and rng.random() < 0.4:
-                p.add_edge(u, w, rng.choice([1, 2, 3, None]))
+                p.add_edge(u, w, 1 if normal else rng.choice([1, 2, 3, None]))
     return p
 
 
 class _Harness:
     """One differential run: two pools, one op stream, one oracle."""
 
-    def __init__(self, seed: int, mode: str) -> None:
+    def __init__(self, seed: int, mode: str, escope: str = "shared") -> None:
         self.rng = random.Random(seed)
         self.mode = mode
         base = _random_graph(self.rng)
-        self.shared = MatcherPool(base.copy(), distance_scope="shared")
-        self.per_query = MatcherPool(base.copy(), distance_scope="per-query")
+        other = "per-query" if escope == "shared" else "shared"
+        self.shared = MatcherPool(
+            base.copy(), distance_scope="shared", eligibility_scope=escope
+        )
+        self.per_query = MatcherPool(
+            base.copy(), distance_scope="per-query", eligibility_scope=other
+        )
         self.patterns = {}
         self._counter = 0
         self._next_node = 100
@@ -93,15 +139,28 @@ class _Harness:
         return (self.shared, self.per_query)
 
     def register(self) -> None:
-        pattern = _random_pattern(self.rng)
+        """Mostly bounded queries (the distance substrate's clients), with
+        a mix of simulation and isomorphism so every index family's
+        shared-eligibility paths (flip adoption, withdrawal cascades,
+        embedding re-anchoring) run under the same op stream."""
+        roll = self.rng.random()
+        if roll < 0.6:
+            semantics = "bounded"
+            pattern = _random_pattern(self.rng)
+        elif roll < 0.85:
+            semantics = "simulation"
+            pattern = _random_pattern(self.rng, normal=True)
+        else:
+            semantics = "isomorphism"
+            pattern = _random_pattern(self.rng, normal=True)
         name = f"q{self._counter}"
         self._counter += 1
         for pool in self.pools():
             pool.register(
-                pattern, semantics="bounded", name=name,
+                pattern, semantics=semantics, name=name,
                 distance_mode=self.mode,
             )
-        self.patterns[name] = pattern
+        self.patterns[name] = (semantics, pattern)
 
     def unregister(self) -> None:
         if len(self.patterns) <= 1:
@@ -140,24 +199,53 @@ class _Harness:
                 v = self._next_node
                 self._next_node += 1
                 label = rng.choice(LABELS)
+                score = rng.choice(SCORES)
                 for pool in self.pools():
-                    pool.queue_node(v, label=label)
+                    pool.queue_node(v, label=label, score=score)
             elif nodes:
                 # Attribute flip on an existing node: eligibility may be
-                # gained and lost, shrinking/growing member sets.
+                # gained and lost, shrinking/growing member sets — a
+                # label rewrite, a score-only merge (flipping conjunction
+                # predicates without touching the label), or both.
                 v = rng.choice(nodes)
-                label = rng.choice(LABELS)
+                attrs = {}
+                if rng.random() < 0.7:
+                    attrs["label"] = rng.choice(LABELS)
+                if rng.random() < 0.5 or not attrs:
+                    attrs["score"] = rng.choice(SCORES)
                 for pool in self.pools():
-                    pool.queue_node(v, label=label)
+                    pool.queue_node(v, **attrs)
         self.shared.flush()
         self.per_query.flush()
 
     def check(self) -> None:
         assert self.shared.graph == self.per_query.graph, "graph divergence"
-        for name, pattern in sorted(self.patterns.items()):
-            truth = as_pairs(
-                totalize(bounded_match(pattern, self.shared.graph))
-            )
+        for name, (semantics, pattern) in sorted(self.patterns.items()):
+            if semantics == "isomorphism":
+                truth_embs = {
+                    frozenset(e.items())
+                    for e in iter_embeddings(pattern, self.shared.graph)
+                }
+                for pool in self.pools():
+                    got = {
+                        frozenset(e.items())
+                        for e in pool.query(name).embeddings()
+                    }
+                    assert got == truth_embs, (
+                        f"embedding mismatch for {name} "
+                        f"(scope={pool.distance_scope}): "
+                        f"extra={got - truth_embs} "
+                        f"missing={truth_embs - got}"
+                    )
+                continue
+            if semantics == "simulation":
+                truth = as_pairs(
+                    totalize(maximum_simulation(pattern, self.shared.graph))
+                )
+            else:
+                truth = as_pairs(
+                    totalize(bounded_match(pattern, self.shared.graph))
+                )
             got_shared = as_pairs(self.shared.query(name).matches())
             got_per_query = as_pairs(self.per_query.query(name).matches())
             assert got_shared == truth, (
@@ -169,7 +257,9 @@ class _Harness:
                 f"extra={got_per_query - truth} "
                 f"missing={truth - got_per_query}"
             )
-        self.shared.substrate.check_invariants()
+        for pool in self.pools():
+            pool.substrate.check_invariants()
+            pool.eligibility.check_invariants()
 
     def check_oracles(self) -> None:
         """At quiescence every distance-routed oracle must agree with the
@@ -191,7 +281,9 @@ class _Harness:
             d = fwd[src].get(dst)
             return d is not None and (r is None or d <= r)
 
-        for name, pattern in sorted(self.patterns.items()):
+        for name, (semantics, pattern) in sorted(self.patterns.items()):
+            if semantics != "bounded":
+                continue
             for pool in self.pools():
                 q = pool.query(name)
                 if not q.distance_routed:
@@ -218,14 +310,18 @@ class _Harness:
                         )
 
     def check_deep(self) -> None:
-        """Pair-graph drift checks — pricier, run on a sample of steps."""
+        """Pair-graph / counter drift checks — pricier, run on a sample of
+        steps (isomorphism indexes have no structural invariants)."""
         for name in self.patterns:
-            self.shared.query(name).index.check_invariants()
-            self.per_query.query(name).index.check_invariants()
+            for pool in self.pools():
+                index = pool.query(name).index
+                check = getattr(index, "check_invariants", None)
+                if check is not None:
+                    check()
 
 
-def _run_sequence(seed: int, mode: str) -> None:
-    harness = _Harness(seed, mode)
+def _run_sequence(seed: int, mode: str, escope: str = "shared") -> None:
+    harness = _Harness(seed, mode, escope)
     for step in range(FLUSHES):
         roll = harness.rng.random()
         if roll < 0.15:
@@ -239,16 +335,18 @@ def _run_sequence(seed: int, mode: str) -> None:
             harness.check_deep()
 
 
+@pytest.mark.parametrize("escope", ELIGIBILITY_SCOPES)
 @pytest.mark.parametrize("mode", MODES)
-def test_shared_substrate_differential_fuzz(mode):
+def test_shared_substrate_differential_fuzz(mode, escope):
     for i in range(SEQUENCES):
         seed = BASE_SEED * 1_000 + i
         try:
-            _run_sequence(seed, mode)
+            _run_sequence(seed, mode, escope)
         except AssertionError as exc:
             raise AssertionError(
-                f"differential fuzz failure: mode={mode!r} seed={seed} — "
-                f"replay with _run_sequence({seed}, {mode!r})"
+                f"differential fuzz failure: mode={mode!r} "
+                f"eligibility_scope={escope!r} seed={seed} — replay with "
+                f"_run_sequence({seed}, {mode!r}, {escope!r})"
             ) from exc
 
 
@@ -270,6 +368,10 @@ def test_unregister_drops_structures_and_reregister_rebuilds(mode):
     assert live["landmark"] == 0
     assert live["matrix"] == 0
     assert live["fields"] == 0
+    assert live["minima_keys"] == 0
+    # Eligibility entries die with their last lease too (the query's
+    # candidate views and the substrate's field/minima members).
+    assert pool.eligibility.num_entries() == 0
     # Mutate while nothing leases, then re-register: index must be built
     # on the current graph and stay correct through further flushes.
     pool.apply([insert(1, 0), delete(0, 1)])

@@ -1,0 +1,212 @@
+"""Unit tests for the pool-wide predicate-eligibility substrate."""
+
+import pytest
+
+from repro.engine import MatcherPool, SharedEligibilityIndex
+from repro.engine.eligibility import EligibleSet
+from repro.graphs.digraph import DiGraph
+from repro.incremental.types import insert
+from repro.patterns.pattern import Pattern
+from repro.patterns.predicate import parse_predicate
+
+
+def _graph():
+    g = DiGraph()
+    g.add_node(1, label="A", age=30)
+    g.add_node(2, label="A", age=20)
+    g.add_node(3, label="B", age=40)
+    g.add_edge(1, 2)
+    g.add_edge(2, 3)
+    return g
+
+
+class TestLeases:
+    def test_lease_builds_once_and_interns_permutations(self):
+        g = _graph()
+        idx = SharedEligibilityIndex(g)
+        a = idx.lease(parse_predicate("label = A & age > 25"))
+        b = idx.lease(parse_predicate("age > 25 & label = A"))
+        assert a is b
+        assert a.refs == 2
+        assert a.members == {1}
+        assert idx.num_entries() == 1
+        assert idx.stats.sets_built == 1
+
+    def test_release_drops_at_zero(self):
+        g = _graph()
+        idx = SharedEligibilityIndex(g)
+        pred = parse_predicate("label = A")
+        idx.lease(pred)
+        idx.lease(pred)
+        idx.release(pred)
+        assert idx.num_entries() == 1
+        idx.release(pred)
+        assert idx.num_entries() == 0
+        # A fresh lease rebuilds from the current graph.
+        g.add_node(4, label="A")
+        assert idx.lease(pred).members == {1, 2, 4}
+
+    def test_trivial_predicate_members_everything(self):
+        g = _graph()
+        idx = SharedEligibilityIndex(g)
+        entry = idx.lease(parse_predicate(""))
+        assert entry.members == {1, 2, 3}
+
+
+class TestObservation:
+    def test_node_added_reports_gains_only(self):
+        g = _graph()
+        idx = SharedEligibilityIndex(g)
+        pa = parse_predicate("label = A")
+        pb = parse_predicate("label = B")
+        ea, eb = idx.lease(pa), idx.lease(pb)
+        g.add_node(4, label="A")
+        flips = idx.observe_node_added(4)
+        assert flips == [(pa, True)]
+        assert 4 in ea.members and 4 not in eb.members
+
+    def test_attr_change_flips_and_versions(self):
+        g = _graph()
+        idx = SharedEligibilityIndex(g)
+        pa = parse_predicate("label = A")
+        conj = parse_predicate("label = B & age > 25")
+        ea, ec = idx.lease(pa), idx.lease(conj)
+        va, vc = ea.version, ec.version
+        g.add_node(1, label="B")  # label A -> B, age stays 30
+        flips = dict(idx.observe_attr_change(1))
+        assert flips == {pa: False, conj: True}
+        assert ea.version == va + 1 and ec.version == vc + 1
+        assert 1 not in ea.members and 1 in ec.members
+        # A no-op merge flips nothing and bumps nothing.
+        before = (ea.version, ec.version)
+        assert idx.observe_attr_change(1) == []
+        assert (ea.version, ec.version) == before
+
+    def test_changed_names_prune_unrelated_predicates(self):
+        g = _graph()
+        idx = SharedEligibilityIndex(g)
+        idx.lease(parse_predicate("label = A"))
+        idx.lease(parse_predicate("age > 25"))
+        idx.lease(parse_predicate(""))  # trivial: no attr can flip it
+        idx.stats.reset()
+        g.add_node(1, weight=3)  # attribute no predicate mentions
+        assert idx.observe_attr_change(1, ["weight"]) == []
+        assert idx.stats.predicate_evals == 0
+        g.add_node(1, age=10)
+        flips = idx.observe_attr_change(1, ["age"])
+        assert idx.stats.predicate_evals == 1  # only the age predicate
+        assert flips == [(parse_predicate("age > 25"), False)]
+
+    def test_one_evaluation_per_distinct_predicate_per_event(self):
+        g = _graph()
+        idx = SharedEligibilityIndex(g)
+        idx.lease(parse_predicate("label = A"))
+        idx.lease(parse_predicate("A = 1 & b = 2"))
+        idx.stats.reset()
+        g.add_node(9, label="A")
+        idx.observe_node_added(9)
+        assert idx.stats.predicate_evals == 2  # one per interned entry
+
+    def test_listeners_fire_after_mutation(self):
+        g = _graph()
+        idx = SharedEligibilityIndex(g)
+        pred = parse_predicate("label = A")
+        entry = idx.lease(pred)
+        seen = []
+        token = idx.add_listener(
+            pred,
+            lambda v: seen.append(("gain", v, v in entry.members)),
+            lambda v: seen.append(("loss", v, v in entry.members)),
+        )
+        g.add_node(3, label="A")
+        idx.observe_attr_change(3)
+        g.add_node(3, label="C")
+        idx.observe_attr_change(3)
+        assert seen == [("gain", 3, True), ("loss", 3, False)]
+        idx.remove_listener(pred, token)
+        g.add_node(3, label="A")
+        idx.observe_attr_change(3)
+        assert len(seen) == 2
+
+    def test_check_invariants_catches_drift(self):
+        g = _graph()
+        idx = SharedEligibilityIndex(g)
+        entry = idx.lease(parse_predicate("label = A"))
+        idx.check_invariants()
+        entry.members.add(3)  # corrupt
+        with pytest.raises(AssertionError):
+            idx.check_invariants()
+
+
+class TestPoolIntegration:
+    def test_same_predicate_queries_share_sets(self):
+        g = _graph()
+        pool = MatcherPool(g)
+        p = Pattern.normal_from_labels({"x": "A", "y": "B"}, [("x", "y")])
+        q1 = pool.register(p, semantics="simulation", name="q1")
+        q2 = pool.register(p, semantics="simulation", name="q2")
+        assert q1.index.eligible["x"] is q2.index.eligible["x"]
+        assert pool.eligibility.num_entries() == 2
+
+    def test_per_query_scope_keeps_private_sets(self):
+        g = _graph()
+        pool = MatcherPool(g, eligibility_scope="per-query")
+        p = Pattern.normal_from_labels({"x": "A", "y": "B"}, [("x", "y")])
+        q1 = pool.register(p, semantics="simulation", name="q1")
+        q2 = pool.register(p, semantics="simulation", name="q2")
+        assert q1.index.eligible["x"] is not q2.index.eligible["x"]
+        assert pool.eligibility.num_entries() == 0
+
+    def test_unregister_releases_leases(self):
+        g = _graph()
+        pool = MatcherPool(g)
+        p = Pattern.normal_from_labels({"x": "A", "y": "B"}, [("x", "y")])
+        q1 = pool.register(p, semantics="simulation", name="q1")
+        pool.register(p, semantics="simulation", name="q2")
+        pool.unregister(q1)
+        assert pool.eligibility.num_entries() == 2  # q2 still leases
+        pool.unregister(pool.query("q2"))
+        assert pool.eligibility.num_entries() == 0
+
+    def test_flip_routing_repairs_all_semantics(self):
+        g = _graph()
+        pool = MatcherPool(g)
+        sim = Pattern.normal_from_labels({"x": "A", "y": "B"}, [("x", "y")])
+        bnd = Pattern.from_spec(
+            {"x": "label = A", "y": "label = B"}, [("x", "y", 2)]
+        )
+        qs = pool.register(sim, semantics="simulation", name="s")
+        qb = pool.register(bnd, semantics="bounded", name="b")
+        qi = pool.register(sim, semantics="isomorphism", name="i")
+        pool.update_node_attrs(2, label="B")
+        assert ("y", 2) in (
+            (u, v) for u, vs in qs.matches().items() for v in vs
+        )
+        assert 2 in qb.matches()["y"]
+        assert any(emb["y"] == 2 for emb in qi.embeddings())
+        pool.update_node_attrs(3, label="C")  # loses y for node 3
+        pool.eligibility.check_invariants()
+
+    def test_scope_override_per_register(self):
+        g = _graph()
+        pool = MatcherPool(g, eligibility_scope="shared")
+        p = Pattern.normal_from_labels({"x": "A", "y": "B"}, [("x", "y")])
+        q1 = pool.register(p, semantics="simulation", name="q1")
+        q2 = pool.register(
+            p, semantics="simulation", name="q2",
+            eligibility_scope="per-query",
+        )
+        assert q1.shared_eligibility and not q2.shared_eligibility
+        # Both repair identically through a flip.
+        pool.update_node_attrs(2, label="B")
+        assert q1.matches() == q2.matches()
+
+    def test_fresh_wired_node_reaches_shared_sets_before_routing(self):
+        g = _graph()
+        pool = MatcherPool(g)
+        p = Pattern.from_spec({"x": "", "y": "label = B"}, [("x", "y", 2)])
+        q = pool.register(p, semantics="bounded", name="q")
+        # Wire a brand-new attribute-less node straight to 3 (label B):
+        # it satisfies TRUE immediately and must appear in the match.
+        pool.apply([insert(99, 3)])
+        assert 99 in q.matches().get("x", set())

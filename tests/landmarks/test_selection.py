@@ -6,6 +6,7 @@ from hypothesis import given, settings
 from repro.graphs.digraph import DiGraph
 from repro.graphs.generators import complete_graph, cycle_graph, star, synthetic_graph
 from repro.landmarks.selection import (
+    LandmarkBudget,
     greedy_degree_cover,
     matching_vertex_cover,
     select_landmarks,
@@ -82,3 +83,82 @@ class TestEntryPoint:
 def test_all_strategies_yield_valid_covers(g):
     for fn in COVERS:
         assert is_vertex_cover(g, fn(g))
+
+
+class TestLandmarkBudget:
+    """BatchLM re-selection trigger: bounds InsLM's monotone growth."""
+
+    def _index(self, n=6):
+        from repro.landmarks.vector import LandmarkIndex
+
+        return LandmarkIndex(cycle_graph(n)), cycle_graph(n)
+
+    def test_rejects_sub_one_slack(self):
+        with pytest.raises(ValueError):
+            LandmarkBudget(slack=0.5)
+
+    def test_not_exceeded_at_baseline(self):
+        lm, _ = self._index()
+        assert not LandmarkBudget(slack=1.0, floor=0).exceeded(lm)
+
+    def test_exceeded_after_inslm_growth(self):
+        from repro.landmarks.vector import LandmarkIndex
+
+        g = cycle_graph(4)
+        lm = LandmarkIndex(g)
+        budget = LandmarkBudget(slack=1.0, floor=0)
+        # Wire fresh uncovered node pairs: each InsLM repair may add a
+        # landmark, so the live set outgrows the baseline selection.
+        for i in range(10):
+            a, b = f"n{i}a", f"n{i}b"
+            g.add_node(a)
+            g.add_node(b)
+            g.add_edge(a, b)
+            lm.insert_edge(a, b)
+        assert len(lm.landmarks()) > lm.selected_size
+        assert budget.exceeded(lm)
+        lm.rebuild()
+        assert lm.selected_size == len(lm.landmarks())
+        assert not budget.exceeded(lm)
+
+    def test_floor_suppresses_tiny_rebuilds(self):
+        from repro.landmarks.vector import LandmarkIndex
+
+        g = cycle_graph(4)
+        lm = LandmarkIndex(g)
+        g.add_node("x")
+        g.add_node("y")
+        g.add_edge("x", "y")
+        lm.insert_edge("x", "y")
+        assert not LandmarkBudget(slack=1.0, floor=50).exceeded(lm)
+
+    def test_pool_flush_triggers_batchlm_reselection(self):
+        """Long-lived shared pools: landmark growth is re-selected away at
+        flush once the budget trips, and matches stay correct."""
+        from repro.engine import MatcherPool
+        from repro.incremental.types import insert
+        from repro.matching.bounded import bounded_match
+        from repro.matching.relation import as_pairs, totalize
+        from repro.patterns.pattern import Pattern
+
+        g = cycle_graph(4)
+        for v in g.nodes():
+            g.add_node(v, label="A")
+        pool = MatcherPool(g, lm_budget=LandmarkBudget(slack=1.0, floor=0))
+        p = Pattern.from_spec(
+            {"x": "label = A", "y": "label = A"}, [("x", "y", 2)]
+        )
+        q = pool.register(
+            p, semantics="bounded", name="q", distance_mode="landmark"
+        )
+        lm = pool.substrate.landmark_index()
+        grown = False
+        for i in range(12):
+            pool.apply([insert(f"m{i}a", f"m{i}b")])
+            grown = grown or len(lm.landmarks()) > lm.selected_size
+        assert pool.substrate.stats.lm_rebuilds > 0
+        # Post-rebuild the live set matches a fresh selection and the
+        # budget holds again.
+        assert not pool.substrate.lm_budget.exceeded(lm)
+        truth = as_pairs(totalize(bounded_match(p, pool.graph)))
+        assert as_pairs(q.matches()) == truth

@@ -87,6 +87,62 @@ class TestPredicate:
         assert "&" in repr(Predicate([Atom("x", "=", 1), Atom("y", "=", 2)]))
 
 
+class TestCanonicalization:
+    """Structurally-equal predicates must intern to one eligibility key."""
+
+    def test_conjunct_order_normalized(self):
+        a = parse_predicate("age > 25 & job = DB")
+        b = parse_predicate("job = DB & age > 25")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a.atoms == b.atoms  # canonical order, not just set-equality
+        assert repr(a) == repr(b)
+
+    def test_repeated_atoms_deduped(self):
+        a = parse_predicate("job = DB & job = DB")
+        b = parse_predicate("job = DB")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len(a.atoms) == 1
+
+    def test_dict_interning(self):
+        table = {parse_predicate("a = 1 & b = 2"): "entry"}
+        assert table[parse_predicate("b = 2 & a = 1")] == "entry"
+        assert len({parse_predicate("x > 1 & x > 1"), parse_predicate("x > 1")}) == 1
+
+    def test_conjoin_canonicalizes(self):
+        p = Predicate([Atom("y", "=", 2)]).conjoin(Predicate([Atom("a", "=", 1)]))
+        q = Predicate([Atom("a", "=", 1), Atom("y", "=", 2)])
+        assert p == q and p.atoms == q.atoms
+
+    def test_distinct_ops_and_values_not_conflated(self):
+        assert parse_predicate("x > 1") != parse_predicate("x >= 1")
+        assert parse_predicate("x = 1") != parse_predicate("x = '1'")
+
+    def test_mixed_value_types_sort_safely(self):
+        # int and str constants on the same attribute must not raise.
+        p = Predicate([Atom("x", "=", "a"), Atom("x", "=", 1)])
+        assert len(p.atoms) == 2
+
+    def test_semantics_preserved(self):
+        p = parse_predicate("age > 25 & age < 60 & job = DB")
+        assert p.satisfied_by({"age": 30, "job": "DB"})
+        assert not p.satisfied_by({"age": 61, "job": "DB"})
+        assert not p.satisfied_by({"age": 30, "job": "AI"})
+
+    def test_evaluation_counter(self):
+        from repro.patterns import predicate as predmod
+
+        predmod.reset_evaluation_count()
+        p = parse_predicate("a = 1")
+        p.satisfied_by({"a": 1})
+        p.satisfied_by({"a": 2})
+        Predicate.true().satisfied_by({})
+        assert predmod.evaluation_count() == 3
+        predmod.reset_evaluation_count()
+        assert predmod.evaluation_count() == 0
+
+
 class TestParser:
     def test_empty_is_true(self):
         assert parse_predicate("") == Predicate.true()
