@@ -10,16 +10,24 @@
   structures (landmark vectors / matrix / ball fields) leased by bounded
   queries so upkeep is paid once per pool, not once per query;
 - :class:`SharedEligibilityIndex` — pool-level predicate-eligibility
-  substrate: one version-counted eligible-node set per *distinct*
-  predicate, leased as read-views by queries and by the distance
-  substrate, so per-flush predicate evaluations scale with distinct
-  predicates rather than pool size;
+  substrate, two-tiered: one posting set per distinct *atom* (evaluated
+  once per node event pool-wide) composed into one eligible-node set per
+  distinct *predicate* (an intersection view reconciled in O(1) per atom
+  flip), leased as read-views by queries and by the distance substrate,
+  so per-flush atomic evaluations scale with distinct atoms rather than
+  distinct conjunctions or pool size;
 - :class:`MatchDelta` / :class:`ChangeFeed` — the per-flush diff events
   and their drainable subscriber buffers.
 """
 
 from .distances import SharedDistanceSubstrate, SubstrateStats
-from .eligibility import EligibilityStats, EligibleSet, SharedEligibilityIndex
+from .eligibility import (
+    AtomEntry,
+    EligibilityLeaseError,
+    EligibilityStats,
+    EligibleSet,
+    SharedEligibilityIndex,
+)
 from .feeds import ChangeFeed, MatchDelta
 from .pool import FlushReport, MatcherPool, PoolStats
 from .query import ContinuousQuery, build_index
@@ -32,8 +40,10 @@ __all__ = [
     "SharedDistanceSubstrate",
     "SubstrateStats",
     "SharedEligibilityIndex",
+    "AtomEntry",
     "EligibleSet",
     "EligibilityStats",
+    "EligibilityLeaseError",
     "MatchDelta",
     "ChangeFeed",
     "FlushReport",

@@ -225,6 +225,13 @@ class SharedDistanceSubstrate:
         candidate views alias), and membership flips reach the field
         through the substrate's listener hooks — each flip updates each
         live field exactly once, however many queries lease it.
+
+        The substrate keeps a zero-ref entry alive (member set mutated in
+        place) while our listener remains registered, so the field stays
+        exact even if every query lease on the predicate is released and
+        re-acquired while the field itself persists; on release we detach
+        the listener *before* releasing the lease so the entry can die
+        with its last reference.
         """
         key: FieldKey = (predicate, radius, reverse)
         entry = self._fields.get(key)

@@ -1,4 +1,4 @@
-"""Pool-wide predicate-eligibility substrate.
+"""Pool-wide predicate-eligibility substrate (two-tier: atoms, conjunctions).
 
 Every incremental index in this codebase starts from per-pattern-node
 candidate sets (the paper's ``candt``/``match`` seeds): the nodes whose
@@ -10,28 +10,40 @@ predicate on the same churned node up to 64 times per flush.
 
 :class:`SharedEligibilityIndex` is the "one maintained auxiliary structure
 per sub-formula" move of answering queries under updates (Berkholz–
-Keppeler–Schweikardt) applied to predicates:
+Keppeler–Schweikardt) applied to predicates, taken down to the atom level:
 
 - predicates are **interned** into canonical keys
   (:class:`~repro.patterns.predicate.Predicate` canonicalizes conjunct
   order and dedupes atoms at construction, so ``age>25 & job=DB`` and its
   permutation hash equal);
+- per distinct **atom** the index owns one version-counted posting set
+  (:class:`AtomEntry`), evaluated **once** per node event pool-wide —
+  ``job = 'DB'`` and ``job = 'DB' & age > 25`` pay for the shared atom
+  once, however many conjunctions use it;
 - per interned predicate the index owns **one** version-counted
-  :class:`EligibleSet` of currently-satisfying data nodes, built on first
-  lease and updated **once** per node event per flush — however many
-  queries, pattern nodes, or distance-substrate ball fields read it;
+  :class:`EligibleSet` of currently-satisfying data nodes, maintained as
+  an **intersection view** over its atoms' posting sets: an atom flip
+  reconciles each dependent conjunction with O(1) membership checks
+  against the sibling atoms' sets instead of re-evaluating the
+  conjunction;
 - consumers hold refcounted **leases**; a set whose last lease is released
-  is dropped so the pool stops paying its upkeep;
+  is dropped so the pool stops paying its upkeep — *unless* flip listeners
+  remain attached, in which case the entry is kept alive so a later
+  re-lease finds every downstream hook still wired.  Unbalanced releases
+  (double-release, never-leased release) raise
+  :class:`EligibilityLeaseError` instead of silently corrupting refcounts;
+- a :meth:`~repro.patterns.predicate.Predicate.is_unsatisfiable`
+  conjunction short-circuits to an empty, upkeep-free set: no atom leases,
+  no reconciliation, nothing to maintain;
 - membership flips notify registered **listeners** (the distance
   substrate's :class:`~repro.incremental.ballsummary.BallField` sources
   and the shared landmark leg-minima cache), in set-already-mutated order,
   so every downstream structure sees each flip exactly once.
 
 The pool invokes :meth:`observe_node_added` / :meth:`observe_attr_change`
-once per node event during flush phase A and routes the returned *flips*
-(gained/lost predicate verdicts) to exactly the queries whose patterns use
-a flipped predicate — replacing the per-query ``touches_attr_change`` /
-``touches_node`` predicate re-evaluation of the old router stage.
+once per node event during flush phase A, batches the returned *flips*
+(gained/lost predicate verdicts) across the whole flush, and routes one
+repair pass to exactly the queries whose patterns use a flipped predicate.
 
 ``eligibility_scope='per-query'`` (pool- or per-register) keeps the
 private-copy fallback, which the differential fuzz harness pits against
@@ -40,10 +52,10 @@ this substrate flush for flush.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from ..graphs.digraph import DiGraph, Node
-from ..patterns.predicate import Predicate
+from ..patterns.predicate import Atom, Predicate
 
 # (on_gain, on_loss) callbacks invoked after the member set was mutated.
 Listener = Tuple[Callable[[Node], None], Callable[[Node], None]]
@@ -51,58 +63,111 @@ Listener = Tuple[Callable[[Node], None], Callable[[Node], None]]
 Flip = Tuple[Predicate, bool]
 
 
-class EligibilityStats:
-    """Work counters: how many predicate applications the pool paid, and
-    how they amortize (the quantity sharing makes scale with *distinct*
-    predicates instead of pool size)."""
+class EligibilityLeaseError(RuntimeError):
+    """Unbalanced lease lifecycle: releasing a predicate that was never
+    leased, or more times than it was leased."""
 
-    __slots__ = ("sets_built", "predicate_evals", "node_events", "flips")
+
+class EligibilityStats:
+    """Work counters: how many atomic comparisons the pool paid, and how
+    they amortize (the quantity the atom tier makes scale with *distinct
+    atoms* instead of distinct conjunctions or pool size)."""
+
+    __slots__ = (
+        "sets_built",
+        "atom_sets_built",
+        "atom_evals",
+        "node_events",
+        "flips",
+    )
 
     def __init__(self) -> None:
         self.reset()
 
     def reset(self) -> None:
         self.sets_built = 0
-        self.predicate_evals = 0
+        self.atom_sets_built = 0
+        self.atom_evals = 0
         self.node_events = 0
         self.flips = 0
 
     def __repr__(self) -> str:
         return (
             f"EligibilityStats(sets={self.sets_built}, "
-            f"evals={self.predicate_evals}, events={self.node_events}, "
+            f"atom_sets={self.atom_sets_built}, "
+            f"atom_evals={self.atom_evals}, events={self.node_events}, "
             f"flips={self.flips})"
+        )
+
+
+class AtomEntry:
+    """One distinct atom's posting set — the substrate's bottom tier.
+
+    ``members`` holds the nodes currently satisfying the atom; **only**
+    the owning :class:`SharedEligibilityIndex` mutates it.  ``dependents``
+    lists the conjunction :class:`EligibleSet`\\ s whose verdicts read this
+    atom, so an atom flip knows exactly which views to reconcile.  Atoms
+    are refcounted by the conjunctions leasing them, not by consumers
+    directly.
+    """
+
+    __slots__ = ("atom", "members", "version", "refs", "dependents")
+
+    def __init__(self, atom: Atom, members: Set[Node]) -> None:
+        self.atom = atom
+        self.members = members
+        self.version = 0
+        self.refs = 0
+        self.dependents: List["EligibleSet"] = []
+
+    def __repr__(self) -> str:
+        return (
+            f"AtomEntry({self.atom!r}, |members|={len(self.members)}, "
+            f"refs={self.refs}, dependents={len(self.dependents)})"
         )
 
 
 class EligibleSet:
     """One interned predicate's eligible-node set — a shared read-view.
 
-    ``members`` is the live set; **only** the owning
-    :class:`SharedEligibilityIndex` mutates it.  ``version`` bumps on
-    every membership change — an introspection/change-detection counter
-    (surfaced via ``live_entries``) for consumers that poll rather than
-    subscribe; the current downstream caches (ball-field sources, the
-    substrate's landmark leg minima) are push-invalidated through the
-    flip ``listeners`` instead.
+    ``members`` is the live set — the intersection of ``atom_entries``
+    posting sets, maintained incrementally; **only** the owning
+    :class:`SharedEligibilityIndex` mutates it (in place: downstream
+    aliases — ball-field source sets, leg-minima caches, the queries'
+    edge-routing pairs — hold the *object*, never a copy).  ``version``
+    bumps on every membership change — an introspection/change-detection
+    counter (surfaced via ``live_entries``) for consumers that poll rather
+    than subscribe; the current downstream caches are push-invalidated
+    through the flip ``listeners`` instead.
+
+    ``atom_entries`` is empty for the trivial (TRUE) predicate — every
+    node is a member — and for unsatisfiable conjunctions — no node ever
+    is, and nothing needs upkeep.
     """
 
     __slots__ = (
         "predicate",
         "members",
+        "atom_entries",
         "attr_names",
         "version",
         "refs",
         "listeners",
     )
 
-    def __init__(self, predicate: Predicate, members: Set[Node]) -> None:
+    def __init__(
+        self,
+        predicate: Predicate,
+        members: Set[Node],
+        atom_entries: Tuple[AtomEntry, ...] = (),
+    ) -> None:
         self.predicate = predicate
         self.members = members
+        self.atom_entries = atom_entries
         # The attributes the verdict depends on: an attr merge touching
         # none of them cannot flip membership, so observation skips the
         # evaluation entirely (the attr-name routing stage, kept at the
-        # substrate level).
+        # substrate level — now per atom via ``_by_attr``).
         self.attr_names = frozenset(a.attribute for a in predicate.atoms)
         self.version = 0
         self.refs = 0
@@ -122,11 +187,18 @@ class EligibleSet:
 
 
 class SharedEligibilityIndex:
-    """One eligible-node set per distinct predicate per pool."""
+    """One eligible-node set per distinct predicate per pool, composed
+    from one posting set per distinct atom."""
 
     def __init__(self, graph: DiGraph) -> None:
         self._graph = graph
         self._entries: Dict[Predicate, EligibleSet] = {}
+        self._atoms: Dict[Atom, AtomEntry] = {}
+        # attribute name -> {atom: entry}: the attr-change pruning index.
+        self._by_attr: Dict[str, Dict[Atom, AtomEntry]] = {}
+        # Trivial (TRUE) entries: no atoms to flip them, but a fresh node
+        # always gains them, so node-added must reconcile them explicitly.
+        self._trivial: List[EligibleSet] = []
         self.stats = EligibilityStats()
 
     # ------------------------------------------------------------------
@@ -138,29 +210,89 @@ class SharedEligibilityIndex:
         Structurally-equal predicates — whatever their spelling — intern
         to the same entry; the caller must treat ``entry.members`` as
         read-only and :meth:`release` with an equal predicate later.
+        Building a conjunction leases its atoms, so atoms already posted
+        for other conjunctions cost nothing; a brand-new atom is evaluated
+        once over the graph.
         """
         entry = self._entries.get(predicate)
         if entry is None:
-            members = {
-                v
-                for v in self._graph.nodes()
-                if predicate.satisfied_by(self._graph.attrs(v))
-            }
-            self.stats.predicate_evals += self._graph.num_nodes()
-            self.stats.sets_built += 1
-            entry = EligibleSet(predicate, members)
+            entry = self._build(predicate)
             self._entries[predicate] = entry
         entry.refs += 1
         return entry
 
+    def _build(self, predicate: Predicate) -> EligibleSet:
+        self.stats.sets_built += 1
+        if predicate.is_unsatisfiable():
+            # Contradictory conjunction: empty forever, zero upkeep — no
+            # atom leases, nothing for observation to reconcile.
+            return EligibleSet(predicate, set())
+        if predicate.is_trivial():
+            entry = EligibleSet(predicate, set(self._graph.nodes()))
+            self._trivial.append(entry)
+            return entry
+        atom_entries = tuple(
+            self._lease_atom(atom) for atom in predicate.atoms
+        )
+        members = set.intersection(*(ae.members for ae in atom_entries))
+        entry = EligibleSet(predicate, members, atom_entries)
+        for ae in atom_entries:
+            ae.dependents.append(entry)
+        return entry
+
+    def _lease_atom(self, atom: Atom) -> AtomEntry:
+        ae = self._atoms.get(atom)
+        if ae is None:
+            members = {
+                v
+                for v in self._graph.nodes()
+                if atom.satisfied_by(self._graph.attrs(v))
+            }
+            self.stats.atom_evals += self._graph.num_nodes()
+            self.stats.atom_sets_built += 1
+            ae = AtomEntry(atom, members)
+            self._atoms[atom] = ae
+            self._by_attr.setdefault(atom.attribute, {})[atom] = ae
+        ae.refs += 1
+        return ae
+
     def release(self, predicate: Predicate) -> None:
-        """Release one lease; the entry dies with its last lease."""
+        """Release one lease; the entry dies with its last lease *unless*
+        flip listeners remain attached (they keep it alive so a later
+        re-lease finds them still wired).
+
+        Raises :class:`EligibilityLeaseError` on a never-leased predicate
+        or on more releases than leases — both indicate a consumer
+        lifecycle bug that would otherwise drop sets other holders still
+        read.
+        """
         entry = self._entries.get(predicate)
         if entry is None:
-            return
-        entry.refs -= 1
+            raise EligibilityLeaseError(
+                f"release of never-leased predicate {predicate!r}"
+            )
         if entry.refs <= 0:
-            del self._entries[predicate]
+            raise EligibilityLeaseError(
+                f"unbalanced release of {predicate!r}: "
+                "already at zero leases (kept alive by listeners)"
+            )
+        entry.refs -= 1
+        if entry.refs == 0 and not entry.listeners:
+            self._drop(entry)
+
+    def _drop(self, entry: EligibleSet) -> None:
+        del self._entries[entry.predicate]
+        for ae in entry.atom_entries:
+            ae.dependents.remove(entry)
+            ae.refs -= 1
+            if ae.refs == 0:
+                del self._atoms[ae.atom]
+                bucket = self._by_attr[ae.atom.attribute]
+                del bucket[ae.atom]
+                if not bucket:
+                    del self._by_attr[ae.atom.attribute]
+        if not entry.atom_entries and entry.predicate.is_trivial():
+            self._trivial.remove(entry)
 
     # ------------------------------------------------------------------
     # Flip listeners
@@ -175,7 +307,9 @@ class SharedEligibilityIndex:
 
         Callbacks run after the member set is mutated (the contract of
         :meth:`BallField.source_gained` / ``source_lost``).  Returns the
-        token to pass to :meth:`remove_listener`.
+        token to pass to :meth:`remove_listener`.  Listeners keep the
+        entry alive across a refcount zero, so release/re-lease cycles
+        cannot silently unhook downstream structures.
         """
         entry = self._entries[predicate]
         token: Listener = (on_gain, on_loss)
@@ -188,7 +322,11 @@ class SharedEligibilityIndex:
             try:
                 entry.listeners.remove(token)
             except ValueError:
-                pass
+                return
+            if entry.refs <= 0 and not entry.listeners:
+                # The last listener was the only thing keeping a
+                # zero-lease entry alive.
+                self._drop(entry)
 
     # ------------------------------------------------------------------
     # Observation (invoked once per node event by the pool, post-edit)
@@ -196,46 +334,78 @@ class SharedEligibilityIndex:
     def observe_node_added(self, v: Node) -> List[Flip]:
         """A node appeared in the shared graph (attrs already applied).
 
-        Evaluates every interned predicate **once** and returns the gains;
-        a fresh attribute-less node gains exactly the trivial (TRUE)
-        predicates, which is what makes routing such nodes' edges through
-        shared ball fields sound (the pool announces them before insertion
-        routing).
+        Evaluates every interned **atom** once (not every conjunction),
+        posts the satisfied ones, and reconciles only the dependent
+        conjunction views.  Returns the gains; a fresh attribute-less node
+        gains exactly the trivial (TRUE) predicates, which is what makes
+        routing such nodes' edges through shared ball fields sound (the
+        pool announces them before insertion routing).
         """
         self.stats.node_events += 1
         attrs = self._graph.attrs(v)
-        flips: List[Flip] = []
-        for predicate, entry in self._entries.items():
-            self.stats.predicate_evals += 1
-            if v not in entry.members and predicate.satisfied_by(attrs):
-                entry.members.add(v)
-                entry.version += 1
-                flips.append((predicate, True))
-                for on_gain, _ in entry.listeners:
-                    on_gain(v)
-        self.stats.flips += len(flips)
-        return flips
+        affected: Set[int] = {id(entry) for entry in self._trivial}
+        for ae in self._atoms.values():
+            self.stats.atom_evals += 1
+            now = ae.atom.satisfied_by(attrs)
+            was = v in ae.members
+            if now is not was:
+                (ae.members.add if now else ae.members.discard)(v)
+                ae.version += 1
+                for dep in ae.dependents:
+                    affected.add(id(dep))
+        return self._reconcile(v, affected)
 
     def observe_attr_change(self, v: Node, changed_names=None) -> List[Flip]:
         """Node ``v``'s attributes changed (already merged into the graph).
 
-        Membership before the change is read off the member sets
+        Membership before the change is read off the posting sets
         themselves, so no pre-edit attribute snapshot is needed.
         ``changed_names`` (the merged attribute names, when the caller
-        has them) prunes the scan: a predicate mentioning none of them
-        cannot flip, so it is not evaluated at all.  Returns every
-        verdict flip; the pool routes repair to exactly the queries
-        whose patterns use a flipped predicate.
+        has them) prunes the scan to the atoms over those attributes: an
+        atom mentioning none of them cannot flip, so it is not evaluated
+        at all — and a conjunction none of whose atoms flipped is not
+        reconciled.  Returns every verdict flip; the pool batches them
+        across the flush and routes one repair pass to exactly the
+        queries whose patterns use a flipped predicate.
         """
         self.stats.node_events += 1
-        new_attrs = self._graph.attrs(v)
-        names = None if changed_names is None else frozenset(changed_names)
+        attrs = self._graph.attrs(v)
+        if changed_names is None:
+            candidates: Iterable[AtomEntry] = list(self._atoms.values())
+        else:
+            candidates = [
+                ae
+                for name in frozenset(changed_names)
+                for ae in self._by_attr.get(name, {}).values()
+            ]
+        affected: Set[int] = set()
+        for ae in candidates:
+            self.stats.atom_evals += 1
+            now = ae.atom.satisfied_by(attrs)
+            was = v in ae.members
+            if now is not was:
+                (ae.members.add if now else ae.members.discard)(v)
+                ae.version += 1
+                for dep in ae.dependents:
+                    affected.add(id(dep))
+        return self._reconcile(v, affected)
+
+    def _reconcile(self, v: Node, affected: Set[int]) -> List[Flip]:
+        """Re-derive membership of ``v`` in each affected conjunction view
+        from its atoms' (already updated) posting sets, fire listeners in
+        set-already-mutated order, and return the flips.
+
+        Iterates ``_entries`` in interning order so flip order is
+        deterministic per event.  Unsatisfiable entries are never wired to
+        atoms or ``_trivial``, so they can never appear here.
+        """
         flips: List[Flip] = []
+        if not affected:
+            return flips
         for predicate, entry in self._entries.items():
-            if names is not None and entry.attr_names.isdisjoint(names):
+            if id(entry) not in affected:
                 continue
-            self.stats.predicate_evals += 1
-            now = predicate.satisfied_by(new_attrs)
+            now = all(v in ae.members for ae in entry.atom_entries)
             was = v in entry.members
             if now and not was:
                 entry.members.add(v)
@@ -261,6 +431,9 @@ class SharedEligibilityIndex:
     def num_entries(self) -> int:
         return len(self._entries)
 
+    def num_atoms(self) -> int:
+        return len(self._atoms)
+
     def live_entries(self) -> Dict[str, Dict[str, int]]:
         """Per interned predicate: lease count, member count, listeners."""
         return {
@@ -277,7 +450,20 @@ class SharedEligibilityIndex:
     # Invariants (tests)
     # ------------------------------------------------------------------
     def check_invariants(self) -> None:
-        """Member sets must mirror predicate satisfaction exactly."""
+        """Posting sets must mirror atom truth, conjunction views must
+        mirror predicate truth *and* equal their atoms' intersection."""
+        for atom, ae in self._atoms.items():
+            true_members = {
+                v
+                for v in self._graph.nodes()
+                if atom.satisfied_by(self._graph.attrs(v))
+            }
+            assert ae.members == true_members, (
+                f"atom posting drift for {atom!r}: "
+                f"{ae.members ^ true_members}"
+            )
+            assert ae.refs > 0, f"zombie atom entry for {atom!r}"
+            assert self._by_attr[atom.attribute][atom] is ae
         for predicate, entry in self._entries.items():
             true_members = {
                 v
@@ -288,10 +474,28 @@ class SharedEligibilityIndex:
                 f"eligibility drift for {predicate!r}: "
                 f"{entry.members ^ true_members}"
             )
-            assert entry.refs > 0, f"zombie entry for {predicate!r}"
+            assert entry.refs > 0 or entry.listeners, (
+                f"zombie entry for {predicate!r}"
+            )
+            if entry.atom_entries:
+                view = set.intersection(
+                    *(ae.members for ae in entry.atom_entries)
+                )
+                assert entry.members == view, (
+                    f"intersection-view drift for {predicate!r}"
+                )
+                for ae in entry.atom_entries:
+                    assert any(dep is entry for dep in ae.dependents), (
+                        f"{predicate!r} missing from dependents of "
+                        f"{ae.atom!r}"
+                    )
+            elif predicate.is_trivial():
+                assert any(e is entry for e in self._trivial)
+            else:
+                assert predicate.is_unsatisfiable() and not entry.members
 
     def __repr__(self) -> str:
         return (
             f"SharedEligibilityIndex(entries={len(self._entries)}, "
-            f"{self.stats!r})"
+            f"atoms={len(self._atoms)}, {self.stats!r})"
         )

@@ -327,11 +327,27 @@ class MatcherPool:
 
         # ---- Phase A: node additions / attribute merges ----------------
         # Per-query-eligibility queries route by predicate re-evaluation
-        # (legacy stages); shared-eligibility queries route by the flips
-        # the substrate reports — each distinct predicate is evaluated
-        # exactly once per node event, pool-wide, and the flip listeners
-        # have already synced the shared distance structures' sources.
+        # (legacy stages), once per node event; shared-eligibility queries
+        # route by the flips the substrate reports — each distinct *atom*
+        # is evaluated once per node event, pool-wide, and the flip
+        # listeners have already synced the shared distance structures'
+        # sources.  Flips are accumulated across the whole node-ops batch,
+        # netted per (predicate, node) — flips alternate per key, so a
+        # second flip always cancels the first — and delivered as ONE
+        # routing + repair pass per flush: the sets are final by then, so
+        # batched repair reaches the same fixpoint as the per-event
+        # interleaving, without per-event routing overhead.  Fresh
+        # (edge-less) phase-A nodes ride the same batch: their gains are
+        # exactly the predicates they satisfy, and index adoption from
+        # final sets is equivalent to per-event apply_node_added.
         report.attr_ops = len(node_ops)
+        legacy_scope = sum(
+            1 for q in self._queries.values() if not q.shared_eligibility
+        )
+        flip_scope = len(self._queries) - legacy_scope
+        # (predicate, node) -> (predicate, gained?), insertion-ordered.
+        pending_flips: Dict[Tuple[Predicate, Node], Tuple[Predicate, bool]]
+        pending_flips = {}
         for v, attrs in node_ops:
             if self.graph.has_node(v):
                 old = dict(self.graph.attrs(v))
@@ -342,27 +358,39 @@ class MatcherPool:
                 )
                 self.graph.add_node(v, **attrs)
                 flips = self.eligibility.observe_attr_change(v, attrs.keys())
-                flipped = self._router.route_flips(p for p, _ in flips)
                 for q in legacy:
                     q.apply_attr_update(v, attrs)
-                    touched[q.name] = q
-                for q in flipped:
-                    q.apply_eligibility_flips(v, flips)
                     touched[q.name] = q
             else:
                 self.graph.add_node(v, **attrs)
                 flips = self.eligibility.observe_node_added(v)
                 legacy = self._router.route_node(self.graph.attrs(v))
-                flipped = self._router.route_flips(p for p, _ in flips)
                 for q in legacy:
                     q.apply_node_added(v, attrs)
                     touched[q.name] = q
-                for q in flipped:
-                    q.apply_node_added(v, attrs)
-                    touched[q.name] = q
-            affected = len(legacy) + len(flipped)
-            report.routed += affected
-            report.skipped += len(self._queries) - affected
+            for flip in flips:
+                key = (flip[0], v)
+                if key in pending_flips:
+                    del pending_flips[key]  # opposite flips cancel
+                else:
+                    pending_flips[key] = flip
+            report.routed += len(legacy)
+            report.skipped += legacy_scope - len(legacy)
+        if pending_flips:
+            by_node: Dict[Node, List[Tuple[Predicate, bool]]] = {}
+            for (pred, v), flip in pending_flips.items():
+                by_node.setdefault(v, []).append(flip)
+            flipped = self._router.route_flips(
+                dict.fromkeys(pred for pred, _v in pending_flips)
+            )
+            for q in flipped:
+                q.apply_eligibility_flip_batch(by_node)
+                touched[q.name] = q
+            report.routed += len(flipped)
+            report.skipped += flip_scope - len(flipped)
+        elif node_ops and flip_scope:
+            # The batch decision still happened: no flips, nobody routed.
+            report.skipped += flip_scope
 
         # ---- Phase B: coalesce edge updates ----------------------------
         net = net_updates(self.graph, edge_ops)

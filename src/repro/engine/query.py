@@ -422,6 +422,25 @@ class ContinuousQuery:
         if gained or lost:
             self.index.apply_eligibility_flips(v, gained, lost)
 
+    def apply_eligibility_flip_batch(
+        self, by_node: Mapping[Node, List]
+    ) -> None:
+        """Batched shared-eligibility repair: one routing decision per
+        flush, flips for the whole node-ops batch (netted per (predicate,
+        node) by the pool, sets already final) delivered to the index in
+        one pass."""
+        events: List[Tuple[Node, List[PatternNode], List[PatternNode]]] = []
+        for v, flips in by_node.items():
+            gained: List[PatternNode] = []
+            lost: List[PatternNode] = []
+            for pred, is_gain in flips:
+                for u in self._nodes_by_pred.get(pred, ()):
+                    (gained if is_gain else lost).append(u)
+            if gained or lost:
+                events.append((v, gained, lost))
+        if events:
+            self.index.apply_eligibility_flip_batch(events)
+
     def __repr__(self) -> str:
         return (
             f"ContinuousQuery({self.name!r}, semantics={self.semantics!r}, "

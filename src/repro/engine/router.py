@@ -78,7 +78,11 @@ class UpdateRouter:
         if query.shared_eligibility:
             self._flip_routed.add(qid)
             for pred in query.predicates:
-                self._by_pred.setdefault(pred, set()).add(qid)
+                # Unsatisfiable conjunctions never flip (the substrate
+                # keeps them as empty, upkeep-free sets), so they consume
+                # no routing bucket either.
+                if not pred.is_unsatisfiable():
+                    self._by_pred.setdefault(pred, set()).add(qid)
         else:
             for name in query.attr_names:
                 self._by_attr.setdefault(name, set()).add(qid)

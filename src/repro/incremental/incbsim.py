@@ -328,11 +328,80 @@ class BoundedSimulationIndex:
         cascade), gained layers materialize their pairs in both
         directions.
         """
-        self._apply_layer_flips(
-            v,
-            [u for u in gained if not self._adopted(u, v)],
-            [u for u in lost if self._adopted(u, v)],
-        )
+        self.apply_eligibility_flip_batch([(v, gained, lost)])
+
+    def apply_eligibility_flip_batch(
+        self,
+        events: List[Tuple[Node, List[PatternNode], List[PatternNode]]],
+    ) -> None:
+        """Repair after the substrate flipped eligibility for a whole
+        flush's node events at once (sets already final, flips netted per
+        (predicate, node) by the pool).
+
+        All losses across the batch retire first (their pair edges in one
+        inner batch), then **all** gains adopt before any pair
+        materialization — the final shared sets may pair a gained node
+        with a node gained in a *different* same-batch event, so the
+        cross-event generalization of the single-event "register all
+        gained layers first" rule is required for the inner index to see
+        both endpoints.  Materialization consults only the final sets, so
+        the interleaved per-event order reaches the same pair graph.
+        """
+        events = [
+            (
+                v,
+                [u for u in gained if not self._adopted(u, v)],
+                [u for u in lost if self._adopted(u, v)],
+            )
+            for v, gained, lost in events
+        ]
+        pair_updates: List[Update] = []
+        for v, _gained, lost in events:
+            for u in lost:
+                pv = (u, v)
+                for child in list(self._pair_graph.children(pv)):
+                    pair_updates.append(upd_delete(pv, child))
+                for parent in list(self._pair_graph.parents(pv)):
+                    pair_updates.append(upd_delete(parent, pv))
+                if self._summary is not None:
+                    self._summary.note_eligible_lost(u, v)
+                if self._minima is not None:
+                    self._minima.note_lost(u, v)
+        if pair_updates:
+            self._inner.apply_batch(pair_updates)
+        # Retire after the edges are gone so leaf-layer matches drop too.
+        for v, _gained, lost in events:
+            for u in lost:
+                self._inner.retire_node((u, v))
+        if not any(gained for _v, gained, _lost in events):
+            return
+        for v, gained, _lost in events:
+            for u in gained:
+                self._adopt(u, v)
+        inserts: List[Update] = []
+        for v, gained, _lost in events:
+            for u in gained:
+                # Outgoing pairs: targets within bound of v, per edge
+                # from u.
+                for u2 in self.pattern.children(u):
+                    bound = self._bounds[(u, u2)]
+                    ball = descendants_within(self.graph, v, bound)
+                    for c, d in ball.items():
+                        if c in self.eligible[u2] and (
+                            bound is None or d <= bound
+                        ):
+                            inserts.append(upd_insert((u, v), (u2, c)))
+                # Incoming pairs: sources reaching v, per edge into u.
+                for u0 in self.pattern.parents(u):
+                    bound = self._bounds[(u0, u)]
+                    ball = ancestors_within(self.graph, v, bound)
+                    for a, d in ball.items():
+                        if a in self.eligible[u0] and (
+                            bound is None or d <= bound
+                        ):
+                            inserts.append(upd_insert((u0, a), (u, v)))
+        if inserts:
+            self._inner.apply_batch(inserts)
 
     def _apply_layer_flips(
         self, v: Node, gained: List[PatternNode], lost: List[PatternNode]

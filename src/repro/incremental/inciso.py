@@ -237,20 +237,39 @@ class IsoIndex:
         verdict did not flip need no work: the graph's edges are
         unchanged, so their embedding sets through ``v`` are unchanged.
         """
-        lost = set(lost)
-        if lost:
+        self.apply_eligibility_flip_batch([(v, list(gained), list(lost))])
+
+    def apply_eligibility_flip_batch(
+        self,
+        events: List[Tuple[Node, List[PatternNode], List[PatternNode]]],
+    ) -> None:
+        """Repair after the substrate flipped eligibility for a whole
+        flush's node events at once (sets already final, flips netted).
+
+        One scan drops every embedding invalidated by any loss in the
+        batch, then each gain anchor-searches — against the final graph
+        and final shared sets, so per-event interleaving is immaterial
+        (anchored search reads only current truth).
+        """
+        lost_pairs = {
+            (u, v) for v, _gained, lost in events for u in lost
+        }
+        if lost_pairs:
             for key in list(self._embeddings):
                 emb = self._embeddings[key]
-                if any(emb.get(u) == v for u in lost):
+                if any(emb.get(u) == v for u, v in lost_pairs):
                     self._discard(key)
-        for u in gained:
-            for emb in iter_embeddings(self.pattern, self.graph, partial={u: v}):
-                self._store(emb)
-                if (
-                    self.max_embeddings is not None
-                    and len(self._embeddings) >= self.max_embeddings
+        for v, gained, _lost in events:
+            for u in gained:
+                for emb in iter_embeddings(
+                    self.pattern, self.graph, partial={u: v}
                 ):
-                    return
+                    self._store(emb)
+                    if (
+                        self.max_embeddings is not None
+                        and len(self._embeddings) >= self.max_embeddings
+                    ):
+                        return
 
     def release(self) -> None:
         """Release shared-eligibility leases (pool unregister); idempotent."""

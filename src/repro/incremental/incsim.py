@@ -353,15 +353,57 @@ class SimulationIndex:
         promotion, so the closing sweep sees the same fixpoint the
         legacy lost-then-gained order reaches.
         """
-        self._registered.add(v)
-        adopt = [u for u in gained if not self._adopted(u, v)]
-        promoted = self._adopt_layers(v, adopt)
+        self.apply_eligibility_flip_batch([(v, list(gained), list(lost))])
+
+    def apply_eligibility_flip_batch(
+        self,
+        events: List[Tuple[Node, List[PatternNode], List[PatternNode]]],
+    ) -> None:
+        """Repair after the substrate flipped eligibility for a whole
+        flush's node events at once (one ``(node, gained layers, lost
+        layers)`` triple per event; sets already final, flips netted per
+        (predicate, node) by the pool).
+
+        Counter wiring must complete for **every** gained (layer, node)
+        pair across the batch before any promotion or demotion runs: the
+        final shared sets may already contain same-batch gains, and both
+        :meth:`_promote_node`'s counter bumps and the demote cascade
+        index the counter of any eligible parent.  So the batch runs in
+        phases — (1) wire candt and support counters for all gains,
+        (2) promote the supported gains, (3) withdraw all losses into one
+        demote cascade, (4) one closing promotion sweep — generalizing
+        the single-event two-phase adoption to the whole batch.
+        """
+        adoptions: List[Tuple[Node, List[PatternNode]]] = []
+        for v, gained, _lost in events:
+            self._registered.add(v)
+            adopt = [u for u in gained if not self._adopted(u, v)]
+            if adopt:
+                for u in adopt:
+                    self.candt[u].add(v)
+                    for u2 in self.pattern.children(u):
+                        c = 0
+                        for w in self.graph.children(v):
+                            if w in self.match[u2]:
+                                c += 1
+                        self._cnt[(u, u2, v)] = c
+                adoptions.append((v, adopt))
+        promoted = False
+        for v, adopt in adoptions:
+            for u in adopt:
+                if v in self.candt[u] and all(
+                    self._cnt[(u, u2, v)] >= 1
+                    for u2 in self.pattern.children(u)
+                ):
+                    self._promote_node(u, v)
+                    promoted = True
         queue: Deque[Tuple[PatternNode, Node]] = deque()
-        for u in lost:
-            if self._adopted(u, v):
-                self._withdraw(u, v, queue, mutate_eligible=False)
+        for v, _gained, lost in events:
+            for u in lost:
+                if self._adopted(u, v):
+                    self._withdraw(u, v, queue, mutate_eligible=False)
         self._demote_cascade(queue)
-        if adopt and (promoted or self._has_cycles):
+        if adoptions and (promoted or self._has_cycles):
             self._promote_sweep()
 
     def retire_node(self, v: Node) -> None:

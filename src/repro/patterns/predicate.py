@@ -39,6 +39,12 @@ class PredicateError(ValueError):
 # reads it around each flush to verify exactly that.
 _EVALUATIONS = 0
 
+# Global count of Atom.satisfied_by applications.  The substrate's atom
+# tier exists to make *this* number scale with distinct atoms rather than
+# distinct conjunctions; the ``overlap-atoms`` benchmark scenario reads it
+# around each flush to verify exactly that.
+_ATOM_EVALUATIONS = 0
+
 
 def evaluation_count() -> int:
     """Total ``Predicate.satisfied_by`` applications since process start
@@ -49,6 +55,17 @@ def evaluation_count() -> int:
 def reset_evaluation_count() -> None:
     global _EVALUATIONS
     _EVALUATIONS = 0
+
+
+def atom_evaluation_count() -> int:
+    """Total ``Atom.satisfied_by`` applications since process start (or
+    the last :func:`reset_atom_evaluation_count`)."""
+    return _ATOM_EVALUATIONS
+
+
+def reset_atom_evaluation_count() -> None:
+    global _ATOM_EVALUATIONS
+    _ATOM_EVALUATIONS = 0
 
 
 class Atom:
@@ -70,6 +87,8 @@ class Atom:
         ``v.A op a``).  Comparisons between incompatible types fail rather
         than raise, since a data graph may mix attribute domains.
         """
+        global _ATOM_EVALUATIONS
+        _ATOM_EVALUATIONS += 1
         if self.attribute not in attrs:
             return False
         try:
@@ -110,14 +129,43 @@ class Predicate:
     pool-level :class:`~repro.engine.eligibility.SharedEligibilityIndex`
     intern predicates as dict keys and share one eligible-node set across
     every query using the same conjunction, however it was spelled.
+
+    Canonicalization also detects *trivially unsatisfiable* conjunctions:
+    an equality atom pins its attribute to one constant, so any sibling
+    atom on the same attribute that the pinned value fails (a different
+    ``=`` constant, a ``!=`` of the same value, a range the constant is
+    outside of, or a cross-type comparison) makes the whole conjunction
+    contradictory.  :meth:`is_unsatisfiable` exposes the verdict so the
+    eligibility substrate and router can short-circuit such predicates to
+    an empty, upkeep-free set instead of maintaining their members.
     """
 
-    __slots__ = ("atoms",)
+    __slots__ = ("atoms", "_unsat")
 
     def __init__(self, atoms: Iterable[Atom] = ()) -> None:
         self.atoms: Tuple[Atom, ...] = tuple(
             sorted(dict.fromkeys(atoms), key=_atom_key)
         )
+        self._unsat = self._detect_contradiction()
+
+    def _detect_contradiction(self) -> bool:
+        """Does some equality atom's pinned value fail a sibling atom?
+
+        Sound, not complete: ``age > 5 & age < 3`` has no equality atom
+        and is not detected — only the equality-anchored contradictions
+        the paper's conjunctions actually produce (e.g. two ``=`` atoms
+        with different constants on one attribute).
+        """
+        for eq in self.atoms:
+            if eq.op != "=":
+                continue
+            pinned = {eq.attribute: eq.value}
+            for atom in self.atoms:
+                if atom is eq or atom.attribute != eq.attribute:
+                    continue
+                if not atom.satisfied_by(pinned):
+                    return True
+        return False
 
     @staticmethod
     def true() -> "Predicate":
@@ -131,6 +179,8 @@ class Predicate:
     def satisfied_by(self, attrs: Mapping[str, Any]) -> bool:
         global _EVALUATIONS
         _EVALUATIONS += 1
+        if self._unsat:
+            return False
         return all(atom.satisfied_by(attrs) for atom in self.atoms)
 
     def conjoin(self, other: "Predicate") -> "Predicate":
@@ -138,6 +188,11 @@ class Predicate:
 
     def is_trivial(self) -> bool:
         return not self.atoms
+
+    def is_unsatisfiable(self) -> bool:
+        """No attribute tuple can satisfy this conjunction (detected at
+        canonicalization; see :meth:`_detect_contradiction`)."""
+        return self._unsat
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Predicate):
@@ -159,9 +214,15 @@ _TOKEN = re.compile(
     r"\s*(?:(?P<op><=|>=|!=|==|=|<|>)"
     r"|(?P<and>&&?|\bAND\b|\band\b)"
     r"|(?P<str>'[^']*'|\"[^\"]*\")"
-    r"|(?P<num>-?\d+\.\d+|-?\d+)"
+    r"|(?P<num>-?(?:\d+\.\d*|\.\d+|\d+)(?:[eE][+-]?\d+)?)"
     r"|(?P<ident>[A-Za-z_][A-Za-z_0-9.]*))"
 )
+
+# Trailing junk glued to a numeric literal (``1e`` with no exponent
+# digits, ``1.2.3``, ``5x``): the num token stops early and the leftover
+# would mis-tokenize as a separate ident/num, producing the misleading
+# "expected '&' between atoms" downstream — name the literal instead.
+_NUM_TAIL = re.compile(r"[\w.]+")
 
 
 def _tokenize(text: str) -> List[Tuple[str, str]]:
@@ -178,6 +239,13 @@ def _tokenize(text: str) -> List[Tuple[str, str]]:
         pos = match.end()
         kind = match.lastgroup
         assert kind is not None
+        if kind == "num" and pos < len(text):
+            tail = _NUM_TAIL.match(text, pos)
+            if tail is not None:
+                raise PredicateError(
+                    "malformed numeric literal "
+                    f"{match.group('num') + tail.group()!r} in predicate"
+                )
         tokens.append((kind, match.group(kind)))
     return tokens
 
@@ -186,7 +254,7 @@ def _parse_value(kind: str, text: str) -> Any:
     if kind == "str":
         return text[1:-1]
     if kind == "num":
-        return float(text) if "." in text else int(text)
+        return float(text) if any(c in text for c in ".eE") else int(text)
     if kind == "ident":
         # Bare identifiers on the value side are treated as strings, so the
         # terse form ``label = DB`` works.

@@ -128,6 +128,7 @@ def test_bench_pool_tiny_emits_machine_readable_json(tmp_path):
     doc = json.loads(out.read_text())
     assert set(doc["scenarios"]) == {
         "simulation", "bounded", "bounded-shared", "overlap",
+        "overlap-atoms",
     }
     for name in ("simulation", "bounded"):
         scenario = doc["scenarios"][name]
@@ -168,6 +169,23 @@ def test_bench_pool_tiny_emits_machine_readable_json(tmp_path):
     assert len(set(shared_evals)) == 1, shared_evals
     assert per_query_evals == sorted(per_query_evals)
     assert per_query_evals[-1] > per_query_evals[0]
+    # The atom tier's headline: per-flush atom evaluations are EXACTLY
+    # flat in N over the fixed atom vocabulary (the scenario itself
+    # enforces it — exit code 0 above — but pin the JSON shape too).
+    atoms = doc["scenarios"]["overlap-atoms"]
+    assert atoms["results"]
+    for row in atoms["results"]:
+        assert {
+            "n", "conjunctions", "shared_ms", "per_query_ms",
+            "shared_atom_evals", "per_query_atom_evals",
+        } <= set(row)
+    assert atoms["shared_exactly_flat"] is True
+    shared_atom_evals = [r["shared_atom_evals"] for r in atoms["results"]]
+    assert len(set(shared_atom_evals)) == 1, shared_atom_evals
+    per_query_atom_evals = [
+        r["per_query_atom_evals"] for r in atoms["results"]
+    ]
+    assert per_query_atom_evals[-1] > per_query_atom_evals[0]
 
 
 def test_compare_bench_trend_accumulates_over_history(tmp_path):

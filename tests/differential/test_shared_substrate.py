@@ -8,7 +8,12 @@ driven through the *same* seeded random op sequence: edge insert/delete
 churn, brand-new labelled nodes, attribute flips (label *and* numeric
 ``score``) that gain/lose eligibility mid-stream — including for
 conjunction predicates like ``label = A & score > 1`` whose canonical
-interning the eligibility substrate relies on — attribute-less fresh
+interning the eligibility substrate relies on.  All conjunctions draw
+from one tiny shared atom vocabulary (3 label-eq × 3 score atoms), so
+distinct predicates overlap on atoms and the atom-tier posting sets are
+multiply leased; a few are trivially unsatisfiable (two different
+label-eq atoms) and must stay upkeep-free without perturbing sibling
+conjunctions on the same atoms.  The stream also wires attribute-less fresh
 nodes wired mid-flush, and query register/unregister mid-stream (which
 exercises substrate lease/release and structure drop/rebuild).  Queries
 mix all three semantics — mostly bounded (the distance substrate's
@@ -48,7 +53,10 @@ support-counter init (KeyError / drift on later cascades), and (5) the
 pool announcing fresh-node gains only *after* insertion routing
 (trivial-predicate balls lack the pinned distance-0 sources when the
 oracle rules on the very batch that wired them, so same-flush witness
-paths are declined).
+paths are declined), and (6) the atom tier's ``_reconcile`` deriving a
+conjunction's membership from its *first* atom's posting set alone
+(sibling atoms ignored — overlapping conjunctions diverge as soon as
+one shared atom flips while another still fails).
 """
 
 from __future__ import annotations
@@ -87,17 +95,34 @@ def _random_graph(rng: random.Random) -> DiGraph:
     return g
 
 
+# Deliberately tiny, shared atom vocabulary: every conjunction below is
+# drawn from these 3 + 3 atoms, so distinct predicates overlap on atoms
+# and the atom tier's posting sets are leased by several conjunctions at
+# once (the sharing the two-tier eligibility substrate exists for).
+ATOM_VOCAB_LABEL = [Atom("label", "=", lb) for lb in LABELS]
+ATOM_VOCAB_SCORE = [Atom("score", op, 1) for op in (">", ">=", "<")]
+
+
 def _random_predicate(rng: random.Random) -> Predicate:
     """~1 in 3 trivial (TRUE, routing-soundness is scope-dependent), else
-    a label atom, sometimes conjoined with a score comparison — spelled
-    in random conjunct order, so structurally-equal predicates exercise
-    the canonical interning."""
+    a conjunction over the small shared atom vocabulary — spelled in
+    random conjunct order, so structurally-equal predicates exercise the
+    canonical interning, and overlapping ones exercise atom-tier sharing.
+    Occasionally (~6%) two *different* label-eq atoms are conjoined: a
+    trivially-unsatisfiable predicate the substrate and router must keep
+    upkeep-free without perturbing sibling conjunctions on those atoms."""
     if rng.random() < 0.35:
         return Predicate.true()
-    atoms = [Atom("label", "=", rng.choice(LABELS))]
-    if rng.random() < 0.4:
-        atoms.append(Atom("score", rng.choice([">", ">=", "<"]), 1))
-        rng.shuffle(atoms)
+    atoms = [rng.choice(ATOM_VOCAB_LABEL)]
+    if rng.random() < 0.06:
+        atoms.append(rng.choice([a for a in ATOM_VOCAB_LABEL
+                                 if a != atoms[0]]))
+    elif rng.random() < 0.4:
+        atoms.append(rng.choice(ATOM_VOCAB_SCORE))
+        if rng.random() < 0.3:
+            atoms.append(rng.choice([a for a in ATOM_VOCAB_SCORE
+                                     if a != atoms[1]]))
+    rng.shuffle(atoms)
     return Predicate(atoms)
 
 

@@ -143,6 +143,50 @@ class TestCanonicalization:
         assert predmod.evaluation_count() == 0
 
 
+class TestUnsatisfiable:
+    """Trivially-contradictory conjunctions are detected at construction
+    so the eligibility substrate and router can skip their upkeep."""
+
+    def test_two_different_eq_constants(self):
+        p = parse_predicate("job = 'DB' & job = 'AI'")
+        assert p.is_unsatisfiable()
+        assert not p.satisfied_by({"job": "DB"})
+        assert not p.satisfied_by({"job": "AI"})
+
+    def test_eq_and_ne_same_value(self):
+        assert parse_predicate("x = 1 & x != 1").is_unsatisfiable()
+
+    def test_eq_outside_range(self):
+        assert parse_predicate("x = 1 & x > 5").is_unsatisfiable()
+        assert parse_predicate("x = 9 & x < 5").is_unsatisfiable()
+
+    def test_eq_cross_type_comparison(self):
+        # 'DB' < 5 raises TypeError inside the atom => contradiction.
+        assert parse_predicate("x = 'DB' & x < 5").is_unsatisfiable()
+
+    def test_satisfiable_conjunctions_not_flagged(self):
+        for text in (
+            "",
+            "x = 1",
+            "x = 1 & y = 2",
+            "x = 3 & x > 1 & x < 5",
+            "x != 1 & x != 2",
+        ):
+            assert not parse_predicate(text).is_unsatisfiable(), text
+
+    def test_inequality_only_contradiction_not_detected(self):
+        # Sound, not complete: no equality atom anchors the check.
+        p = parse_predicate("age > 5 & age < 3")
+        assert not p.is_unsatisfiable()
+        assert not p.satisfied_by({"age": 4})
+
+    def test_interning_still_works(self):
+        a = parse_predicate("j = 'DB' & j = 'AI'")
+        b = parse_predicate("j = 'AI' & j = 'DB'")
+        assert a == b and hash(a) == hash(b)
+        assert b.is_unsatisfiable()
+
+
 class TestParser:
     def test_empty_is_true(self):
         assert parse_predicate("") == Predicate.true()
@@ -211,3 +255,20 @@ class TestParser:
     def test_garbage_rejected(self):
         with pytest.raises(PredicateError):
             parse_predicate("x = 3 ???")
+
+    def test_scientific_notation(self):
+        p = parse_predicate("rating > 1e5")
+        assert p.satisfied_by({"rating": 200000})
+        assert not p.satisfied_by({"rating": 99999})
+        assert parse_predicate("x < 2.5e-3").satisfied_by({"x": 0.001})
+        assert parse_predicate("x = 1E2").satisfied_by({"x": 100.0})
+
+    def test_bare_dot_floats(self):
+        assert parse_predicate("x > .5").satisfied_by({"x": 0.6})
+        assert parse_predicate("x >= 1.").satisfied_by({"x": 1.0})
+        assert parse_predicate("x > -.5").satisfied_by({"x": 0})
+
+    @pytest.mark.parametrize("lit", ["1e", "1.2.3", "5x", "1e5g", "3.4.5e1"])
+    def test_malformed_numeric_literal_named_in_error(self, lit):
+        with pytest.raises(PredicateError, match="malformed numeric literal"):
+            parse_predicate(f"x > {lit}")
