@@ -109,6 +109,18 @@ def bounded_pattern(i: int) -> Pattern:
     )
 
 
+def reach_pattern(i: int) -> Pattern:
+    """An unbounded b-pattern: A{i} reaches C{i} by any nonempty path.
+
+    ``*`` legs are the ones the SCC-interval oracle answers *exactly*
+    (finite bounds need true distances and fall back to ball consults).
+    """
+    a, _, c = cluster_labels(i)
+    return Pattern.from_spec(
+        {"x": f"label = {a}", "z": f"label = {c}"}, [("x", "z", "*")]
+    )
+
+
 SCENARIOS = {
     "simulation": {
         "pattern": sim_pattern,
@@ -125,13 +137,15 @@ SCENARIOS = {
 
 def run_pool(
     graph, scenario, num_patterns, updates, distance_mode,
-    distance_scope="shared",
+    distance_scope="shared", pattern_fn=None, graph_backend=None,
 ):
     spec = SCENARIOS[scenario]
-    pool = MatcherPool(graph, distance_scope=distance_scope)
+    pool = MatcherPool(
+        graph, distance_scope=distance_scope, graph_backend=graph_backend
+    )
     for i in range(num_patterns):
         pool.register(
-            spec["pattern"](i),
+            (pattern_fn or spec["pattern"])(i),
             semantics=spec["semantics"],
             name=f"p{i}",
             distance_mode=distance_mode,
@@ -142,11 +156,11 @@ def run_pool(
     return elapsed, pool, report
 
 
-def run_naive(base, scenario, num_patterns, updates):
+def run_naive(base, scenario, num_patterns, updates, pattern_fn=None):
     """One independent incremental index per pattern, each fed everything."""
     spec = SCENARIOS[scenario]
     indexes = [
-        spec["naive_index"](spec["pattern"](i), base.copy())
+        spec["naive_index"]((pattern_fn or spec["pattern"])(i), base.copy())
         for i in range(num_patterns)
     ]
     start = time.perf_counter()
@@ -650,6 +664,189 @@ def run_overlap_atoms_scenario(sizes, graph, reps, num_ops):
     }
 
 
+# Minimum dict-backend flush time (ms, min-of-k) for a reach-oracle race
+# row to participate in the ``columnar_wins`` gate; see the docstring.
+RACE_GATE_FLOOR_MS = 1.0
+
+
+def run_reach_oracle_scenario(sizes, graph, updates, reps):
+    """SCC-interval oracle routing + columnar id-space kernels, two legs.
+
+    **Backend race (bound-2 patterns, ``interval`` mode).** The flush's
+    dominant term in interval mode is pool-level: the oracle labelling is
+    rebuilt after net insertions and the per-query source closures are
+    re-derived from it.  The columnar backend runs that rebuild with
+    id-space kernels (Tarjan/condensation over slot ids, fused
+    neighbourhood balls), so its flush must be *cheaper* than the dict
+    backend's at every N — that is the acceptance gate ``columnar_wins``.
+    ``landmark_ms`` (dict backend, same workload) is reported as the
+    routing-cost baseline the oracle competes with.
+
+    **Consult accounting (``*``-bound patterns, ``interval`` mode).**
+    Unbounded legs are the ones the oracle answers exactly.  The gate
+    ``consults_sublinear`` checks that oracle consults per flush stay
+    below the pool-wide eligible-set population: interval routing asks
+    about *endpoints* (two closure-membership tests per pattern edge, plus
+    exact ``reachable()`` calls for deletion suspects), never about every
+    eligible node the way a per-node scan would.
+
+    Both legs gate correctness against naive per-pattern indexes.
+
+    Timings in the backend race use **min-of-k** rather than the median:
+    tiny flushes are sub-millisecond, where scheduler interference only
+    ever *adds* time, so the minimum is the interference-robust estimator
+    (the same convention ``timeit`` uses); ``reps`` is floored at 7 here.
+    The ``columnar_wins`` gate only judges rows whose dict-backend run
+    takes at least ``RACE_GATE_FLOOR_MS`` — below that the whole flush is
+    timer jitter and a verdict either way would be noise, so such rows
+    are reported ungated (``columnar_wins`` is ``None`` when no row
+    qualifies, e.g. at smoke-test scale).
+    """
+    print(
+        "\n== scenario: reach-oracle "
+        "(interval distance mode; dict vs columnar backend) =="
+    )
+    print(
+        f"{'N':>4} {'dict ms':>9} {'col ms':>9} {'dict/col':>9} "
+        f"{'lm ms':>9} {'consults':>9} {'eligible':>9} {'c/flush':>8}"
+    )
+    ok = True
+    results = []
+    times = {"dict": {}, "columnar": {}}
+    num_flushes = len(updates)
+    race_reps = max(reps, 7)
+    for n in sizes:
+        row = {"n": n}
+        # --- leg 1: bound-2 flush-cost race across backends -------------
+        pools = {}
+        for backend in ("dict", "columnar"):
+            backend_times = []
+            pool = None
+            for _ in range(race_reps):
+                t, pool, _ = run_pool(
+                    graph.copy(), "bounded", n, updates, "interval",
+                    graph_backend=backend,
+                )
+                backend_times.append(t)
+            times[backend][n] = min(backend_times)
+            pools[backend] = pool
+            key = "dict" if backend == "dict" else "columnar"
+            row[f"{key}_ms"] = round(times[backend][n] * 1e3, 3)
+        lm_times = []
+        for _ in range(race_reps):
+            t, _, _ = run_pool(
+                graph.copy(), "bounded", n, updates, "landmark",
+                graph_backend="dict",
+            )
+            lm_times.append(t)
+        row["landmark_ms"] = round(min(lm_times) * 1e3, 3)
+        _, indexes = run_naive(graph, "bounded", n, updates)
+        for i, idx in enumerate(indexes):
+            expect = as_pairs(idx.matches())
+            for backend, pool in pools.items():
+                if as_pairs(pool.query(f"p{i}").matches()) != expect:
+                    print(
+                        f"MISMATCH reach-oracle backend={backend} N={n} "
+                        f"pattern {i}",
+                        file=sys.stderr,
+                    )
+                    ok = False
+        # --- leg 2: consult accounting on *-bound patterns --------------
+        _, star_pool, _ = run_pool(
+            graph.copy(), "bounded", n, updates, "interval",
+            pattern_fn=reach_pattern,
+        )
+        reach = star_pool.substrate.reachability_index()
+        stats = reach.stats() if reach is not None else {}
+        eligible = sum(
+            e["members"]
+            for e in star_pool.eligibility.live_entries().values()
+        )
+        consults = stats.get("consults", 0)
+        per_flush = consults / num_flushes if num_flushes else 0.0
+        row["consults"] = consults
+        row["rebuilds"] = stats.get("rebuilds", 0)
+        row["fallbacks"] = stats.get("fallbacks", 0)
+        row["eligible_members"] = eligible
+        row["consults_per_flush"] = round(per_flush, 2)
+        _, star_naive = run_naive(
+            graph, "bounded", n, updates, pattern_fn=reach_pattern
+        )
+        for i, idx in enumerate(star_naive):
+            if as_pairs(star_pool.query(f"p{i}").matches()) != as_pairs(
+                idx.matches()
+            ):
+                print(
+                    f"MISMATCH reach-oracle star N={n} pattern {i}",
+                    file=sys.stderr,
+                )
+                ok = False
+        ratio = (
+            times["dict"][n] / times["columnar"][n]
+            if times["columnar"][n] > 0
+            else float("inf")
+        )
+        row["dict_over_columnar"] = round(ratio, 2)
+        print(
+            f"{n:>4} {row['dict_ms']:>9.2f} {row['columnar_ms']:>9.2f} "
+            f"{ratio:>8.2f}x {row['landmark_ms']:>9.2f} "
+            f"{consults:>9} {eligible:>9} {per_flush:>8.1f}"
+        )
+        results.append(row)
+    gated = [r for r in results if r["dict_ms"] >= RACE_GATE_FLOOR_MS]
+    columnar_wins = (
+        all(r["dict_over_columnar"] > 1.0 for r in gated) if gated else None
+    )
+    consults_sublinear = all(
+        r["consults_per_flush"] < r["eligible_members"]
+        for r in results
+        if r["eligible_members"]
+    )
+    lo, hi = min(sizes), max(sizes)
+    growth = {
+        backend: (
+            times[backend][hi] / times[backend][lo]
+            if times[backend][lo] > 0
+            else 0.0
+        )
+        for backend in times
+    }
+    print(
+        f"interval flush cost grew {growth['dict']:.2f}x (dict) vs "
+        f"{growth['columnar']:.2f}x (columnar) from N={lo} to N={hi}; "
+        f"columnar_wins={columnar_wins} "
+        f"consults_sublinear={consults_sublinear}"
+    )
+    if columnar_wins is False:
+        print(
+            "reach-oracle: columnar backend did not beat dict on interval "
+            "flush cost",
+            file=sys.stderr,
+        )
+        ok = False
+    elif columnar_wins is None:
+        print(
+            f"reach-oracle: race ungated (all dict flushes under "
+            f"{RACE_GATE_FLOOR_MS}ms — noise-dominated at this scale)"
+        )
+    if not consults_sublinear:
+        print(
+            "reach-oracle: oracle consults per flush not sublinear in "
+            "eligible-set population",
+            file=sys.stderr,
+        )
+        ok = False
+    return ok, {
+        "sizes": sizes,
+        "reps": reps,
+        "results": results,
+        "growth_dict": round(growth["dict"], 3),
+        "growth_columnar": round(growth["columnar"], 3),
+        "columnar_wins": columnar_wins,
+        "consults_sublinear": consults_sublinear,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -672,13 +869,13 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--scenario",
         choices=[*SCENARIOS, "bounded-shared", "overlap", "overlap-atoms",
-                 "all"],
+                 "reach-oracle", "all"],
         default="all",
         help="which workload to run",
     )
     parser.add_argument(
         "--distance-mode",
-        choices=["bfs", "landmark", "matrix"],
+        choices=["bfs", "landmark", "matrix", "interval"],
         default="bfs",
         help="distance mode for the bounded scenario's pool queries",
     )
@@ -717,7 +914,7 @@ def main(argv=None) -> int:
 
     if args.scenario == "all":
         scenarios = [*SCENARIOS, "bounded-shared", "overlap",
-                     "overlap-atoms"]
+                     "overlap-atoms", "reach-oracle"]
     else:
         scenarios = [args.scenario]
     ok = True
@@ -742,6 +939,13 @@ def main(argv=None) -> int:
         elif scenario == "overlap-atoms":
             s_ok, s_doc = run_overlap_atoms_scenario(
                 sizes, graph, reps, num_updates
+            )
+        elif scenario == "reach-oracle":
+            # Oracle rebuilds are pool-level and O(|V|+|E|); the backend
+            # contrast is already decisive on a capped size sweep.
+            reach_sizes = [n for n in sizes if n <= 16] or sizes[:1]
+            s_ok, s_doc = run_reach_oracle_scenario(
+                reach_sizes, graph, updates, reps
             )
         else:
             s_ok, s_doc = run_scenario(

@@ -33,7 +33,10 @@ import time
 from pathlib import Path
 
 # Per-scenario keys holding a flush-cost in milliseconds (lower = better).
-COST_KEYS = ("pool_ms", "shared_ms", "per_query_ms")
+COST_KEYS = (
+    "pool_ms", "shared_ms", "per_query_ms",
+    "dict_ms", "columnar_ms", "landmark_ms",
+)
 
 
 def _rows(scenario_doc):

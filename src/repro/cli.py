@@ -117,11 +117,18 @@ def main(argv=None) -> int:
         "--distance-mode",
         nargs="+",
         default=["bfs"],
-        choices=["bfs", "landmark", "matrix"],
+        choices=["bfs", "landmark", "matrix", "interval"],
         metavar="MODE",
         help="bounded-simulation distance structure (bfs | landmark | "
-        "matrix); one value applies to every pattern, or give exactly "
-        "one per --patterns entry",
+        "matrix | interval); one value applies to every pattern, or give "
+        "exactly one per --patterns entry",
+    )
+    pool.add_argument(
+        "--graph-backend",
+        default="dict",
+        choices=["dict", "columnar"],
+        help="graph storage backend for the pool: plain dict-of-dicts "
+        "(default) or interned-id columnar",
     )
     pool.add_argument(
         "--distance-scope",
@@ -190,6 +197,7 @@ def _run_pool(args) -> int:
         graph,
         distance_scope=args.distance_scope,
         eligibility_scope=args.eligibility_scope,
+        graph_backend=args.graph_backend,
     )
     for path, mode in zip(args.patterns, modes):
         name = Path(path).stem
@@ -206,6 +214,7 @@ def _run_pool(args) -> int:
     output = {
         "distance_scope": args.distance_scope,
         "eligibility_scope": args.eligibility_scope,
+        "graph_backend": pool.graph_backend,
         "queries": {
             q.name: dict(_render_query(q), routing=_routing_class(q))
             for q in pool.queries()

@@ -15,13 +15,22 @@ queries under updates (Berkholz et al.): the substrate owns
   cheap views over it);
 - at most **one** :class:`~repro.graphs.distance.DistanceMatrix` per pool
   (``'matrix'`` queries share the rows for suspect rechecks);
-- a registry of :class:`~repro.incremental.ballsummary.BallField` ball
-  unions keyed by ``(predicate, radius, direction)`` — queries whose
-  pattern edges agree on those three share one exactly-maintained capped
-  multi-source BFS, with member sets leased from the pool's
+- a registry of **stratified**
+  :class:`~repro.incremental.ballsummary.BallField` ball unions keyed by
+  ``(predicate, direction)`` — one exactly-maintained capped multi-source
+  BFS per key, capped at the largest radius any lease wants, answering
+  every leased radius ``r <= cap`` via :meth:`BallField.within` (a
+  per-radius lease multiset re-caps the field as strata come and go);
+  member sets are leased from the pool's
   :class:`~repro.engine.eligibility.SharedEligibilityIndex` (one set per
   distinct predicate, shared with the queries' own candidate views) and
   flip notifications delivered through its listener hooks;
+- at most **one**
+  :class:`~repro.graphs.reachability.IntervalReachabilityIndex` per pool
+  (``'interval'`` queries share the SCC-interval labelling) plus a
+  registry of :class:`~repro.graphs.reachability.ReachClosure` caches
+  keyed by ``(predicate, direction)``, each refreshed at most once per
+  flush per labelling version so routing consults are O(1);
 - one :class:`~repro.landmarks.vector.EligibleLegMinima` cache keyed by
   **interned predicate** (effectively ``(predicate, lm-version)``) so
   same-predicate landmark queries share one minima refresh per flush
@@ -55,13 +64,24 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 
 from ..graphs.digraph import DiGraph, Node
 from ..graphs.distance import DistanceMatrix
+from ..graphs.reachability import IntervalReachabilityIndex, ReachClosure
 from ..incremental.ballsummary import BallField
 from ..landmarks.selection import LandmarkBudget
 from ..landmarks.vector import EligibleLegMinima, LandmarkIndex
 from ..patterns.predicate import Predicate
 from .eligibility import SharedEligibilityIndex
 
-FieldKey = Tuple[Predicate, Optional[int], bool]
+# One stratified field per (predicate, direction); radii are lease-tracked.
+FieldKey = Tuple[Predicate, bool]
+ClosureKey = Tuple[Predicate, bool]
+
+
+def _effective_cap(radii: Dict[Optional[int], int]) -> Optional[int]:
+    """The cap a stratified field needs to serve every leased radius:
+    unbounded if any lease is, else the largest finite one."""
+    if None in radii:
+        return None
+    return max(radii)
 
 
 class SubstrateStats:
@@ -73,6 +93,7 @@ class SubstrateStats:
         "lm_rebuilds",
         "matrix_builds",
         "field_builds",
+        "reach_builds",
         "edge_batches",
         "structure_batches",
     )
@@ -85,6 +106,7 @@ class SubstrateStats:
         self.lm_rebuilds = 0
         self.matrix_builds = 0
         self.field_builds = 0
+        self.reach_builds = 0
         self.edge_batches = 0
         self.structure_batches = 0
 
@@ -121,8 +143,16 @@ class SharedDistanceSubstrate:
         self._lm_refs = 0
         self._matrix: Optional[DistanceMatrix] = None
         self._matrix_refs = 0
-        # (predicate, radius, reverse) -> [BallField, refcount, listener]
+        # (predicate, reverse) -> [BallField, refcount, listener,
+        # radius-lease multiset {radius: count}].  The field's cap is the
+        # effective max of the leased radii; leases below the cap read
+        # their own stratum via BallField.within.
         self._fields: Dict[FieldKey, List[Any]] = {}
+        # Shared SCC-interval reachability oracle ('interval' mode).
+        self._reach: Optional[IntervalReachabilityIndex] = None
+        self._reach_refs = 0
+        # (predicate, reverse) -> [ReachClosure, refcount, listener].
+        self._closures: Dict[ClosureKey, List[Any]] = {}
         # Shared leg minima (landmark-mode routing oracle): one cache
         # entry per (predicate, lm-version), member sets leased from the
         # eligibility index.  predicate -> [refcount, listener token].
@@ -217,8 +247,14 @@ class SharedDistanceSubstrate:
     def lease_field(
         self, predicate: Predicate, radius: Optional[int], reverse: bool
     ) -> BallField:
-        """Acquire the shared ball union for ``(predicate, radius,
-        direction)``; queries agreeing on all three share one field.
+        """Acquire the shared stratified ball union for ``(predicate,
+        direction)`` at stratum ``radius``.
+
+        One field per (predicate, direction) serves **every** leased
+        radius: the field is capped at the effective max of the live
+        radius leases (``None`` = unbounded dominating), re-capped in
+        place as strata come and go, and each lease reads its own stratum
+        through :meth:`BallField.within`.
 
         The field's source set is the eligibility substrate's member set
         for the interned predicate (the same object the queries' own
@@ -233,7 +269,7 @@ class SharedDistanceSubstrate:
         the listener *before* releasing the lease so the entry can die
         with its last reference.
         """
-        key: FieldKey = (predicate, radius, reverse)
+        key: FieldKey = (predicate, reverse)
         entry = self._fields.get(key)
         if entry is None:
             eset = self._eligibility.lease(predicate)
@@ -241,22 +277,99 @@ class SharedDistanceSubstrate:
             token = self._eligibility.add_listener(
                 predicate, field.source_gained, field.source_lost
             )
-            entry = [field, 0, token]
+            entry = [field, 0, token, {radius: 0}]
             self._fields[key] = entry
             self.stats.field_builds += 1
         entry[1] += 1
-        return entry[0]
+        radii: Dict[Optional[int], int] = entry[3]
+        radii[radius] = radii.get(radius, 0) + 1
+        cap = _effective_cap(radii)
+        field = entry[0]
+        if cap != field.radius:
+            field.set_radius(cap)
+        return field
 
     def release_field(
         self, predicate: Predicate, radius: Optional[int], reverse: bool
     ) -> None:
-        key: FieldKey = (predicate, radius, reverse)
+        key: FieldKey = (predicate, reverse)
         entry = self._fields.get(key)
         if entry is None:
             return
         entry[1] -= 1
+        radii: Dict[Optional[int], int] = entry[3]
+        count = radii.get(radius, 0) - 1
+        if count <= 0:
+            radii.pop(radius, None)
+        else:
+            radii[radius] = count
         if entry[1] <= 0:
             del self._fields[key]
+            self._eligibility.remove_listener(predicate, entry[2])
+            self._eligibility.release(predicate)
+            return
+        cap = _effective_cap(radii)
+        field = entry[0]
+        if cap != field.radius:
+            field.set_radius(cap)
+
+    def lease_reachability(self, rebuild_budget: int = 32) -> IntervalReachabilityIndex:
+        """Acquire the pool-wide SCC-interval reachability oracle (built on
+        first lease; the first lease's budget wins)."""
+        if self._reach is None:
+            self._reach = IntervalReachabilityIndex(
+                self._graph, rebuild_budget=rebuild_budget
+            )
+            self.stats.reach_builds += 1
+        self._reach_refs += 1
+        return self._reach
+
+    def release_reachability(self) -> None:
+        self._reach_refs -= 1
+        if self._reach_refs <= 0:
+            self._reach = None
+            self._reach_refs = 0
+
+    def lease_reach_closure(
+        self, predicate: Predicate, reverse: bool
+    ) -> ReachClosure:
+        """Acquire the shared source closure for ``(predicate, direction)``.
+
+        The closure caches the condensation components reachable from (or
+        reaching) the predicate's eligible members, refreshed at most once
+        per labelling version or membership change — however many queries
+        lease it, each routing consult is an O(1) membership test.
+
+        Requires a live reachability lease (the caller leases the oracle
+        first and releases it last).
+        """
+        if self._reach is None:
+            raise RuntimeError(
+                "lease_reach_closure requires a reachability lease"
+            )
+        key: ClosureKey = (predicate, reverse)
+        entry = self._closures.get(key)
+        if entry is None:
+            eset = self._eligibility.lease(predicate)
+            closure = ReachClosure(self._reach, eset.members, reverse)
+            token = self._eligibility.add_listener(
+                predicate,
+                lambda v, c=closure: c.mark_dirty(),
+                lambda v, c=closure: c.mark_dirty(),
+            )
+            entry = [closure, 0, token]
+            self._closures[key] = entry
+        entry[1] += 1
+        return entry[0]
+
+    def release_reach_closure(self, predicate: Predicate, reverse: bool) -> None:
+        key: ClosureKey = (predicate, reverse)
+        entry = self._closures.get(key)
+        if entry is None:
+            return
+        entry[1] -= 1
+        if entry[1] <= 0:
+            del self._closures[key]
             self._eligibility.remove_listener(predicate, entry[2])
             self._eligibility.release(predicate)
 
@@ -275,6 +388,10 @@ class SharedDistanceSubstrate:
         if self._matrix is not None:
             self._matrix.apply_deletions(edges)
             self.stats.structure_batches += 1
+        if self._reach is not None:
+            # Deletions only destroy reachability: the oracle stays a
+            # sound over-approximation and rebuilds lazily per its budget.
+            self._reach.notify_edges_deleted(len(edges))
         for entry in self._fields.values():
             entry[0].shrink_edges(edges)
             self.stats.structure_batches += 1
@@ -295,6 +412,12 @@ class SharedDistanceSubstrate:
             for x, y in edges:
                 self._matrix.apply_insert(x, y)
             self.stats.structure_batches += 1
+        if self._reach is not None:
+            # Insertions create reachability a stale labelling would miss
+            # (unsound for routing): force a rebuild at the next consult —
+            # which happens before insertion routing, since the pool calls
+            # observe_inserted first.
+            self._reach.notify_edges_inserted(len(edges))
         for entry in self._fields.values():
             entry[0].grow_edges(edges)
             self.stats.structure_batches += 1
@@ -328,6 +451,9 @@ class SharedDistanceSubstrate:
     def matrix(self) -> Optional[DistanceMatrix]:
         return self._matrix
 
+    def reachability_index(self) -> Optional[IntervalReachabilityIndex]:
+        return self._reach
+
     def num_fields(self) -> int:
         return len(self._fields)
 
@@ -336,8 +462,12 @@ class SharedDistanceSubstrate:
         return {
             "landmark": self._lm_refs if self._lm is not None else 0,
             "matrix": self._matrix_refs if self._matrix is not None else 0,
+            "reach": self._reach_refs if self._reach is not None else 0,
             "fields": len(self._fields),
             "field_leases": sum(e[1] for e in self._fields.values()),
+            "field_radii": sum(len(e[3]) for e in self._fields.values()),
+            "closures": len(self._closures),
+            "closure_leases": sum(e[1] for e in self._closures.values()),
             "minima_keys": len(self._minima_refs),
         }
 
@@ -349,8 +479,24 @@ class SharedDistanceSubstrate:
         by the eligibility substrate); fields must be exact; the shared
         minima must read live leased sets only."""
         self._eligibility.check_invariants()
-        for entry in self._fields.values():
-            entry[0].check_exact()
+        for (predicate, _reverse), entry in self._fields.items():
+            field = entry[0]
+            field.check_exact()
+            assert _effective_cap(entry[3]) == field.radius, (
+                f"stratified field for {predicate!r} capped at "
+                f"{field.radius} but leases want {entry[3]}"
+            )
+            eset = self._eligibility.entry(predicate)
+            assert eset is not None and eset.members is field.sources, (
+                f"ball field for {predicate!r} detached from the "
+                f"eligibility substrate"
+            )
+        for (predicate, _reverse), entry in self._closures.items():
+            eset = self._eligibility.entry(predicate)
+            assert eset is not None and eset.members is entry[0].members, (
+                f"reach closure for {predicate!r} detached from the "
+                f"eligibility substrate"
+            )
         for predicate in self._minima_refs:
             eset = self._eligibility.entry(predicate)
             assert eset is not None and eset.members is self._minima_sets[predicate], (

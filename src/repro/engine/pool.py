@@ -47,8 +47,10 @@ view over a one-query pool, so both paths share this plumbing.
 
 from __future__ import annotations
 
+import os
 from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
+from ..graphs.columnar import as_backend
 from ..graphs.digraph import DiGraph, Node
 from ..incremental.types import Update, delete, insert, net_updates
 from ..landmarks.selection import LandmarkBudget
@@ -146,8 +148,21 @@ class MatcherPool:
         distance_scope: str = "shared",
         eligibility_scope: str = "shared",
         lm_budget: Optional[LandmarkBudget] = None,
+        graph_backend: Optional[str] = None,
     ) -> None:
+        # ``graph_backend`` selects the storage backend every consumer in
+        # this pool runs on: ``'dict'`` (plain DiGraph) or ``'columnar'``
+        # (dense-id columns; see graphs/columnar.py).  The input graph is
+        # converted if it is not already the requested backend; ``None``
+        # defers to the REPRO_GRAPH_BACKEND environment variable (how CI
+        # sweeps the whole suite across backends) and otherwise keeps
+        # whatever backend was passed in.
+        if graph_backend is None:
+            graph_backend = os.environ.get("REPRO_GRAPH_BACKEND") or None
+        if graph_backend is not None:
+            graph = as_backend(graph, graph_backend)
         self.graph = graph
+        self.graph_backend = type(graph).backend_name()
         self.stats = PoolStats()
         # One distance structure per (graph, distance_mode), leased by all
         # bounded queries registered with scope 'shared' (the default) and

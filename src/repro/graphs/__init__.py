@@ -1,7 +1,9 @@
 """Graph substrate: attributed digraphs, traversals, SCCs, distances."""
 
+from .columnar import MISSING, ColumnarDiGraph, NodeInterner, as_backend
 from .digraph import DiGraph, GraphError
 from .distance import DistanceMatrix, floyd_warshall
+from .reachability import IntervalReachabilityIndex, ReachClosure
 from .generators import (
     chain,
     complete_graph,
@@ -41,6 +43,12 @@ from .twohop import TwoHopLabels
 
 __all__ = [
     "DiGraph",
+    "ColumnarDiGraph",
+    "NodeInterner",
+    "MISSING",
+    "as_backend",
+    "IntervalReachabilityIndex",
+    "ReachClosure",
     "GraphError",
     "DistanceMatrix",
     "floyd_warshall",

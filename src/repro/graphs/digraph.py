@@ -7,9 +7,23 @@ representation with O(1) amortized edge insertion/deletion and O(1) parent
 and child set access — the operations every algorithm in this repository is
 built on.
 
-The class deliberately stores *sets* of successors and predecessors: the
-incremental algorithms of Sections 5 and 6 repeatedly ask "is (v, v') an
-edge" and "iterate the parents of v", both of which must be cheap.
+Adjacency is stored as insertion-ordered ``dict`` keyed by neighbour (the
+value is always ``None``): the ``.keys()`` views behave like sets for the
+"is (v, v') an edge" and "iterate the parents of v" queries the incremental
+algorithms of Sections 5 and 6 hammer, while iteration order is the edge
+insertion order — deterministic across ``PYTHONHASHSEED``s, so fuzz seeds
+and benchmark runs replay identically.
+
+Two interchangeable backends implement this API:
+
+* :class:`DiGraph` (this module) — dict-of-dicts adjacency, per-node attr
+  dicts.  The reference backend.
+* :class:`repro.graphs.columnar.ColumnarDiGraph` — dense-id columnar
+  storage behind the same API (see that module).
+
+Generic helpers (``__eq__``, degrees, ``edge_set``) are written against the
+public API only, so they work across backends; a ``DiGraph`` built by one
+backend compares equal to the same graph built by the other.
 """
 
 from __future__ import annotations
@@ -23,7 +37,6 @@ from typing import (
     Iterator,
     Mapping,
     Optional,
-    Set,
     Tuple,
 )
 
@@ -43,6 +56,15 @@ class DiGraph:
     supported (the paper's model is a simple digraph); self-loops are
     allowed, since they matter for the "nonempty path" semantics of bounded
     simulation.
+
+    .. warning:: **Attribute aliasing hazard.**  :meth:`attrs` returns the
+       *live* attribute mapping: mutating it changes the graph without any
+       observer — in particular a :class:`repro.engine.pool.MatcherPool` —
+       seeing the change, so predicate eligibility is silently left stale.
+       Engine and test code must route attribute writes through
+       :meth:`set_attr` (direct graphs) or the pool's ``set_attr`` /
+       ``add_node`` update events (pooled graphs); treat the mapping
+       returned by :meth:`attrs` as read-only.
     """
 
     __slots__ = ("_succ", "_pred", "_attrs", "_num_edges")
@@ -52,8 +74,9 @@ class DiGraph:
         edges: Optional[Iterable[Edge]] = None,
         attrs: Optional[Mapping[Node, Mapping[str, Any]]] = None,
     ) -> None:
-        self._succ: Dict[Node, Set[Node]] = {}
-        self._pred: Dict[Node, Set[Node]] = {}
+        # Inner dicts are used as insertion-ordered sets (value always None).
+        self._succ: Dict[Node, Dict[Node, None]] = {}
+        self._pred: Dict[Node, Dict[Node, None]] = {}
         self._attrs: Dict[Node, Dict[str, Any]] = {}
         self._num_edges = 0
         if edges is not None:
@@ -63,14 +86,20 @@ class DiGraph:
             for node, node_attrs in attrs.items():
                 self.add_node(node, **dict(node_attrs))
 
+    @classmethod
+    def backend_name(cls) -> str:
+        """Identifier of this storage backend (``'dict'`` here; subclasses
+        override — see :func:`repro.graphs.columnar.as_backend`)."""
+        return "dict"
+
     # ------------------------------------------------------------------
     # Node operations
     # ------------------------------------------------------------------
     def add_node(self, node: Node, **attrs: Any) -> None:
         """Add ``node`` (idempotent) and merge ``attrs`` into its tuple."""
         if node not in self._succ:
-            self._succ[node] = set()
-            self._pred[node] = set()
+            self._succ[node] = {}
+            self._pred[node] = {}
             self._attrs[node] = {}
         if attrs:
             self._attrs[node].update(attrs)
@@ -91,7 +120,7 @@ class DiGraph:
         return node in self._succ
 
     def __contains__(self, node: Node) -> bool:
-        return node in self._succ
+        return self.has_node(node)
 
     def nodes(self) -> Iterator[Node]:
         return iter(self._succ)
@@ -100,13 +129,18 @@ class DiGraph:
         return len(self._succ)
 
     def __len__(self) -> int:
-        return len(self._succ)
+        return self.num_nodes()
 
     # ------------------------------------------------------------------
     # Attribute access (the paper's fA)
     # ------------------------------------------------------------------
-    def attrs(self, node: Node) -> Dict[str, Any]:
-        """The attribute tuple ``fA(node)``; mutating it mutates the graph."""
+    def attrs(self, node: Node) -> Mapping[str, Any]:
+        """The attribute tuple ``fA(node)``.
+
+        Returns the live mapping — treat it as **read-only** (see the class
+        docstring for the aliasing hazard) and write through
+        :meth:`set_attr` instead.
+        """
         try:
             return self._attrs[node]
         except KeyError:
@@ -116,7 +150,10 @@ class DiGraph:
         return self.attrs(node).get(name, default)
 
     def set_attr(self, node: Node, name: str, value: Any) -> None:
-        self.attrs(node)[name] = value
+        try:
+            self._attrs[node][name] = value
+        except KeyError:
+            raise GraphError(f"node {node!r} not in graph") from None
 
     # ------------------------------------------------------------------
     # Edge operations
@@ -131,8 +168,8 @@ class DiGraph:
         self.add_node(w)
         if w in self._succ[v]:
             return False
-        self._succ[v].add(w)
-        self._pred[w].add(v)
+        self._succ[v][w] = None
+        self._pred[w][v] = None
         self._num_edges += 1
         return True
 
@@ -141,8 +178,8 @@ class DiGraph:
         succ = self._succ.get(v)
         if succ is None or w not in succ:
             return False
-        succ.remove(w)
-        self._pred[w].remove(v)
+        del succ[w]
+        del self._pred[w][v]
         self._num_edges -= 1
         return True
 
@@ -151,6 +188,7 @@ class DiGraph:
         return succ is not None and w in succ
 
     def edges(self) -> Iterator[Edge]:
+        """Edges in deterministic (node-insertion, edge-insertion) order."""
         for v, children in self._succ.items():
             for w in children:
                 yield (v, w)
@@ -161,17 +199,23 @@ class DiGraph:
     # ------------------------------------------------------------------
     # Adjacency (the paper's Cr(u) / Pr(u))
     # ------------------------------------------------------------------
-    def children(self, node: Node) -> Set[Node]:
-        """``Cr(node)``: direct successors.  Do not mutate the result."""
+    def children(self, node: Node):
+        """``Cr(node)``: direct successors as a set-like view.
+
+        Iteration follows edge-insertion order.  Do not mutate the result.
+        """
         try:
-            return self._succ[node]
+            return self._succ[node].keys()
         except KeyError:
             raise GraphError(f"node {node!r} not in graph") from None
 
-    def parents(self, node: Node) -> Set[Node]:
-        """``Pr(node)``: direct predecessors.  Do not mutate the result."""
+    def parents(self, node: Node):
+        """``Pr(node)``: direct predecessors as a set-like view.
+
+        Iteration follows edge-insertion order.  Do not mutate the result.
+        """
         try:
-            return self._pred[node]
+            return self._pred[node].keys()
         except KeyError:
             raise GraphError(f"node {node!r} not in graph") from None
 
@@ -185,52 +229,75 @@ class DiGraph:
     # Bulk helpers
     # ------------------------------------------------------------------
     def copy(self) -> "DiGraph":
-        g = DiGraph()
-        for node in self._succ:
-            g.add_node(node, **self._attrs[node])
-        for v, w in self.edges():
-            g.add_edge(v, w)
+        """A deep structural copy, built by bulk dict copies (no per-edge
+        ``add_edge`` round trips)."""
+        g = DiGraph.__new__(DiGraph)
+        g._succ = {v: d.copy() for v, d in self._succ.items()}
+        g._pred = {v: d.copy() for v, d in self._pred.items()}
+        g._attrs = {n: a.copy() for n, a in self._attrs.items()}
+        g._num_edges = self._num_edges
         return g
 
     def subgraph(self, nodes: Iterable[Node]) -> "DiGraph":
         """The induced subgraph on ``nodes`` (attributes copied)."""
         keep = set(nodes)
-        g = DiGraph()
         for node in keep:
             if node not in self._succ:
                 raise GraphError(f"node {node!r} not in graph")
-            g.add_node(node, **self._attrs[node])
-        for v in keep:
-            for w in self._succ[v]:
-                if w in keep:
-                    g.add_edge(v, w)
+        g = DiGraph.__new__(DiGraph)
+        # Preserve this graph's node order for determinism.
+        order = [n for n in self._succ if n in keep]
+        g._succ = {
+            v: {w: None for w in self._succ[v] if w in keep} for v in order
+        }
+        g._pred = {
+            v: {w: None for w in self._pred[v] if w in keep} for v in order
+        }
+        g._attrs = {n: self._attrs[n].copy() for n in order}
+        g._num_edges = sum(len(d) for d in g._succ.values())
         return g
 
     def reverse(self) -> "DiGraph":
-        """A copy with every edge flipped."""
-        g = DiGraph()
-        for node in self._succ:
-            g.add_node(node, **self._attrs[node])
-        for v, w in self.edges():
-            g.add_edge(w, v)
+        """A copy with every edge flipped, built by swapping the bulk
+        adjacency maps."""
+        g = DiGraph.__new__(DiGraph)
+        g._succ = {v: d.copy() for v, d in self._pred.items()}
+        g._pred = {v: d.copy() for v, d in self._succ.items()}
+        g._attrs = {n: a.copy() for n, a in self._attrs.items()}
+        g._num_edges = self._num_edges
         return g
 
     def edge_set(self) -> FrozenSet[Edge]:
         return frozenset(self.edges())
 
     def __eq__(self, other: object) -> bool:
+        # Written against the public API only so that graphs compare equal
+        # across backends (dict vs columnar).
         if not isinstance(other, DiGraph):
             return NotImplemented
-        return (
-            set(self._succ) == set(other._succ)
-            and self.edge_set() == other.edge_set()
-            and all(self._attrs[n] == other._attrs[n] for n in self._succ)
-        )
+        if self.num_nodes() != other.num_nodes():
+            return False
+        if self.num_edges() != other.num_edges():
+            return False
+        mine = set(self.nodes())
+        if mine != set(other.nodes()):
+            return False
+        for v in mine:
+            ours = self.children(v)
+            theirs = other.children(v)
+            if len(ours) != len(theirs):
+                return False
+            if any(w not in theirs for w in ours):
+                return False
+            if dict(self.attrs(v)) != dict(other.attrs(v)):
+                return False
+        return True
 
     def __hash__(self) -> int:  # pragma: no cover - mutable, identity hash
         return id(self)
 
     def __repr__(self) -> str:
         return (
-            f"DiGraph(|V|={self.num_nodes()}, |E|={self.num_edges()})"
+            f"{type(self).__name__}(|V|={self.num_nodes()}, "
+            f"|E|={self.num_edges()})"
         )

@@ -28,6 +28,12 @@ def bfs_distances(
     Returns a dict mapping each reached node to its distance; the source
     maps to 0.  ``max_depth`` truncates the search.
     """
+    # Backends that index nodes by dense ints (graphs/columnar.py) expose
+    # an id-space BFS that skips per-neighbour view indirection and hashes
+    # ints instead of node objects.
+    fast = getattr(graph, "_bfs_distances", None)
+    if fast is not None:
+        return fast(source, max_depth, reverse)
     neighbours = graph.parents if reverse else graph.children
     dist: Dict[Node, int] = {source: 0}
     queue = deque([source])
@@ -49,6 +55,12 @@ def descendants_within(graph: DiGraph, source: Node, k: Optional[int]) -> Dict[N
     ``k is None`` means unbounded (the ``*`` edge bound).  The source itself
     appears only if it lies on a cycle of length <= k.
     """
+    # Dense-id backends fuse the distance BFS and the cycle check into a
+    # single id-space pass (the cycle through ``source`` is one hop back
+    # from a node the forward frontier already labelled).
+    fast = getattr(graph, "_descendants_within", None)
+    if fast is not None:
+        return fast(source, k)
     dist = bfs_distances(graph, source, max_depth=k)
     out: Dict[Node, int] = {}
     for node, d in dist.items():
@@ -64,6 +76,9 @@ def descendants_within(graph: DiGraph, source: Node, k: Optional[int]) -> Dict[N
 
 def ancestors_within(graph: DiGraph, target: Node, k: Optional[int]) -> Dict[Node, int]:
     """Nodes that reach ``target`` by a nonempty path of length <= k."""
+    fast = getattr(graph, "_ancestors_within", None)
+    if fast is not None:
+        return fast(target, k)
     dist = bfs_distances(graph, target, max_depth=k, reverse=True)
     out: Dict[Node, int] = {}
     for node, d in dist.items():
@@ -84,6 +99,9 @@ def shortest_cycle_through(
     This is ``1 + dist(child, node)`` minimized over children; a self-loop
     gives 1.
     """
+    fast = getattr(graph, "_shortest_cycle_through", None)
+    if fast is not None:
+        return fast(node, max_len)
     if graph.has_edge(node, node):
         return 1
     limit = None if max_len is None else max_len - 1
@@ -122,6 +140,9 @@ def is_reachable(graph: DiGraph, v: Node, w: Node) -> bool:
 
 def reachable_set(graph: DiGraph, sources: Iterable[Node], reverse: bool = False) -> Set[Node]:
     """All nodes reachable (possibly trivially) from any of ``sources``."""
+    fast = getattr(graph, "_reachable_set", None)
+    if fast is not None:
+        return fast(sources, reverse)
     neighbours = graph.parents if reverse else graph.children
     seen: Set[Node] = set()
     queue = deque()

@@ -24,11 +24,16 @@ Because the repair is exact, the summary needs no staleness counters or
 threshold rebuilds: it tightens on deletions immediately, so routing
 pruning power never decays.
 
-:class:`EligibleBallSummary` bundles one ``(src, tgt)`` field pair per
-pattern edge for a single bounded query.  The same :class:`BallField` is
-what the pool-level :class:`~repro.engine.distances.SharedDistanceSubstrate`
-leases out when several queries share a ``(predicate, radius, direction)``
-ball union.
+Fields are **stratified**: capped BFS entries at depth ``d < r`` do not
+depend on the cap, so one field maintained at cap ``r_max`` answers
+:meth:`BallField.within` for *every* radius ``r <= r_max`` — and the cap
+itself can be raised (re-grow from the old frontier layer, which capped
+BFS left un-relaxed) or lowered (truncate entries beyond the new cap)
+exactly, without a rebuild.  :class:`EligibleBallSummary` therefore keeps
+one field per (pattern node, direction) — sized to the largest incident
+bound — instead of one pair per pattern edge, and the pool-level
+:class:`~repro.engine.distances.SharedDistanceSubstrate` leases one field
+per ``(predicate, direction)`` that serves all leased radii.
 
 Soundness contract: :meth:`EligibleBallSummary.can_affect` never returns
 ``False`` for an edge that could create or break a pair on the graph state
@@ -114,6 +119,54 @@ class BallField:
 
     def __len__(self) -> int:
         return len(self.dist)
+
+    # ------------------------------------------------------------------
+    # Stratified queries: one field, every radius r <= cap
+    # ------------------------------------------------------------------
+    def within(self, v: Node, r: Optional[int] = None) -> bool:
+        """Is ``v`` within distance ``r`` of the closest source?
+
+        Valid for any ``r`` at most the field's cap (``r is None`` asks
+        for unbounded reach and requires an uncapped field).  Capped BFS
+        entries at depth ``d <= cap`` are independent of the cap, so one
+        field answers every stratum below it.
+        """
+        if r is None:
+            if self.radius is not None:
+                raise ValueError(
+                    f"within(r=None) on a field capped at {self.radius}"
+                )
+            return v in self.dist
+        if self.radius is not None and r > self.radius:
+            raise ValueError(
+                f"within(r={r}) exceeds the field cap {self.radius}"
+            )
+        d = self.dist.get(v)
+        return d is not None and d <= r
+
+    def set_radius(self, radius: Optional[int]) -> None:
+        """Re-cap the field without a rebuild.
+
+        Raising the cap re-grows from the old frontier layer: entries at
+        depth ``d < old`` were fully relaxed by the capped BFS, the layer
+        at exactly ``old`` was not, so relaxing outward from it alone
+        recovers the exact larger ball.  Lowering the cap truncates the
+        entries beyond it.
+        """
+        old = self.radius
+        if radius == old:
+            return
+        self.radius = radius
+        if old is None or (radius is not None and radius < old):
+            # Shrinking (possibly from unbounded): drop the outer shells.
+            drop = [v for v, d in self.dist.items() if d > radius]
+            for v in drop:
+                del self.dist[v]
+        else:
+            # Growing (possibly to unbounded): relax from the old frontier.
+            seeds = [(v, d) for v, d in self.dist.items() if d == old]
+            if seeds:
+                self._grow(seeds)
 
     # ------------------------------------------------------------------
     # Growth (insertions / source gains): decrease-only relaxation
@@ -257,8 +310,21 @@ class BallField:
         )
 
 
+def _merge_radius(a: Optional[int], b: Optional[int]) -> Optional[int]:
+    """The larger of two radii, where ``None`` means unbounded."""
+    if a is None or b is None:
+        return None
+    return a if a >= b else b
+
+
 class EligibleBallSummary:
-    """Per-pattern-edge ball unions answering "can this edge matter?"."""
+    """Stratified per-(pattern node, direction) ball unions answering
+    "can this edge matter?".
+
+    One :class:`BallField` per pattern node and direction, capped at the
+    largest radius any incident pattern edge needs; each edge's oracle
+    consult reads its own stratum via :meth:`BallField.within`.
+    """
 
     def __init__(
         self,
@@ -269,8 +335,8 @@ class EligibleBallSummary:
         self._graph = graph
         self._bounds = bounds
         self._eligible = eligible
-        self._src: Dict[PatternEdge, BallField] = {}
-        self._tgt: Dict[PatternEdge, BallField] = {}
+        # (pattern node, reverse) -> stratified field.
+        self._fields: Dict[Tuple[PatternNode, bool], BallField] = {}
         self.rebuilds = 0
         self.rebuild()
 
@@ -280,18 +346,24 @@ class EligibleBallSummary:
     def _radius(self, bound: Bound) -> Optional[int]:
         return None if bound is None else bound - 1
 
+    def _field_caps(self) -> Dict[Tuple[PatternNode, bool], Optional[int]]:
+        """Cap per (pattern node, direction): the max incident radius."""
+        caps: Dict[Tuple[PatternNode, bool], Optional[int]] = {}
+        for (u, u2), bound in self._bounds.items():
+            r = self._radius(bound)
+            for key in ((u, False), (u2, True)):
+                caps[key] = _merge_radius(caps[key], r) if key in caps else r
+        return caps
+
     def rebuild(self) -> None:
         """Recompute every ball union from scratch on the current graph."""
         self.rebuilds += 1
-        for edge, bound in self._bounds.items():
-            u, u2 = edge
-            r = self._radius(bound)
-            self._src[edge] = BallField(
-                self._graph, self._eligible[u], r, reverse=False
+        self._fields = {
+            (u, reverse): BallField(
+                self._graph, self._eligible[u], cap, reverse=reverse
             )
-            self._tgt[edge] = BallField(
-                self._graph, self._eligible[u2], r, reverse=True
-            )
+            for (u, reverse), cap in self._field_caps().items()
+        }
 
     # ------------------------------------------------------------------
     # The routing oracle
@@ -300,10 +372,15 @@ class EligibleBallSummary:
         """May an edge update between ``x`` and ``y`` create/break a pair?
 
         True iff for some pattern edge ``x`` lies in the source ball union
-        and ``y`` in the target one; exact on the observed graph state.
+        and ``y`` in the target one at that edge's own radius; exact on
+        the observed graph state.
         """
-        for edge in self._bounds:
-            if x in self._src[edge] and y in self._tgt[edge]:
+        fields = self._fields
+        for (u, u2), bound in self._bounds.items():
+            r = self._radius(bound)
+            if fields[(u, False)].within(x, r) and fields[(u2, True)].within(
+                y, r
+            ):
                 return True
         return False
 
@@ -313,56 +390,44 @@ class EligibleBallSummary:
     def note_inserted(self, edges: Iterable[Tuple[Node, Node]]) -> None:
         """Grow the balls for edges already inserted into the graph."""
         edges = list(edges)
-        for edge in self._bounds:
-            self._src[edge].grow_edges(edges)
-            self._tgt[edge].grow_edges(edges)
+        for field in self._fields.values():
+            field.grow_edges(edges)
 
     def note_deleted(self, edges: Iterable[Tuple[Node, Node]]) -> None:
         """Decrementally repair the balls for already-removed edges."""
         edges = list(edges)
-        for edge in self._bounds:
-            self._src[edge].shrink_edges(edges)
-            self._tgt[edge].shrink_edges(edges)
+        for field in self._fields.values():
+            field.shrink_edges(edges)
 
     def note_eligible_gained(self, u: PatternNode, v: Node) -> None:
         """Node ``v`` became eligible for pattern node ``u``: grow balls."""
-        for (pu, pu2) in self._bounds:
-            if pu == u:
-                self._src[(pu, pu2)].source_gained(v)
-            if pu2 == u:
-                self._tgt[(pu, pu2)].source_gained(v)
+        for reverse in (False, True):
+            field = self._fields.get((u, reverse))
+            if field is not None:
+                field.source_gained(v)
 
     def note_eligible_lost(self, u: PatternNode, v: Node) -> None:
         """Node ``v`` lost eligibility for ``u``: repair decrementally."""
-        for (pu, pu2) in self._bounds:
-            if pu == u:
-                self._src[(pu, pu2)].source_lost(v)
-            if pu2 == u:
-                self._tgt[(pu, pu2)].source_lost(v)
+        for reverse in (False, True):
+            field = self._fields.get((u, reverse))
+            if field is not None:
+                field.source_lost(v)
 
     # ------------------------------------------------------------------
     # Invariants (tests)
     # ------------------------------------------------------------------
     def check_superset_invariant(self) -> None:
         """Every true current ball entry must appear in the summary."""
-        for edge, bound in self._bounds.items():
-            u, u2 = edge
-            r = self._radius(bound)
-            true_src = _capped_multi_source(self._graph, self._eligible[u], r)
-            true_tgt = _capped_multi_source(
-                self._graph, self._eligible[u2], r, reverse=True
+        for (u, reverse), field in self._fields.items():
+            true = _capped_multi_source(
+                self._graph, self._eligible[u], field.radius, reverse=reverse
             )
-            missing_src = set(true_src) - set(self._src[edge].dist)
-            missing_tgt = set(true_tgt) - set(self._tgt[edge].dist)
-            assert not missing_src, (
-                f"summary src ball for {edge} missing {missing_src}"
-            )
-            assert not missing_tgt, (
-                f"summary tgt ball for {edge} missing {missing_tgt}"
+            missing = set(true) - set(field.dist)
+            assert not missing, (
+                f"summary ball for ({u}, reverse={reverse}) missing {missing}"
             )
 
     def check_exact_invariant(self) -> None:
         """Decremental repair keeps every field equal to a fresh rebuild."""
-        for edge in self._bounds:
-            self._src[edge].check_exact()
-            self._tgt[edge].check_exact()
+        for field in self._fields.values():
+            field.check_exact()

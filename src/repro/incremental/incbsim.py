@@ -33,7 +33,17 @@ a data edge changes.
   answers rechecks from the vectors — the paper's Section 6.3 algorithm;
 - ``'matrix'``    — maintains a full all-pairs matrix (min-plus updates on
   insert, rebuild on delete): the ``IncBMatch_m`` baseline of Exp-2, whose
-  heavier auxiliary structure is exactly what Fig. 19 measures.
+  heavier auxiliary structure is exactly what Fig. 19 measures;
+- ``'interval'``  — routes through an SCC-interval reachability oracle
+  (:class:`~repro.graphs.reachability.IntervalReachabilityIndex`): the
+  routing oracle over-approximates "within bound k" by "reachable", with
+  per-(predicate, direction) :class:`ReachClosure` caches making each
+  consult an O(1) component-membership test (sublinear in the eligible
+  sets); suspect rechecks use exact reachability for ``*`` bounds and
+  grouped bounded BFS for finite ones.  Cheapest upkeep of the four —
+  the labelling rebuilds lazily under a staleness budget that only ever
+  errs toward routing *more* edges (deletions tolerated, insertions
+  force a rebuild).
 
 Distance structures are owned per index by default; when a pool-level
 :class:`~repro.engine.distances.SharedDistanceSubstrate` is passed, the
@@ -53,6 +63,7 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..graphs.digraph import DiGraph, Node
 from ..graphs.distance import DistanceMatrix
+from ..graphs.reachability import IntervalReachabilityIndex, ReachClosure
 from ..graphs.traversal import INF, ancestors_within, descendants_within
 from ..landmarks.vector import EligibleLegMinima, LandmarkIndex
 from .ballsummary import BallField, EligibleBallSummary
@@ -89,7 +100,7 @@ class BoundedSimulationIndex:
         substrate=None,
         eligibility=None,
     ) -> None:
-        if distance_mode not in ("bfs", "landmark", "matrix"):
+        if distance_mode not in ("bfs", "landmark", "matrix", "interval"):
             raise ValueError(f"unknown distance_mode {distance_mode!r}")
         self.pattern = pattern
         self.graph = graph
@@ -132,6 +143,17 @@ class BoundedSimulationIndex:
         # plus the exact lease keys so release() returns what was taken.
         self._shared_fields: Optional[Dict[PatternEdge, Tuple[BallField, BallField]]] = None
         self._field_keys: List[Tuple] = []
+        # Interval mode: SCC-interval reachability oracle plus one source
+        # closure per (pattern node / predicate, direction).  Substrate
+        # scope leases both; per-query scope owns them (lazily built) and
+        # marks closures dirty through the eligibility hooks below.
+        self._reach: Optional[IntervalReachabilityIndex] = None
+        self._reach_leased = False
+        self._reach_closures: Optional[
+            Dict[PatternEdge, Tuple[ReachClosure, ReachClosure]]
+        ] = None
+        self._layer_closures: Dict[Tuple[PatternNode, bool], ReachClosure] = {}
+        self._closure_keys: List[Tuple[Predicate, bool]] = []
         # Substrate leg-minima leases (landmark mode): distinct predicates
         # whose shared member minima this index's oracle reads.
         self._minima_keys: List[Predicate] = []
@@ -160,6 +182,23 @@ class BoundedSimulationIndex:
                 self._matrix = substrate.lease_matrix()
             else:
                 self._matrix = DistanceMatrix(graph)
+        elif distance_mode == "interval" and substrate is not None:
+            # Lease the shared oracle and closures eagerly (build cost
+            # belongs to registration); the oracle is also consulted for
+            # *-bound suspect rechecks, so lease it even when the bounds
+            # alone would not force distance routing.
+            self._reach = substrate.lease_reachability()
+            self._reach_leased = True
+            closures: Dict[PatternEdge, Tuple[ReachClosure, ReachClosure]] = {}
+            for (u, u2) in self._bounds:
+                src_key = (pattern.predicate(u), False)
+                tgt_key = (pattern.predicate(u2), True)
+                closures[(u, u2)] = (
+                    substrate.lease_reach_closure(*src_key),
+                    substrate.lease_reach_closure(*tgt_key),
+                )
+                self._closure_keys.extend((src_key, tgt_key))
+            self._reach_closures = closures
         # Shared ball fields are leased eagerly when this index's routing
         # oracle will read them (build cost belongs to registration, not
         # to the first flush that happens to consult the oracle).
@@ -279,6 +318,7 @@ class BoundedSimulationIndex:
             self._summary.note_eligible_gained(u, v)
         if self._minima is not None:
             self._minima.note_gained(u, v)
+        self._dirty_layer_closures(u)
 
     def update_node_attrs(self, v: Node, **attrs) -> None:
         """Change ``v``'s attributes and repair the match.
@@ -347,6 +387,13 @@ class BoundedSimulationIndex:
         both endpoints.  Materialization consults only the final sets, so
         the interleaved per-event order reaches the same pair graph.
         """
+        # The shared sets flipped regardless of this index's adoption
+        # state, so any per-query closures over them are stale either way.
+        for _v, gained, lost in events:
+            for u in gained:
+                self._dirty_layer_closures(u)
+            for u in lost:
+                self._dirty_layer_closures(u)
         events = [
             (
                 v,
@@ -424,6 +471,7 @@ class BoundedSimulationIndex:
                 self._summary.note_eligible_lost(u, v)
             if self._minima is not None:
                 self._minima.note_lost(u, v)
+            self._dirty_layer_closures(u)
         if pair_updates:
             self._inner.apply_batch(pair_updates)
         # Retire after the edges are gone so leaf-layer matches drop too.
@@ -551,10 +599,36 @@ class BoundedSimulationIndex:
         With a landmark index / distance matrix each pair is an O(|lm|)
         early-exit query; otherwise suspects are grouped by source so each
         source pays a single bounded BFS regardless of how many deleted
-        edges implicated it.
+        edges implicated it.  In ``interval`` mode, ``*``-bound pairs ask
+        the reachability oracle exactly (the exact entry point rebuilds a
+        dirty labelling once, then every consult is near-O(1)); finite
+        bounds need true distances, so they fall back to the grouped BFS.
         """
         out: List[Update] = []
-        if self._lm is not None or self._matrix is not None:
+        if self.distance_mode == "interval":
+            reach = self._ensure_reach()
+            graph = self.graph
+            bounded: Dict[PatternEdge, Set[Tuple[Node, Node]]] = {}
+            for (u, u2), pairs in suspects.items():
+                bound = self._bounds[(u, u2)]
+                if bound is not None:
+                    if pairs:
+                        bounded[(u, u2)] = pairs
+                    continue
+                for a, c in pairs:
+                    # Pair semantics need a *nonempty* path: for a != c
+                    # reflexive reachability coincides; a self-pair needs
+                    # a cycle through a, i.e. a successor that reaches it.
+                    if a != c:
+                        ok = reach.reachable(a, c)
+                    else:
+                        ok = a in graph and any(
+                            reach.reachable(w, a) for w in graph.children(a)
+                        )
+                    if not ok:
+                        out.append(upd_delete((u, a), (u2, c)))
+            suspects = bounded
+        elif self._lm is not None or self._matrix is not None:
             for (u, u2), pairs in suspects.items():
                 bound = self._bounds[(u, u2)]
                 for a, c in pairs:
@@ -621,6 +695,8 @@ class BoundedSimulationIndex:
             self._lm.insert_edge(x, y)
         if self._matrix is not None:
             self._matrix_insert(x, y)
+        if self._reach is not None and not self._reach_leased:
+            self._reach.notify_edges_inserted()
         if self._summary is not None:
             self._summary.note_inserted([(x, y)])
         bins, bouts = self._balls_around(x, y)
@@ -639,6 +715,8 @@ class BoundedSimulationIndex:
             self._lm.delete_edge(x, y)
         if self._matrix is not None:
             self._matrix_delete([(x, y)])
+        if self._reach is not None and not self._reach_leased:
+            self._reach.notify_edges_deleted()
         if self._summary is not None:
             self._summary.note_deleted([(x, y)])
         pair_updates = self._pairs_broken_by_delete(x, y, bins, bouts)
@@ -672,6 +750,8 @@ class BoundedSimulationIndex:
                 self._lm.apply_batch(deleted=[u.edge for u in deletions])
             if self._matrix is not None:
                 self._matrix_delete([u.edge for u in deletions])
+            if self._reach is not None and not self._reach_leased:
+                self._reach.notify_edges_deleted(len(deletions))
             if self._summary is not None:
                 self._summary.note_deleted([u.edge for u in deletions])
         suspects: Dict[PatternEdge, Set[Tuple[Node, Node]]] = {}
@@ -693,6 +773,8 @@ class BoundedSimulationIndex:
             if self._matrix is not None:
                 for u in insertions:
                     self._matrix.apply_insert(u.source, u.target)
+            if self._reach is not None and not self._reach_leased:
+                self._reach.notify_edges_inserted(len(insertions))
             if self._summary is not None:
                 self._summary.note_inserted([u.edge for u in insertions])
         pending = {
@@ -760,12 +842,68 @@ class BoundedSimulationIndex:
     def ball_summary(self) -> Optional[EligibleBallSummary]:
         return self._summary
 
+    def _ensure_reach(self) -> IntervalReachabilityIndex:
+        """The interval oracle — leased from the substrate at registration
+        or owned per-query (built lazily on first consult)."""
+        if self._reach is None:
+            self._reach = IntervalReachabilityIndex(self.graph)
+        return self._reach
+
+    def reachability_index(self) -> Optional[IntervalReachabilityIndex]:
+        return self._reach
+
+    def _ensure_reach_closures(
+        self,
+    ) -> Dict[PatternEdge, Tuple[ReachClosure, ReachClosure]]:
+        """Per-pattern-edge (src, tgt) source closures for interval routing.
+
+        Substrate scope wires these at registration (closures keyed by
+        predicate, dirtied by eligibility listeners); per-query scope
+        builds one closure per (pattern node, direction) over its own
+        eligible sets, dirtied through the adoption / flip hooks.
+        """
+        if self._reach_closures is None:
+            closures: Dict[PatternEdge, Tuple[ReachClosure, ReachClosure]] = {}
+            for (u, u2) in self._bounds:
+                closures[(u, u2)] = (
+                    self._own_closure(u, False),
+                    self._own_closure(u2, True),
+                )
+            self._reach_closures = closures
+        return self._reach_closures
+
+    def _own_closure(self, u: PatternNode, reverse: bool) -> ReachClosure:
+        key = (u, reverse)
+        closure = self._layer_closures.get(key)
+        if closure is None:
+            closure = ReachClosure(
+                self._ensure_reach(), self.eligible[u], reverse
+            )
+            self._layer_closures[key] = closure
+        return closure
+
+    def _dirty_layer_closures(self, u: PatternNode) -> None:
+        """Layer ``u``'s eligible set changed: per-query closures over it
+        must recompute (substrate closures hear it via listeners)."""
+        if not self._layer_closures:
+            return
+        for reverse in (False, True):
+            closure = self._layer_closures.get((u, reverse))
+            if closure is not None:
+                closure.mark_dirty()
+
     def _routes_via_shared_fields(self) -> bool:
         """Does the routing oracle read the substrate's shared ball fields
-        (vs the landmark minima / per-query summary)?  Single predicate
-        for the eager-lease decision and the can_affect_edge branch."""
-        return self.substrate is not None and (
-            self.distance_mode != "landmark" or self.has_trivial_pred
+        (vs the landmark minima / reach closures / per-query summary)?
+        Single predicate for the eager-lease decision and the
+        can_affect_edge branch.  Interval mode never does: its closures
+        handle trivial predicates soundly (a fresh node is announced to
+        the eligibility substrate — hence a closure member — before
+        insertion routing)."""
+        return (
+            self.substrate is not None
+            and self.distance_mode != "interval"
+            and (self.distance_mode != "landmark" or self.has_trivial_pred)
         )
 
     def _ensure_shared_fields(
@@ -817,6 +955,14 @@ class BoundedSimulationIndex:
             self.substrate.release_field(*key)
         self._field_keys = []
         self._shared_fields = None
+        for key in self._closure_keys:
+            self.substrate.release_reach_closure(*key)
+        self._closure_keys = []
+        if self._reach_leased:
+            self.substrate.release_reachability()
+            self._reach = None
+            self._reach_leased = False
+        self._reach_closures = None
         # Detach so a stray consult on a released index cannot silently
         # re-lease substrate structures nobody will ever release again.
         self.substrate = None
@@ -845,7 +991,22 @@ class BoundedSimulationIndex:
         insertion routing, so a brand-new attribute-less node is already
         a pinned distance-0 source when this oracle runs — the one case
         the eligible-set-based structures cannot anticipate.
+
+        In ``interval`` mode the consult is two O(1) closure-membership
+        tests per pattern edge: ``x`` reachable from an eligible source
+        and ``y`` reaching an eligible target.  Reachability ignores the
+        bounds, so this branch over-approximates the ball oracles for
+        finite bounds — still sound (``False`` remains a proof), and the
+        tolerated-deletion staleness of the underlying labelling only ever
+        widens it.
         """
+        if self.distance_mode == "interval":
+            closures = self._ensure_reach_closures()
+            for edge in self._bounds:
+                src, tgt = closures[edge]
+                if src.contains(x) and tgt.contains(y):
+                    return True
+            return False
         if (
             self.distance_mode == "landmark"
             and not self._routes_via_shared_fields()
@@ -870,9 +1031,12 @@ class BoundedSimulationIndex:
             return False
         if self.substrate is not None:
             fields = self._ensure_shared_fields()
-            for edge in self._bounds:
+            for edge, bound in self._bounds.items():
+                r = None if bound is None else bound - 1
                 src, tgt = fields[edge]
-                if x in src and y in tgt:
+                # Stratified consult: the shared field may be capped
+                # higher (another lease's stratum); read our own radius.
+                if src.within(x, r) and tgt.within(y, r):
                     return True
             return False
         return self._ensure_summary().can_affect(x, y)
@@ -894,6 +1058,8 @@ class BoundedSimulationIndex:
             self._lm.apply_batch(deleted=edges)
         if self._matrix is not None:
             self._matrix_delete(edges)
+        if self._reach is not None and not self._reach_leased:
+            self._reach.notify_edges_deleted(len(edges))
         if self._summary is not None:
             self._summary.note_deleted(edges)
 
@@ -913,6 +1079,8 @@ class BoundedSimulationIndex:
         if self._matrix is not None:
             for x, y in edges:
                 self._matrix.apply_insert(x, y)
+        if self._reach is not None and not self._reach_leased:
+            self._reach.notify_edges_inserted(len(edges))
         if self._summary is not None:
             self._summary.note_inserted(edges)
 

@@ -21,15 +21,25 @@ clients) with simulation and isomorphism blended in — so every index
 family's shared-eligibility paths (flip adoption, withdrawal cascades,
 embedding re-anchoring) run under the same churn.
 
-The sweep runs once per ``(distance mode × eligibility scope)``: the
-shared-distance pool takes the parametrized ``eligibility_scope`` while
-the per-query-distance pool takes the *opposite*, so all four
-(distance, eligibility) scope combinations are differentially exercised
-across the two parameter values.  After every flush, each registered
+The sweep runs once per ``(distance mode × eligibility scope × graph
+backend)``: the shared-distance pool takes the parametrized
+``eligibility_scope`` and ``graph backend`` while the per-query-distance
+pool takes the *opposite* of each, so all four (distance, eligibility)
+scope combinations are differentially exercised across the two scope
+values — and every sequence is simultaneously a dict ≡ columnar
+backend differential, because the two pools run the same op stream on
+opposite storage layouts and their graphs are asserted equal (via the
+backend-generic ``DiGraph.__eq__``) after every flush.  Distance modes
+cover all four structures, including the SCC-interval reachability
+oracle (``mode='interval'``).  After every flush, each registered
 query's match set under both pools must equal a from-scratch batch
 recomputation (:func:`~repro.matching.bounded.bounded_match`) on the
 current graph, and the eligibility member sets, ball fields, and leased
-minima must pass their exactness invariants.
+minima must pass their exactness invariants.  ``check_oracles`` probes
+``can_affect_edge`` over every node pair at quiescence: exact for the
+radius-capped modes, and — after forcing a clean labelling — exact
+against the *reachability* ground truth for interval mode (whose
+routing answer is by design the radius-free over-approximation).
 
 All randomness flows from ``random.Random`` seeds derived from a pinned
 base, so every failure message names the exact seed that replays it:
@@ -56,7 +66,14 @@ oracle rules on the very batch that wired them, so same-flush witness
 paths are declined), and (6) the atom tier's ``_reconcile`` deriving a
 conjunction's membership from its *first* atom's posting set alone
 (sibling atoms ignored — overlapping conjunctions diverge as soon as
-one shared atom flips while another still fails).
+one shared atom flips while another still fails), and (7) the interval
+reachability oracle notified of insertions via ``notify_edges_deleted``
+(insert-staleness: new edges fall under the tolerated-deletion budget
+instead of forcing the rebuild, so the closures miss freshly created
+reachability and routing falsely declines edges — caught by the
+pre-rebuild soundness pass in ``check_oracles``, in both the
+substrate's ``observe_inserted`` and the per-query
+``observe_inserted_edges``).
 """
 
 from __future__ import annotations
@@ -76,8 +93,9 @@ from repro.matching.simulation import maximum_simulation
 from repro.patterns.pattern import Pattern
 from repro.patterns.predicate import Atom, Predicate
 
-MODES = ["bfs", "landmark", "matrix"]
+MODES = ["bfs", "landmark", "matrix", "interval"]
 ELIGIBILITY_SCOPES = ["shared", "per-query"]
+GRAPH_BACKENDS = ["dict", "columnar"]
 SEQUENCES = int(os.environ.get("SHARED_SUBSTRATE_SEQUENCES", "200"))
 BASE_SEED = 0x5D1575
 FLUSHES = 3
@@ -143,16 +161,29 @@ def _random_pattern(rng: random.Random, normal: bool = False) -> Pattern:
 class _Harness:
     """One differential run: two pools, one op stream, one oracle."""
 
-    def __init__(self, seed: int, mode: str, escope: str = "shared") -> None:
+    def __init__(
+        self,
+        seed: int,
+        mode: str,
+        escope: str = "shared",
+        backend: str = "dict",
+    ) -> None:
         self.rng = random.Random(seed)
         self.mode = mode
         base = _random_graph(self.rng)
         other = "per-query" if escope == "shared" else "shared"
+        # The two pools always run on *opposite* graph backends, so every
+        # sequence is also a dict ≡ columnar differential: the graph
+        # equality in check() compares across backends, and every index
+        # family runs its whole op stream on both storage layouts.
+        other_backend = "columnar" if backend == "dict" else "dict"
         self.shared = MatcherPool(
-            base.copy(), distance_scope="shared", eligibility_scope=escope
+            base.copy(), distance_scope="shared", eligibility_scope=escope,
+            graph_backend=backend,
         )
         self.per_query = MatcherPool(
-            base.copy(), distance_scope="per-query", eligibility_scope=other
+            base.copy(), distance_scope="per-query", eligibility_scope=other,
+            graph_backend=other_backend,
         )
         self.patterns = {}
         self._counter = 0
@@ -306,6 +337,7 @@ class _Harness:
             d = fwd[src].get(dst)
             return d is not None and (r is None or d <= r)
 
+        interval = self.mode == "interval"
         for name, (semantics, pattern) in sorted(self.patterns.items()):
             if semantics != "bounded":
                 continue
@@ -317,19 +349,63 @@ class _Harness:
                 edges = [
                     (u, u2, pattern.bound(u, u2)) for u, u2 in pattern.edges()
                 ]
+                if interval:
+                    # Soundness pass FIRST, against whatever labelling the
+                    # flush left behind: staleness may only ever widen the
+                    # answer (stale deletions err True), never narrow it —
+                    # a reachable pair the oracle calls False is a missed
+                    # repair.  This is the probe that catches an insertion
+                    # recorded in the wrong direction (bug 7 below): the
+                    # later exact pass would mask it behind its forced
+                    # rebuild.
+                    for x in nodes:
+                        for y in nodes:
+                            reach_truth = any(
+                                any(leg(a, x, None) for a in idx.eligible[u])
+                                and any(leg(y, c, None)
+                                        for c in idx.eligible[u2])
+                                for u, u2, b in edges
+                            )
+                            if reach_truth:
+                                assert idx.can_affect_edge(x, y), (
+                                    f"unsound interval routing for {name} "
+                                    f"(scope={pool.distance_scope}): "
+                                    f"can_affect_edge({x!r}, {y!r}) is "
+                                    f"False but the pair is reachable "
+                                    f"through eligible endpoints"
+                                )
+                    # Now force an exact labelling: reachable() rebuilds
+                    # when dirty, the closures recompute on the version
+                    # bump, and the equality pass below admits no slack.
+                    if nodes:
+                        reach = idx.reachability_index()
+                        if reach is not None:
+                            reach.reachable(nodes[0], nodes[0])
                 for x in nodes:
                     for y in nodes:
-                        truth = any(
-                            any(leg(a, x, None if b is None else b - 1)
-                                for a in idx.eligible[u])
-                            and any(leg(y, c, None if b is None else b - 1)
-                                    for c in idx.eligible[u2])
-                            for u, u2, b in edges
-                        )
+                        if interval:
+                            # Interval routing drops the radius caps: it
+                            # answers pure reachability, an over-
+                            # approximation of the bounded truth.
+                            truth = any(
+                                any(leg(a, x, None) for a in idx.eligible[u])
+                                and any(leg(y, c, None)
+                                        for c in idx.eligible[u2])
+                                for u, u2, b in edges
+                            )
+                        else:
+                            truth = any(
+                                any(leg(a, x, None if b is None else b - 1)
+                                    for a in idx.eligible[u])
+                                and any(leg(y, c, None if b is None else b - 1)
+                                        for c in idx.eligible[u2])
+                                for u, u2, b in edges
+                            )
                         got = idx.can_affect_edge(x, y)
                         assert got == truth, (
                             f"oracle drift for {name} "
-                            f"(scope={pool.distance_scope}): "
+                            f"(scope={pool.distance_scope}, "
+                            f"mode={self.mode}): "
                             f"can_affect_edge({x!r}, {y!r}) = {got}, "
                             f"ground truth {truth}"
                         )
@@ -345,8 +421,10 @@ class _Harness:
                     check()
 
 
-def _run_sequence(seed: int, mode: str, escope: str = "shared") -> None:
-    harness = _Harness(seed, mode, escope)
+def _run_sequence(
+    seed: int, mode: str, escope: str = "shared", backend: str = "dict"
+) -> None:
+    harness = _Harness(seed, mode, escope, backend)
     for step in range(FLUSHES):
         roll = harness.rng.random()
         if roll < 0.15:
@@ -360,18 +438,20 @@ def _run_sequence(seed: int, mode: str, escope: str = "shared") -> None:
             harness.check_deep()
 
 
+@pytest.mark.parametrize("backend", GRAPH_BACKENDS)
 @pytest.mark.parametrize("escope", ELIGIBILITY_SCOPES)
 @pytest.mark.parametrize("mode", MODES)
-def test_shared_substrate_differential_fuzz(mode, escope):
+def test_shared_substrate_differential_fuzz(mode, escope, backend):
     for i in range(SEQUENCES):
         seed = BASE_SEED * 1_000 + i
         try:
-            _run_sequence(seed, mode, escope)
+            _run_sequence(seed, mode, escope, backend)
         except AssertionError as exc:
             raise AssertionError(
                 f"differential fuzz failure: mode={mode!r} "
-                f"eligibility_scope={escope!r} seed={seed} — replay with "
-                f"_run_sequence({seed}, {mode!r}, {escope!r})"
+                f"eligibility_scope={escope!r} backend={backend!r} "
+                f"seed={seed} — replay with "
+                f"_run_sequence({seed}, {mode!r}, {escope!r}, {backend!r})"
             ) from exc
 
 
@@ -392,7 +472,9 @@ def test_unregister_drops_structures_and_reregister_rebuilds(mode):
     live = pool.substrate.live_structures()
     assert live["landmark"] == 0
     assert live["matrix"] == 0
+    assert live["reach"] == 0
     assert live["fields"] == 0
+    assert live["closures"] == 0
     assert live["minima_keys"] == 0
     # Eligibility entries die with their last lease too (the query's
     # candidate views and the substrate's field/minima members).

@@ -1,0 +1,208 @@
+"""Unit tests for the columnar graph backend.
+
+The contract under test is *backend equivalence*: a ColumnarDiGraph
+driven through any DiGraph-API op sequence must stay indistinguishable
+from a dict-backed DiGraph driven through the same sequence — including
+the cross-backend ``__eq__`` — while exposing its extra id-space surface
+(interner, id adjacency, attribute columns, compaction) consistently.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.columnar import (
+    MISSING,
+    ColumnarDiGraph,
+    NodeInterner,
+    as_backend,
+)
+from repro.graphs.digraph import DiGraph, GraphError
+from tests.strategies import small_graphs
+
+
+class TestNodeInterner:
+    def test_intern_is_dense_and_stable(self):
+        it = NodeInterner()
+        assert [it.intern(n) for n in "abc"] == [0, 1, 2]
+        assert it.intern("b") == 1  # idempotent
+        assert len(it) == 3 and it.capacity() == 3
+
+    def test_release_recycles_freed_slots(self):
+        it = NodeInterner()
+        for n in "abcd":
+            it.intern(n)
+        it.release("b")
+        it.release("d")
+        assert it.free_count() == 2
+        assert it.intern("e") == 3  # most recently freed slot first (LIFO)
+        assert it.intern("f") == 1
+        assert it.free_count() == 0
+        assert it.capacity() == 4  # no growth while slots are free
+
+    def test_node_of_freed_slot_raises(self):
+        it = NodeInterner()
+        it.intern("a")
+        it.release("a")
+        with pytest.raises(KeyError):
+            it.node_of(0)
+
+    def test_copy_is_independent(self):
+        it = NodeInterner()
+        it.intern("a")
+        clone = it.copy()
+        clone.intern("b")
+        assert "b" not in it and "b" in clone
+
+
+class TestBackendEquivalence:
+    def test_backend_names(self):
+        assert DiGraph.backend_name() == "dict"
+        assert ColumnarDiGraph.backend_name() == "columnar"
+
+    def test_cross_backend_equality_and_ordering(self):
+        edges = [("a", "b"), ("b", "c"), ("a", "c"), ("c", "c")]
+        attrs = {"a": {"label": "A", "score": 1}, "b": {"label": "B"}}
+        d = DiGraph(edges, attrs)
+        c = ColumnarDiGraph(edges, attrs)
+        assert d == c and c == d
+        assert list(d.nodes()) == list(c.nodes())
+        assert list(d.edges()) == list(c.edges())
+        assert list(d.children("a")) == list(c.children("a"))
+
+    def test_attr_row_reads_like_a_dict(self):
+        c = ColumnarDiGraph()
+        c.add_node("v", label="A", score=2)
+        row = c.attrs("v")
+        assert row["label"] == "A"
+        assert dict(row) == {"label": "A", "score": 2}
+        assert row == {"label": "A", "score": 2}
+        assert "missing" not in row
+        with pytest.raises(KeyError):
+            row["missing"]
+
+    def test_set_attr_writes_column_slot(self):
+        c = ColumnarDiGraph()
+        c.add_node("v", label="A")
+        c.set_attr("v", "label", "B")
+        col = c.attr_column("label")
+        assert col[c.node_id("v")] == "B"
+        assert c.get_attr("v", "label") == "B"
+
+    def test_missing_sentinel_never_leaks(self):
+        c = ColumnarDiGraph()
+        c.add_node("v", label="A")
+        c.add_node("w")  # no label: slot holds MISSING internally
+        assert c.attr_column("label")[c.node_id("w")] is MISSING
+        assert c.get_attr("w", "label") is None
+        assert dict(c.attrs("w")) == {}
+
+    def test_remove_node_self_loop_edge_count(self):
+        c = ColumnarDiGraph([("a", "a"), ("a", "b"), ("c", "a")])
+        c.remove_node("a")
+        assert c.num_edges() == 0
+        assert c.num_nodes() == 2
+
+    def test_adjacency_of_missing_node_raises(self):
+        c = ColumnarDiGraph()
+        with pytest.raises(GraphError):
+            c.children("ghost")
+        with pytest.raises(GraphError):
+            c.remove_node("ghost")
+
+    def test_slot_recycling_after_remove(self):
+        c = ColumnarDiGraph([("a", "b")])
+        old_id = c.node_id("a")
+        c.remove_node("a")
+        assert c.free_slot_count() == 1
+        c.add_node("z", label="Z")
+        assert c.node_id("z") == old_id  # slot recycled
+        assert c.get_attr("z", "label") == "Z"
+        assert c.free_slot_count() == 0
+
+    def test_bulk_copy_reverse_subgraph(self):
+        edges = [("a", "b"), ("b", "c"), ("c", "a"), ("b", "b")]
+        c = ColumnarDiGraph(edges, {"a": {"label": "A"}})
+        cp = c.copy()
+        assert isinstance(cp, ColumnarDiGraph) and cp == c
+        cp.add_edge("a", "a")
+        assert not c.has_edge("a", "a")  # deep for structure
+        rv = c.reverse()
+        assert rv.has_edge("b", "a") and rv.has_edge("b", "b")
+        assert rv.reverse() == c
+        sub = c.subgraph(["a", "b"])
+        assert set(sub.nodes()) == {"a", "b"}
+        assert sub.has_edge("a", "b") and sub.has_edge("b", "b")
+        assert dict(sub.attrs("a")) == {"label": "A"}
+
+    def test_compact_remaps_ids_preserving_graph(self):
+        c = ColumnarDiGraph([("a", "b"), ("b", "c"), ("c", "d")],
+                            {"d": {"label": "D"}})
+        before = c.copy()
+        c.remove_node("b")
+        before.remove_node("b")
+        assert c.free_slot_count() == 1
+        remap = c.compact()
+        assert c.free_slot_count() == 0
+        assert c.interner.capacity() == c.num_nodes()
+        assert set(remap.values()) == set(range(c.num_nodes()))
+        assert c == before
+        assert c.get_attr("d", "label") == "D"
+
+    def test_as_backend_round_trip(self):
+        d = DiGraph([("a", "b"), ("b", "c")], {"a": {"label": "A"}})
+        c = as_backend(d, "columnar")
+        assert isinstance(c, ColumnarDiGraph) and c == d
+        assert as_backend(c, "columnar") is c  # no copy when already there
+        d2 = as_backend(c, "dict")
+        assert type(d2) is DiGraph and d2 == d
+        assert as_backend(d, "dict") is d
+        with pytest.raises(ValueError):
+            as_backend(d, "sparse")
+
+    def test_id_space_accessors(self):
+        c = ColumnarDiGraph([("a", "b"), ("a", "c")])
+        ia, ib = c.node_id("a"), c.node_id("b")
+        assert c.node_of(ia) == "a"
+        assert ib in c.children_ids(ia)
+        assert ia in c.parents_ids(ib)
+        assert sorted(c.node_ids()) == [0, 1, 2]
+        assert c.node_id("ghost") is None
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_graphs(), st.randoms(use_true_random=False))
+def test_random_churn_matches_dict_backend(g, rnd):
+    """Drive both backends through one random op sequence; they must stay
+    equal (cross-backend __eq__) and agree on every derived view."""
+    d = g.copy()
+    c = as_backend(g, "columnar")
+    nodes = list(range(12))
+    for _ in range(40):
+        op = rnd.randrange(5)
+        v, w = rnd.choice(nodes), rnd.choice(nodes)
+        if op == 0:
+            for h in (d, c):
+                h.add_edge(v, w)
+        elif op == 1 and d.has_edge(v, w):
+            for h in (d, c):
+                h.remove_edge(v, w)
+        elif op == 2:
+            label = rnd.choice("ABC")
+            for h in (d, c):
+                h.add_node(v, label=label)
+        elif op == 3 and d.has_node(v):
+            for h in (d, c):
+                h.remove_node(v)
+        elif op == 4 and d.has_node(v):
+            score = rnd.randrange(3)
+            for h in (d, c):
+                h.set_attr(v, "score", score)
+    assert d == c and c == d
+    assert list(d.edges()) == list(c.edges())
+    assert sorted(map(repr, d.nodes())) == sorted(map(repr, c.nodes()))
+    c.compact()
+    assert d == c
+    assert as_backend(c, "dict") == d

@@ -1,0 +1,179 @@
+"""Unit tests for the SCC-interval reachability oracle.
+
+Covers exactness of the labelling (fast accept + fast reject + pruned
+fallback) against BFS ground truth, the budgeted rebuild-on-dirty policy
+and its soundness direction (stale deletions may only widen answers,
+insertions force a rebuild), component-closure queries, and the cached
+:class:`ReachClosure` consulted by interval-mode update routing.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graphs.columnar import as_backend
+from repro.graphs.digraph import DiGraph
+from repro.graphs.reachability import IntervalReachabilityIndex, ReachClosure
+from repro.graphs.traversal import reachable_set
+from tests.strategies import small_graphs
+
+
+def _chain_with_cycle():
+    # a -> b -> (c <-> d) -> e   plus an off-path island {x -> y}
+    return DiGraph(
+        [("a", "b"), ("b", "c"), ("c", "d"), ("d", "c"), ("d", "e"),
+         ("x", "y")]
+    )
+
+
+class TestExactness:
+    def test_reflexive_and_transitive(self):
+        r = IntervalReachabilityIndex(_chain_with_cycle())
+        assert r.reachable("a", "a")  # empty path
+        assert r.reachable("a", "e")
+        assert r.reachable("c", "d") and r.reachable("d", "c")  # cycle
+        assert not r.reachable("e", "a")
+        assert not r.reachable("a", "y")
+        assert r.reachable("x", "y")
+
+    def test_unknown_nodes_are_isolated(self):
+        r = IntervalReachabilityIndex(DiGraph([("a", "b")]))
+        assert r.reachable("ghost", "ghost") is True  # reflexive
+        assert not r.reachable("ghost", "a")
+        assert not r.reachable("a", "ghost")
+
+    def test_check_exact_on_dense_cycle_mesh(self):
+        g = DiGraph()
+        rng = random.Random(11)
+        for _ in range(60):
+            g.add_edge(rng.randrange(14), rng.randrange(14))
+        IntervalReachabilityIndex(g).check_exact()
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            IntervalReachabilityIndex(DiGraph(), rebuild_budget=-1)
+
+
+class TestRebuildPolicy:
+    def test_insert_forces_rebuild_before_routing_consult(self):
+        g = DiGraph([("a", "b")])
+        r = IntervalReachabilityIndex(g, rebuild_budget=100)
+        assert not r.may_reach("b", "a")
+        g.add_edge("b", "a")
+        r.notify_edges_inserted()
+        assert r.dirty
+        # Even the stale-tolerant entry point must see the new edge.
+        assert r.may_reach("b", "a")
+        assert not r.dirty
+
+    def test_deletions_tolerated_within_budget(self):
+        g = DiGraph([("a", "b"), ("b", "c")])
+        r = IntervalReachabilityIndex(g, rebuild_budget=5)
+        assert r.may_reach("a", "c")
+        g.remove_edge("b", "c")
+        r.notify_edges_deleted()
+        builds = r.rebuild_count
+        # Routing-grade answer may stay True (sound over-approximation)…
+        assert r.may_reach("a", "c")
+        assert r.rebuild_count == builds  # …without rebuilding.
+        # The exact entry point rebuilds and narrows.
+        assert not r.reachable("a", "c")
+        assert r.rebuild_count == builds + 1
+
+    def test_deletions_beyond_budget_rebuild(self):
+        g = DiGraph([("a", "b")])
+        r = IntervalReachabilityIndex(g, rebuild_budget=1)
+        g.remove_edge("a", "b")
+        r.notify_edges_deleted()
+        r.notify_node_removed()  # counts as a deletion too
+        builds = r.rebuild_count
+        assert not r.may_reach("a", "b")
+        assert r.rebuild_count == builds + 1
+
+    def test_version_bumps_on_rebuild_only(self):
+        g = DiGraph([("a", "b")])
+        r = IntervalReachabilityIndex(g)
+        v = r.version
+        r.notify_edges_deleted()
+        assert r.version == v  # dirty, not rebuilt
+        r.reachable("a", "b")
+        assert r.version == v + 1
+
+
+class TestClosures:
+    def test_closure_components_forward_and_reverse(self):
+        r = IntervalReachabilityIndex(_chain_with_cycle())
+        fwd = r.closure_components(["b"])
+        assert all(
+            (r.component_of(n) in fwd) == r.reachable("b", n)
+            for n in "abcdexy"
+        )
+        rev = r.closure_components(["d"], reverse=True)
+        assert all(
+            (r.component_of(n) in rev) == r.reachable(n, "d")
+            for n in "abcdexy"
+        )
+
+    def test_reach_closure_tracks_membership_and_graph(self):
+        g = _chain_with_cycle()
+        r = IntervalReachabilityIndex(g)
+        members = {"b"}
+        cl = ReachClosure(r, members, reverse=False)
+        assert cl.contains("e") and not cl.contains("a")
+        members.add("x")
+        cl.mark_dirty()
+        assert cl.contains("y")
+        g.add_edge("e", "a")
+        r.notify_edges_inserted()
+        # Version bump on rebuild invalidates the cache without mark_dirty.
+        assert cl.contains("a")
+
+    def test_reach_closure_unknown_node_falls_back_to_membership(self):
+        g = DiGraph([("a", "b")])
+        r = IntervalReachabilityIndex(g)
+        members = {"fresh"}
+        cl = ReachClosure(r, members)
+        # 'fresh' was never labelled: reachable from the member set only
+        # via the empty path, i.e. iff it is itself a member.
+        assert cl.contains("fresh")
+        assert not cl.contains("other-fresh")
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_graphs())
+def test_oracle_matches_bfs_truth(g):
+    r = IntervalReachabilityIndex(g)
+    for x in g.nodes():
+        truth = reachable_set(g, [x])
+        for y in g.nodes():
+            assert r.reachable(x, y) == (y in truth)
+
+
+@settings(max_examples=20, deadline=None)
+@given(small_graphs())
+def test_churn_soundness_and_exactness(g):
+    """Under random churn with a small budget: may_reach is never falsely
+    False, and reachable stays exact — on both graph backends."""
+    for backend in ("dict", "columnar"):
+        h = as_backend(g.copy(), backend)
+        r = IntervalReachabilityIndex(h, rebuild_budget=3)
+        rng = random.Random(7)
+        nodes = list(range(10))
+        for _ in range(50):
+            v, w = rng.choice(nodes), rng.choice(nodes)
+            if rng.random() < 0.55:
+                h.add_node(v)
+                h.add_node(w)
+                if h.add_edge(v, w):
+                    r.notify_edges_inserted()
+            else:
+                if h.has_edge(v, w):
+                    h.remove_edge(v, w)
+                    r.notify_edges_deleted()
+            x, y = rng.choice(nodes), rng.choice(nodes)
+            if h.has_node(x) and h.has_node(y):
+                truth = y in reachable_set(h, [x])
+                if truth:
+                    assert r.may_reach(x, y)
+                assert r.reachable(x, y) == truth

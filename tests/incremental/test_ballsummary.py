@@ -147,3 +147,59 @@ def test_oracle_agrees_with_ground_truth(mode):
                     leg_ok(a, x, r) for a in idx.eligible["x"]
                 ) and any(leg_ok(y, c, r) for c in idx.eligible["y"])
                 assert idx.can_affect_edge(x, y) == truth, (mode, k, x, y)
+
+
+class TestStratifiedField:
+    """One BallField per (sources, direction) answers *every* radius up
+    to its cap: entries at d <= cap are cap-independent, so `within(v, r)`
+    with r <= cap needs no per-radius field."""
+
+    def _field(self, radius):
+        from repro.incremental.ballsummary import BallField
+
+        g = DiGraph([("s", "a"), ("a", "b"), ("b", "c"), ("c", "d")])
+        return g, BallField(g, {"s"}, radius)
+
+    def test_within_answers_every_stratum(self):
+        g, f = self._field(3)
+        assert f.within("s", 0)
+        assert f.within("a", 1) and not f.within("b", 1)
+        assert f.within("b", 2) and f.within("c", 3)
+        assert not f.within("d", 3)  # beyond the cap and beyond d=3
+
+    def test_within_beyond_cap_rejected(self):
+        _, f = self._field(2)
+        with pytest.raises(ValueError):
+            f.within("a", 3)
+
+    def test_uncapped_field_serves_finite_radii(self):
+        _, f = self._field(None)
+        assert f.within("d", 4) and not f.within("d", 3)
+        assert f.within("d")  # reachability stratum
+
+    def test_finite_field_rejects_unbounded_query(self):
+        _, f = self._field(2)
+        with pytest.raises(ValueError):
+            f.within("a")
+
+    def test_shrink_then_regrow_is_exact(self):
+        g, f = self._field(4)
+        full = dict(f.dist)
+        f.set_radius(2)
+        assert f.dist == {v: d for v, d in full.items() if d <= 2}
+        f.set_radius(4)  # regrow from the d == 2 frontier
+        assert f.dist == full
+
+    def test_grow_to_unbounded(self):
+        g, f = self._field(1)
+        f.set_radius(None)
+        assert f.within("d")
+        assert f.dist["d"] == 4
+
+    def test_grow_sees_post_shrink_mutations(self):
+        g, f = self._field(1)
+        g.add_edge("a", "z")
+        f.grow_edges([("a", "z")])
+        f.set_radius(3)
+        assert f.within("z", 2)
+        assert f.within("c", 3)
