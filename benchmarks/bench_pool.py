@@ -1,6 +1,7 @@
 """Routed-update throughput of MatcherPool vs a naive matcher loop.
 
-Five scenarios, all over one shared graph holding labelled communities:
+The scenarios, all over one shared graph holding labelled communities
+(the ``kernels`` microbench adds a dedicated dense columnar graph):
 
 - ``simulation``: N normal patterns (``A{i} -> B{i} -> C{i}``), routed by
   eq-keys alone — PR 1's headline property;
@@ -31,7 +32,14 @@ Five scenarios, all over one shared graph holding labelled communities:
   conjunctions compose it, so shared-scope per-flush atom evaluations
   must be *exactly* flat in N once the vocabulary is interned — the
   scenario enforces equality and fails otherwise; per-query scope
-  re-evaluates whole conjunctions per query (~linear in N).
+  re-evaluates whole conjunctions per query (~linear in N);
+- ``reach-oracle``: interval-mode routing cost dict vs columnar backend
+  plus oracle-consult accounting on ``*``-bound patterns;
+- ``kernels``: the numpy kernel layer raced against its pure-Python
+  twins on the two bulk hot paths it vectorizes — full-column atom
+  sweeps (first-lease eligibility builds) and SCC-interval oracle
+  rebuilds on a dense graph — with a hard gate that numpy wins at the
+  largest size (min-of-k, above a noise floor).
 
 The naive baseline is one independent incremental index per pattern, each
 fed the full stream.  The script prints a table per scenario (median pool
@@ -50,6 +58,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import random
 import statistics
 import sys
@@ -59,7 +68,11 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.engine import MatcherPool  # noqa: E402
+from repro.engine.eligibility import SharedEligibilityIndex  # noqa: E402
+from repro.graphs import kernels  # noqa: E402
+from repro.graphs.columnar import ColumnarDiGraph  # noqa: E402
 from repro.graphs.digraph import DiGraph  # noqa: E402
+from repro.graphs.reachability import IntervalReachabilityIndex  # noqa: E402
 from repro.incremental.incbsim import BoundedSimulationIndex  # noqa: E402
 from repro.incremental.incsim import SimulationIndex  # noqa: E402
 from repro.incremental.types import delete, insert  # noqa: E402
@@ -847,6 +860,186 @@ def run_reach_oracle_scenario(sizes, graph, updates, reps):
     }
 
 
+# The conjunction vocabulary the kernels bulk-sweep leg leases: eight
+# distinct atoms over one numeric and one label column, mixing ordering
+# ops (numeric-shadow kernel), equality on strings (object-space kernel)
+# and a conjunction each so the intersection views are exercised too.
+_KERNEL_PREDICATES = (
+    "score > 0",
+    "score <= 1.5 & score > -2",
+    "label = A",
+    "label != B & score >= 2.5",
+    "score < -1 & label = C",
+)
+
+
+def build_kernels_graph(num_nodes: int, seed: int = 23) -> ColumnarDiGraph:
+    """A dense columnar graph (E ~ 8·V) with a float ``score`` column and
+    a 3-valued ``label`` column — the substrate both kernel legs race on.
+
+    Bulk edges point from a lower to a higher node index, with a sprinkle
+    of adjacent-index back edges forming 2-cycles — so the condensation
+    keeps ~V small components and ~E cross-component edges, the regime
+    where the vectorized condensation kernel actually has work to
+    vectorize.  A uniformly random graph at this density collapses into
+    one giant SCC with no cross edges, degenerating both twins to the
+    shared Tarjan prefix.
+    """
+    rng = random.Random(seed)
+    g = ColumnarDiGraph()
+    labels = ("A", "B", "C")
+    for j in range(num_nodes):
+        g.add_node(f"n{j}", label=labels[j % 3],
+                   score=rng.uniform(-5.0, 5.0))
+    wanted = 8 * num_nodes
+    attempts = 0
+    while g.num_edges() < wanted and attempts < 20 * wanted:
+        attempts += 1
+        v, w = rng.randrange(num_nodes), rng.randrange(num_nodes)
+        if v != w:
+            g.add_edge(f"n{min(v, w)}", f"n{max(v, w)}")
+    for _ in range(max(1, num_nodes // 50)):
+        j = rng.randrange(num_nodes - 1)
+        g.add_edge(f"n{j + 1}", f"n{j}")
+    return g
+
+
+def _with_kernel_mode(mode, fn, reps):
+    """min-of-``reps`` timing of ``fn()`` with ``REPRO_KERNELS`` pinned."""
+    prev = os.environ.get("REPRO_KERNELS")
+    os.environ["REPRO_KERNELS"] = mode
+    try:
+        best = float("inf")
+        out = None
+        for _ in range(reps):
+            start = time.perf_counter()
+            out = fn()
+            best = min(best, time.perf_counter() - start)
+    finally:
+        if prev is None:
+            os.environ.pop("REPRO_KERNELS", None)
+        else:
+            os.environ["REPRO_KERNELS"] = prev
+    return best, out
+
+
+def run_kernels_scenario(sizes, cluster_size, reps):
+    """numpy kernels vs their pure-Python twins on the bulk hot paths.
+
+    Two legs, both on a dense :class:`ColumnarDiGraph` (no pool — this is
+    the one microbench that times the kernel layer itself):
+
+    - **bulk atom sweep**: build a fresh :class:`SharedEligibilityIndex`
+      and lease the 8-atom conjunction vocabulary, so every atom pays its
+      first-lease full-column sweep (``_atom_sweep_members`` under numpy,
+      per-node ``satisfied_by`` under python);
+    - **interval rebuild**: construct an
+      :class:`IntervalReachabilityIndex`, whose condensation step runs the
+      vectorized ``condensation_arrays`` kernel under numpy and the
+      generic DAG-object path under python.
+
+    Timings are **min-of-k** (``reps`` floored at 7 — scheduler noise
+    only ever adds time).  The acceptance gate is judged at the largest
+    size only, and only when the python twin's time clears
+    ``RACE_GATE_FLOOR_MS`` (below that the race is timer jitter and the
+    verdict is reported ungated as ``None``): numpy must be strictly
+    faster on *both* legs.  Each leg also cross-checks results across
+    modes — member sets per predicate, component labelling and sampled
+    reachability answers must be identical.
+    """
+    print("\n== scenario: kernels "
+          "(numpy kernels vs pure-Python twins, columnar backend) ==")
+    if not kernels.numpy_available():
+        print("kernels: numpy unavailable — scenario skipped "
+              "(pure-Python twins are the only mode)")
+        return True, {"skipped": "numpy unavailable"}
+    node_counts = sorted({cluster_size * n for n in sizes})[-3:]
+    race_reps = max(reps, 7)
+    preds = [predmod.parse_predicate(text) for text in _KERNEL_PREDICATES]
+    print(f"{'V':>6} {'E':>7} {'sweep np':>9} {'sweep py':>9} {'py/np':>7} "
+          f"{'intv np':>9} {'intv py':>9} {'py/np':>7}")
+    ok = True
+    results = []
+
+    def bulk_sweep(g):
+        idx = SharedEligibilityIndex(g)
+        return {repr(p): frozenset(idx.lease(p).members) for p in preds}
+
+    for num_nodes in node_counts:
+        g = build_kernels_graph(num_nodes)
+        rng = random.Random(num_nodes)
+        names = sorted(g.nodes())
+        pairs = [
+            (rng.choice(names), rng.choice(names)) for _ in range(200)
+        ]
+        row = {"n": num_nodes, "edges": g.num_edges()}
+        sweeps = {}
+        intervals = {}
+        for mode in ("numpy", "python"):
+            t, sweeps[mode] = _with_kernel_mode(
+                mode, lambda: bulk_sweep(g), race_reps
+            )
+            row[f"bulk_{mode}_ms"] = round(t * 1e3, 3)
+            # Time construction only; the correctness fingerprint
+            # (identical work in both modes) is taken off the clock.
+            t, r = _with_kernel_mode(
+                mode, lambda: IntervalReachabilityIndex(g), race_reps
+            )
+            row[f"interval_{mode}_ms"] = round(t * 1e3, 3)
+            intervals[mode] = (
+                tuple(r.component_of(v) for v in names),
+                tuple(r.reachable(x, y) for x, y in pairs),
+            )
+        if sweeps["numpy"] != sweeps["python"]:
+            print(f"MISMATCH kernels bulk sweep V={num_nodes}: member "
+                  f"sets differ across modes", file=sys.stderr)
+            ok = False
+        if intervals["numpy"] != intervals["python"]:
+            print(f"MISMATCH kernels interval V={num_nodes}: labelling "
+                  f"or reachability differs across modes", file=sys.stderr)
+            ok = False
+        row["bulk_python_over_numpy"] = round(
+            row["bulk_python_ms"] / row["bulk_numpy_ms"], 2
+        ) if row["bulk_numpy_ms"] else float("inf")
+        row["interval_python_over_numpy"] = round(
+            row["interval_python_ms"] / row["interval_numpy_ms"], 2
+        ) if row["interval_numpy_ms"] else float("inf")
+        print(f"{num_nodes:>6} {row['edges']:>7} "
+              f"{row['bulk_numpy_ms']:>9.2f} {row['bulk_python_ms']:>9.2f} "
+              f"{row['bulk_python_over_numpy']:>6.2f}x "
+              f"{row['interval_numpy_ms']:>9.2f} "
+              f"{row['interval_python_ms']:>9.2f} "
+              f"{row['interval_python_over_numpy']:>6.2f}x")
+        results.append(row)
+    top = results[-1]
+    gates = {}
+    for leg in ("bulk", "interval"):
+        if top[f"{leg}_python_ms"] < RACE_GATE_FLOOR_MS:
+            gates[leg] = None
+        else:
+            gates[leg] = (
+                top[f"{leg}_numpy_ms"] < top[f"{leg}_python_ms"]
+            )
+    for leg, verdict in gates.items():
+        if verdict is None:
+            print(f"kernels: {leg} race ungated (python twin under "
+                  f"{RACE_GATE_FLOOR_MS}ms at V={top['n']} — "
+                  f"noise-dominated at this scale)")
+        elif verdict is False:
+            print(f"kernels: numpy did not beat the python twin on the "
+                  f"{leg} leg at V={top['n']}", file=sys.stderr)
+            ok = False
+    print(f"numpy_wins_bulk={gates['bulk']} "
+          f"numpy_wins_interval={gates['interval']}")
+    return ok, {
+        "sizes": node_counts,
+        "reps": race_reps,
+        "results": results,
+        "numpy_wins_bulk": gates["bulk"],
+        "numpy_wins_interval": gates["interval"],
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -869,7 +1062,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--scenario",
         choices=[*SCENARIOS, "bounded-shared", "overlap", "overlap-atoms",
-                 "reach-oracle", "all"],
+                 "reach-oracle", "kernels", "all"],
         default="all",
         help="which workload to run",
     )
@@ -914,7 +1107,7 @@ def main(argv=None) -> int:
 
     if args.scenario == "all":
         scenarios = [*SCENARIOS, "bounded-shared", "overlap",
-                     "overlap-atoms", "reach-oracle"]
+                     "overlap-atoms", "reach-oracle", "kernels"]
     else:
         scenarios = [args.scenario]
     ok = True
@@ -947,6 +1140,8 @@ def main(argv=None) -> int:
             s_ok, s_doc = run_reach_oracle_scenario(
                 reach_sizes, graph, updates, reps
             )
+        elif scenario == "kernels":
+            s_ok, s_doc = run_kernels_scenario(sizes, cluster_size, reps)
         else:
             s_ok, s_doc = run_scenario(
                 scenario, sizes, graph, updates, reps, args.distance_mode

@@ -36,6 +36,8 @@ from pathlib import Path
 COST_KEYS = (
     "pool_ms", "shared_ms", "per_query_ms",
     "dict_ms", "columnar_ms", "landmark_ms",
+    "bulk_numpy_ms", "bulk_python_ms",
+    "interval_numpy_ms", "interval_python_ms",
 )
 
 

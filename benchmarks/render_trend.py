@@ -1,0 +1,164 @@
+"""Render the rolling ``BENCH_trend.json`` as markdown sparkline tables.
+
+``compare_bench.py --trend`` accumulates one snapshot per CI build; this
+script turns that history into the GitHub job summary — one table per
+scenario, one row per flush-cost series, with a unicode sparkline of the
+whole trajectory plus first/last/delta columns.  A slow drift that never
+trips the single-build regression threshold is visible here at a glance.
+
+Figures follow the registry idiom of ``repro.bench.figures``: one
+function per figure, registered in ``FIGURES``, selectable by name.
+
+Usage (CI appends to the job summary)::
+
+    python benchmarks/render_trend.py BENCH_trend.json >> "$GITHUB_STEP_SUMMARY"
+    python benchmarks/render_trend.py BENCH_trend.json --figure overview
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+# Eight quantization levels, lowest to highest value.
+SPARK_CHARS = "▁▂▃▄▅▆▇█"
+# Placeholder for snapshots where a series has no sample (scenario not
+# run that build, or a size swept only at full scale).
+SPARK_GAP = "·"
+
+History = List[dict]
+# series name -> one value per snapshot, None where absent.
+Series = Dict[str, List[Optional[float]]]
+
+
+def sparkline(values: List[Optional[float]]) -> str:
+    """Quantize one series to :data:`SPARK_CHARS` (min..max per series,
+    so each row uses its full vertical range); ``None`` renders as a gap.
+    A constant series sits on the middle rung rather than the floor."""
+    present = [v for v in values if v is not None]
+    if not present:
+        return SPARK_GAP * len(values)
+    lo, hi = min(present), max(present)
+    span = hi - lo
+    chars = []
+    for v in values:
+        if v is None:
+            chars.append(SPARK_GAP)
+        elif span <= 0:
+            chars.append(SPARK_CHARS[len(SPARK_CHARS) // 2])
+        else:
+            rank = int((v - lo) / span * (len(SPARK_CHARS) - 1))
+            chars.append(SPARK_CHARS[rank])
+    return "".join(chars)
+
+
+def load_series(history: History) -> Series:
+    """Flatten trend snapshots into aligned per-series value lists.
+
+    Keys are the ``scenario/n=N/cost_key`` names ``compare_bench.py``
+    writes; order follows first appearance across the history."""
+    names: Dict[str, None] = {}
+    for snap in history:
+        for name in snap.get("costs", {}):
+            names.setdefault(name)
+    return {
+        name: [snap.get("costs", {}).get(name) for snap in history]
+        for name in names
+    }
+
+
+def _delta(values: List[Optional[float]]) -> str:
+    present = [v for v in values if v is not None]
+    if len(present) < 2 or not present[0]:
+        return "—"
+    pct = (present[-1] / present[0] - 1.0) * 100.0
+    return f"{pct:+.0f}%"
+
+
+def _fmt(v: Optional[float]) -> str:
+    return "—" if v is None else f"{v:.2f}"
+
+
+def fig_overview(history: History) -> List[str]:
+    """One line of provenance: snapshot count and build id range."""
+    builds = [snap.get("build") for snap in history if snap.get("build")]
+    span = (
+        f"builds {builds[0]} → {builds[-1]}" if builds
+        else "no build ids recorded"
+    )
+    return [
+        f"**Bench trend**: {len(history)} snapshot(s), {span}.",
+        "",
+    ]
+
+
+def fig_scenarios(history: History) -> List[str]:
+    """Per-scenario tables: series | trend sparkline | first | last | Δ."""
+    by_scenario: Dict[str, List[Tuple[str, List[Optional[float]]]]] = {}
+    for name, values in load_series(history).items():
+        scenario, _, rest = name.partition("/")
+        by_scenario.setdefault(scenario, []).append((rest, values))
+    lines: List[str] = []
+    for scenario, rows in by_scenario.items():
+        lines.append(f"### {scenario}")
+        lines.append("")
+        lines.append("| series | trend | first ms | last ms | Δ |")
+        lines.append("|---|---|---:|---:|---:|")
+        for rest, values in rows:
+            present = [v for v in values if v is not None]
+            first = present[0] if present else None
+            last = present[-1] if present else None
+            lines.append(
+                f"| `{rest}` | {sparkline(values)} | {_fmt(first)} | "
+                f"{_fmt(last)} | {_delta(values)} |"
+            )
+        lines.append("")
+    return lines
+
+
+# Figure registry mapping names to (section title, generator) — the
+# ``repro.bench.figures`` idiom; ``--figure all`` runs every entry in
+# registration order.
+FIGURES: Dict[str, Tuple[str, Callable[[History], List[str]]]] = {
+    "overview": ("Trend provenance", fig_overview),
+    "scenarios": ("Flush-cost trajectories", fig_scenarios),
+}
+
+
+def render(history: History, figure: str = "all") -> str:
+    names = list(FIGURES) if figure == "all" else [figure]
+    lines: List[str] = ["## Benchmark trend", ""]
+    for name in names:
+        _title, fn = FIGURES[name]
+        lines.extend(fn(history))
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trend", help="rolling BENCH_trend.json path")
+    parser.add_argument(
+        "--figure",
+        choices=[*FIGURES, "all"],
+        default="all",
+        help="which figure to render (default: all)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        history = json.loads(Path(args.trend).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        # Fail-soft like compare_bench: a missing trend (first build)
+        # must not fail the pipeline or dirty the summary.
+        print(f"trend render skipped: {exc}")
+        return 0
+    if not isinstance(history, list) or not history:
+        print("trend render skipped: empty or malformed history")
+        return 0
+    print(render(history, args.figure), end="")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

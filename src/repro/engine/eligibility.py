@@ -55,12 +55,16 @@ from __future__ import annotations
 from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from ..graphs.digraph import DiGraph, Node
-from ..patterns.predicate import Atom, Predicate
+from ..patterns.predicate import Atom, Predicate, note_atom_evaluations
 
 # (on_gain, on_loss) callbacks invoked after the member set was mutated.
 Listener = Tuple[Callable[[Node], None], Callable[[Node], None]]
 # One membership flip: (predicate, gained?) — False means lost.
 Flip = Tuple[Predicate, bool]
+# One batched flip: (predicate, node, gained?) — see ``observe_events``.
+EventFlip = Tuple[Predicate, Node, bool]
+# One node event: (node, changed attr names or None for "all", is_new?).
+NodeEvent = Tuple[Node, Optional[Iterable[str]], bool]
 
 
 class EligibilityLeaseError(RuntimeError):
@@ -243,11 +247,7 @@ class SharedEligibilityIndex:
     def _lease_atom(self, atom: Atom) -> AtomEntry:
         ae = self._atoms.get(atom)
         if ae is None:
-            members = {
-                v
-                for v in self._graph.nodes()
-                if atom.satisfied_by(self._graph.attrs(v))
-            }
+            members = self._initial_members(atom)
             self.stats.atom_evals += self._graph.num_nodes()
             self.stats.atom_sets_built += 1
             ae = AtomEntry(atom, members)
@@ -255,6 +255,26 @@ class SharedEligibilityIndex:
             self._by_attr.setdefault(atom.attribute, {})[atom] = ae
         ae.refs += 1
         return ae
+
+    def _initial_members(self, atom: Atom) -> Set[Node]:
+        """First-lease full-graph sweep for one atom.
+
+        Columnar graphs expose a vectorized sweep over the attr column
+        (``_atom_sweep_members``); it declines with ``None`` when the
+        numpy kernels are off or cannot represent this atom exactly, and
+        other backends lack the hook — both run the per-node twin.
+        """
+        sweep = getattr(self._graph, "_atom_sweep_members", None)
+        if sweep is not None:
+            members = sweep(atom.attribute, atom.op, atom.value)
+            if members is not None:
+                note_atom_evaluations(self._graph.num_nodes())
+                return members
+        return {
+            v
+            for v in self._graph.nodes()
+            if atom.satisfied_by(self._graph.attrs(v))
+        }
 
     def release(self, predicate: Predicate) -> None:
         """Release one lease; the entry dies with its last lease *unless*
@@ -329,7 +349,7 @@ class SharedEligibilityIndex:
                 self._drop(entry)
 
     # ------------------------------------------------------------------
-    # Observation (invoked once per node event by the pool, post-edit)
+    # Observation (invoked by the pool during flush phase A, post-edit)
     # ------------------------------------------------------------------
     def observe_node_added(self, v: Node) -> List[Flip]:
         """A node appeared in the shared graph (attrs already applied).
@@ -341,19 +361,10 @@ class SharedEligibilityIndex:
         routing such nodes' edges through shared ball fields sound (the
         pool announces them before insertion routing).
         """
-        self.stats.node_events += 1
-        attrs = self._graph.attrs(v)
-        affected: Set[int] = {id(entry) for entry in self._trivial}
-        for ae in self._atoms.values():
-            self.stats.atom_evals += 1
-            now = ae.atom.satisfied_by(attrs)
-            was = v in ae.members
-            if now is not was:
-                (ae.members.add if now else ae.members.discard)(v)
-                ae.version += 1
-                for dep in ae.dependents:
-                    affected.add(id(dep))
-        return self._reconcile(v, affected)
+        return [
+            (p, gained)
+            for p, _v, gained in self.observe_events([(v, None, True)])
+        ]
 
     def observe_attr_change(self, v: Node, changed_names=None) -> List[Flip]:
         """Node ``v``'s attributes changed (already merged into the graph).
@@ -364,61 +375,134 @@ class SharedEligibilityIndex:
         has them) prunes the scan to the atoms over those attributes: an
         atom mentioning none of them cannot flip, so it is not evaluated
         at all — and a conjunction none of whose atoms flipped is not
-        reconciled.  Returns every verdict flip; the pool batches them
-        across the flush and routes one repair pass to exactly the
-        queries whose patterns use a flipped predicate.
+        reconciled.
         """
-        self.stats.node_events += 1
-        attrs = self._graph.attrs(v)
-        if changed_names is None:
-            candidates: Iterable[AtomEntry] = list(self._atoms.values())
-        else:
-            candidates = [
-                ae
-                for name in frozenset(changed_names)
-                for ae in self._by_attr.get(name, {}).values()
-            ]
-        affected: Set[int] = set()
-        for ae in candidates:
-            self.stats.atom_evals += 1
-            now = ae.atom.satisfied_by(attrs)
-            was = v in ae.members
-            if now is not was:
-                (ae.members.add if now else ae.members.discard)(v)
-                ae.version += 1
-                for dep in ae.dependents:
-                    affected.add(id(dep))
-        return self._reconcile(v, affected)
+        return [
+            (p, gained)
+            for p, _v, gained in self.observe_events(
+                [(v, changed_names, False)]
+            )
+        ]
 
-    def _reconcile(self, v: Node, affected: Set[int]) -> List[Flip]:
-        """Re-derive membership of ``v`` in each affected conjunction view
-        from its atoms' (already updated) posting sets, fire listeners in
+    def observe_events(self, events: Iterable[NodeEvent]) -> List[EventFlip]:
+        """Observe a whole batch of node events in one pass.
+
+        ``events`` holds ``(node, changed_names, is_new)`` triples in
+        flush order, post-edit (the graph already reflects every event;
+        duplicate nodes are fine — touched names accumulate, and an
+        ``is_new`` or names-less event widens the node to "evaluate every
+        atom").  Atoms are evaluated **column-major**: one bulk call per
+        distinct atom over all its touched nodes, dispatched to the
+        columnar backend's vectorized kernel when available (per-node
+        ``satisfied_by`` twin otherwise).  Membership *before* the batch
+        is read off the posting sets, so the returned
+        ``(predicate, node, gained)`` triples are the **net** verdict
+        flips across the batch — at most one per (predicate, node), with
+        transient gain/loss pairs inside the batch never materializing.
+        Listeners fire once per net flip, after the member set mutated.
+        """
+        # Fold duplicate events into one touched-name set per node
+        # (None = evaluate all atoms); fresh nodes also gain the trivial
+        # (TRUE) entries, which no atom flip would ever reconcile.
+        touched: Dict[Node, Optional[Set[str]]] = {}
+        fresh: List[Node] = []
+        n_events = 0
+        for v, names, is_new in events:
+            n_events += 1
+            if is_new and v not in touched:
+                fresh.append(v)
+            if v in touched:
+                cur = touched[v]
+                if cur is not None:
+                    if names is None or is_new:
+                        touched[v] = None
+                    else:
+                        cur.update(names)
+            else:
+                touched[v] = (
+                    None if names is None or is_new else set(names)
+                )
+        self.stats.node_events += n_events
+        if not touched:
+            return []
+        # Column-major candidate lists: each atom owns one attribute, so
+        # a node lands in an atom's list at most once.
+        per_atom: Dict[Atom, List[Node]] = {}
+        for v, names in touched.items():
+            if names is None:
+                for atom in self._atoms:
+                    per_atom.setdefault(atom, []).append(v)
+            else:
+                for name in names:
+                    for atom in self._by_attr.get(name, {}):
+                        per_atom.setdefault(atom, []).append(v)
+        graph = self._graph
+        bulk = getattr(graph, "_bulk_atom_verdicts", None)
+        # id(entry) -> nodes to reconcile, insertion-ordered for
+        # deterministic flip order within each entry.
+        affected: Dict[int, Dict[Node, None]] = {}
+        for entry in self._trivial:
+            if fresh:
+                bucket = affected.setdefault(id(entry), {})
+                for v in fresh:
+                    bucket[v] = None
+        for atom, nodes in per_atom.items():
+            ae = self._atoms[atom]
+            self.stats.atom_evals += len(nodes)
+            verdicts = None
+            if bulk is not None:
+                verdicts = bulk(atom.attribute, atom.op, atom.value, nodes)
+                if verdicts is not None:
+                    note_atom_evaluations(len(nodes))
+            if verdicts is None:
+                verdicts = [
+                    atom.satisfied_by(graph.attrs(v)) for v in nodes
+                ]
+            members = ae.members
+            for v, now in zip(nodes, verdicts):
+                was = v in members
+                if now is not was:
+                    (members.add if now else members.discard)(v)
+                    ae.version += 1
+                    for dep in ae.dependents:
+                        affected.setdefault(id(dep), {})[v] = None
+        return self._reconcile_batch(affected)
+
+    def _reconcile_batch(
+        self, affected: Dict[int, Dict[Node, None]]
+    ) -> List[EventFlip]:
+        """Re-derive membership of each affected (entry, node) pair from
+        the atoms' (already updated) posting sets, fire listeners in
         set-already-mutated order, and return the flips.
 
         Iterates ``_entries`` in interning order so flip order is
-        deterministic per event.  Unsatisfiable entries are never wired to
-        atoms or ``_trivial``, so they can never appear here.
+        deterministic per batch.  Unsatisfiable entries are never wired to
+        atoms or ``_trivial``, so they can never appear here; trivial
+        entries have no atoms, so ``all()`` holds and fresh nodes gain
+        them.
         """
-        flips: List[Flip] = []
+        flips: List[EventFlip] = []
         if not affected:
             return flips
         for predicate, entry in self._entries.items():
-            if id(entry) not in affected:
+            nodes = affected.get(id(entry))
+            if not nodes:
                 continue
-            now = all(v in ae.members for ae in entry.atom_entries)
-            was = v in entry.members
-            if now and not was:
-                entry.members.add(v)
-                entry.version += 1
-                flips.append((predicate, True))
-                for on_gain, _ in entry.listeners:
-                    on_gain(v)
-            elif was and not now:
-                entry.members.remove(v)
-                entry.version += 1
-                flips.append((predicate, False))
-                for _, on_loss in entry.listeners:
-                    on_loss(v)
+            for v in nodes:
+                now = all(v in ae.members for ae in entry.atom_entries)
+                was = v in entry.members
+                if now and not was:
+                    entry.members.add(v)
+                    entry.version += 1
+                    flips.append((predicate, v, True))
+                    for on_gain, _ in entry.listeners:
+                        on_gain(v)
+                elif was and not now:
+                    entry.members.remove(v)
+                    entry.version += 1
+                    flips.append((predicate, v, False))
+                    for _, on_loss in entry.listeners:
+                        on_loss(v)
         self.stats.flips += len(flips)
         return flips
 

@@ -343,26 +343,30 @@ class MatcherPool:
         # ---- Phase A: node additions / attribute merges ----------------
         # Per-query-eligibility queries route by predicate re-evaluation
         # (legacy stages), once per node event; shared-eligibility queries
-        # route by the flips the substrate reports — each distinct *atom*
-        # is evaluated once per node event, pool-wide, and the flip
-        # listeners have already synced the shared distance structures'
-        # sources.  Flips are accumulated across the whole node-ops batch,
-        # netted per (predicate, node) — flips alternate per key, so a
-        # second flip always cancels the first — and delivered as ONE
-        # routing + repair pass per flush: the sets are final by then, so
-        # batched repair reaches the same fixpoint as the per-event
-        # interleaving, without per-event routing overhead.  Fresh
-        # (edge-less) phase-A nodes ride the same batch: their gains are
-        # exactly the predicates they satisfy, and index adoption from
-        # final sets is equivalent to per-event apply_node_added.
+        # route by the flips the substrate reports.  Node events are
+        # collected across the whole batch and handed to the substrate as
+        # ONE ``observe_events`` call *after* the per-event loop: the
+        # substrate evaluates each distinct atom column-major over all its
+        # touched nodes (vectorized on the columnar backend), diffing
+        # final verdicts against pre-batch posting sets — which yields the
+        # net flips per (predicate, node) directly, transient flip pairs
+        # never materializing.  Deferring observation past the legacy
+        # repairs is sound because phase A performs no edge edits: legacy
+        # repairs consult attr-independent distance structures and their
+        # own private eligible sets, never the shared postings.  The net
+        # flips are then delivered as ONE routing + repair pass per flush:
+        # the sets are final by then, so batched repair reaches the same
+        # fixpoint as the per-event interleaving, without per-event
+        # routing overhead.  Fresh (edge-less) phase-A nodes ride the same
+        # batch: their gains are exactly the predicates they satisfy, and
+        # index adoption from final sets is equivalent to per-event
+        # apply_node_added.
         report.attr_ops = len(node_ops)
         legacy_scope = sum(
             1 for q in self._queries.values() if not q.shared_eligibility
         )
         flip_scope = len(self._queries) - legacy_scope
-        # (predicate, node) -> (predicate, gained?), insertion-ordered.
-        pending_flips: Dict[Tuple[Predicate, Node], Tuple[Predicate, bool]]
-        pending_flips = {}
+        events: List[Tuple[Node, Optional[Iterable[str]], bool]] = []
         for v, attrs in node_ops:
             if self.graph.has_node(v):
                 old = dict(self.graph.attrs(v))
@@ -372,31 +376,28 @@ class MatcherPool:
                     old, merged, attrs.keys()
                 )
                 self.graph.add_node(v, **attrs)
-                flips = self.eligibility.observe_attr_change(v, attrs.keys())
+                events.append((v, list(attrs.keys()), False))
                 for q in legacy:
                     q.apply_attr_update(v, attrs)
                     touched[q.name] = q
             else:
                 self.graph.add_node(v, **attrs)
-                flips = self.eligibility.observe_node_added(v)
+                events.append((v, None, True))
                 legacy = self._router.route_node(self.graph.attrs(v))
                 for q in legacy:
                     q.apply_node_added(v, attrs)
                     touched[q.name] = q
-            for flip in flips:
-                key = (flip[0], v)
-                if key in pending_flips:
-                    del pending_flips[key]  # opposite flips cancel
-                else:
-                    pending_flips[key] = flip
             report.routed += len(legacy)
             report.skipped += legacy_scope - len(legacy)
-        if pending_flips:
+        net_flips = (
+            self.eligibility.observe_events(events) if events else []
+        )
+        if net_flips:
             by_node: Dict[Node, List[Tuple[Predicate, bool]]] = {}
-            for (pred, v), flip in pending_flips.items():
-                by_node.setdefault(v, []).append(flip)
+            for pred, v, gained in net_flips:
+                by_node.setdefault(v, []).append((pred, gained))
             flipped = self._router.route_flips(
-                dict.fromkeys(pred for pred, _v in pending_flips)
+                dict.fromkeys(pred for pred, _v, _g in net_flips)
             )
             for q in flipped:
                 q.apply_eligibility_flip_batch(by_node)

@@ -46,6 +46,7 @@ from typing import (
     Tuple,
 )
 
+from . import kernels
 from .digraph import DiGraph, Edge, GraphError, Node
 
 
@@ -189,6 +190,7 @@ class _AttrRow(MutableMapping):
         if col is None or col[self._id] is MISSING:
             raise KeyError(name)
         col[self._id] = MISSING
+        self._graph._attr_ver += 1
 
     def __iter__(self) -> Iterator[str]:
         i = self._id
@@ -227,6 +229,44 @@ class _AttrRow(MutableMapping):
         return repr(dict(self))
 
 
+class IdLease(object):
+    """Token registering externally-held id-space state with a graph.
+
+    Structures that cache dense node ids across calls (an id-keyed
+    distance table, a closure over ``attr_column`` slots, ...) must hold a
+    lease while those ids are live: :meth:`ColumnarDiGraph.compact`
+    renumbers the id space, and a lease is how the graph knows someone
+    would be broken by that.  A lease created with an ``on_remap``
+    callback gets the old→new id map applied to it (the callback runs
+    after the rewrite, so id-space accessors already answer in new ids);
+    a lease without one makes ``compact()`` raise :class:`GraphError`
+    instead of silently invalidating the holder.  Call :meth:`release`
+    when the cached ids are dropped.
+    """
+
+    __slots__ = ("_graph", "_on_remap", "_released")
+
+    def __init__(
+        self,
+        graph: "ColumnarDiGraph",
+        on_remap: Optional[Any] = None,
+    ) -> None:
+        self._graph = graph
+        self._on_remap = on_remap
+        self._released = False
+
+    @property
+    def released(self) -> bool:
+        return self._released
+
+    def release(self) -> None:
+        """Drop the lease; compaction no longer considers it."""
+        if self._released:
+            raise GraphError("id lease already released")
+        self._released = True
+        self._graph._leases.remove(self)
+
+
 class ColumnarDiGraph(DiGraph):
     """Columnar implementation of the :class:`DiGraph` API.
 
@@ -236,7 +276,18 @@ class ColumnarDiGraph(DiGraph):
     equal — with dict-backed ``DiGraph`` instances.
     """
 
-    __slots__ = ("_interner", "_osucc", "_opred", "_cols")
+    __slots__ = (
+        "_interner",
+        "_osucc",
+        "_opred",
+        "_cols",
+        "_adj_ver",
+        "_attr_ver",
+        "_csr_cache",
+        "_col_cache",
+        "_ids_cache",
+        "_leases",
+    )
 
     def __init__(
         self,
@@ -250,6 +301,16 @@ class ColumnarDiGraph(DiGraph):
         # Attribute name -> column list (len == interner capacity).
         self._cols: Dict[str, List[Any]] = {}
         self._num_edges = 0
+        # Monotonic versions keying the lazy numpy snapshots below: the
+        # adjacency version moves on any edge / node-set change, the attr
+        # version on any column write (including node-set changes, which
+        # resize columns).
+        self._adj_ver = 0
+        self._attr_ver = 0
+        self._csr_cache: Dict[str, Tuple[int, Any, Any]] = {}
+        self._col_cache: Dict[str, Tuple[int, Any]] = {}
+        self._ids_cache: Optional[Tuple[int, Any]] = None
+        self._leases: List[IdLease] = []
         if edges is not None:
             for v, w in edges:
                 self.add_edge(v, w)
@@ -280,6 +341,8 @@ class ColumnarDiGraph(DiGraph):
             # MISSING when the previous occupant was removed.
             self._osucc[i] = {}
             self._opred[i] = {}
+        self._adj_ver += 1
+        self._attr_ver += 1
         return i
 
     def _require(self, node: Node) -> int:
@@ -294,6 +357,7 @@ class ColumnarDiGraph(DiGraph):
             col = [MISSING] * len(self._osucc)
             self._cols[name] = col
         col[node_id] = value
+        self._attr_ver += 1
 
     # ------------------------------------------------------------------
     # Node operations
@@ -326,6 +390,8 @@ class ColumnarDiGraph(DiGraph):
         for col in self._cols.values():
             col[i] = MISSING
         self._interner.release(node)
+        self._adj_ver += 1
+        self._attr_ver += 1
 
     def has_node(self, node: Node) -> bool:
         return node in self._interner._ids
@@ -367,6 +433,7 @@ class ColumnarDiGraph(DiGraph):
         succ[iw] = None
         self._opred[iw][iv] = None
         self._num_edges += 1
+        self._adj_ver += 1
         return True
 
     def remove_edge(self, v: Node, w: Node) -> bool:
@@ -381,6 +448,7 @@ class ColumnarDiGraph(DiGraph):
         del succ[iw]
         del self._opred[iw][iv]
         self._num_edges -= 1
+        self._adj_ver += 1
         return True
 
     def has_edge(self, v: Node, w: Node) -> bool:
@@ -413,6 +481,108 @@ class ColumnarDiGraph(DiGraph):
         return len(self._opred[self._require(node)])
 
     # ------------------------------------------------------------------
+    # numpy kernel snapshots (lazy, version-keyed; see graphs/kernels.py)
+    # ------------------------------------------------------------------
+    def _csr_arrays(self, reverse: bool = False) -> Tuple[Any, Any]:
+        """CSR ``(indptr, indices)`` snapshot of the adjacency, rebuilt
+        lazily when the adjacency version moved since the cached build.
+        Only called on the numpy path."""
+        key = "r" if reverse else "f"
+        cached = self._csr_cache.get(key)
+        if cached is not None and cached[0] == self._adj_ver:
+            return cached[1], cached[2]
+        rows = self._opred if reverse else self._osucc
+        indptr, indices = kernels.build_csr(rows)
+        self._csr_cache[key] = (self._adj_ver, indptr, indices)
+        return indptr, indices
+
+    def _column_snapshot(self, name: str):
+        """Typed snapshot of one attr column (or ``None`` when the column
+        does not exist), rebuilt lazily on the attr version."""
+        col = self._cols.get(name)
+        if col is None:
+            return None
+        cached = self._col_cache.get(name)
+        if cached is not None and cached[0] == self._attr_ver:
+            return cached[1]
+        snap = kernels.make_column_snapshot(col, MISSING)
+        self._col_cache[name] = (self._attr_ver, snap)
+        return snap
+
+    def _live_ids_array(self):
+        """Live slot ids in interning order as an int64 array."""
+        cached = self._ids_cache
+        if cached is not None and cached[0] == self._adj_ver:
+            return cached[1]
+        ids = self._interner._ids
+        arr = kernels.np.fromiter(
+            ids.values(), dtype=kernels.np.int64, count=len(ids)
+        )
+        self._ids_cache = (self._adj_ver, arr)
+        return arr
+
+    def _bulk_atom_verdicts(
+        self, name: str, op: str, value: Any, nodes: List[Node]
+    ) -> Optional[List[bool]]:
+        """Vectorized ``Atom`` verdicts over ``nodes`` (all must be live).
+
+        Returns ``None`` to decline — kernels inactive, or the typed
+        column cannot represent this (op, value) exactly — in which case
+        the caller runs the per-node ``satisfied_by`` twin.
+        """
+        if not kernels.use_numpy():
+            return None
+        snap = self._column_snapshot(name)
+        if snap is None:
+            # No node carries this attribute: every verdict is False
+            # (a missing attribute fails every op, including ``!=``).
+            return [False] * len(nodes)
+        ids = self._interner._ids
+        id_arr = kernels.np.fromiter(
+            (ids[v] for v in nodes), dtype=kernels.np.int64, count=len(nodes)
+        )
+        mask = kernels.atom_mask(snap, id_arr, op, value)
+        if mask is None:
+            return None
+        return mask.tolist()
+
+    def _atom_sweep_members(
+        self, name: str, op: str, value: Any
+    ) -> Optional[Set[Node]]:
+        """Vectorized full-graph atom sweep → member set, or ``None`` to
+        decline (same contract as :meth:`_bulk_atom_verdicts`)."""
+        if not kernels.use_numpy():
+            return None
+        snap = self._column_snapshot(name)
+        if snap is None:
+            return set()
+        id_arr = self._live_ids_array()
+        mask = kernels.atom_mask(snap, id_arr, op, value)
+        if mask is None:
+            return None
+        nodes = self._interner._nodes
+        return {nodes[i] for i in id_arr[mask].tolist()}
+
+    def _condensation_lists(self):
+        """numpy-built condensation adjacency for the interval oracle.
+
+        Returns ``(ncomp, children, parents, comp_of, dag_csr)`` — see
+        :func:`repro.graphs.kernels.condensation_arrays` — or ``None``
+        when the numpy kernels are inactive (the caller builds the DAG
+        through :meth:`_condensation`).
+        """
+        if not kernels.use_numpy():
+            return None
+        comps = self._scc_components_ids()
+        indptr, indices = self._csr_arrays(reverse=False)
+        comp_of_id, children, parents, dag_csr = kernels.condensation_arrays(
+            indptr, indices, comps
+        )
+        col = comp_of_id.tolist()
+        comp_of = {node: col[i] for node, i in self._interner._ids.items()}
+        return len(comps), children, parents, comp_of, dag_csr
+
+    # ------------------------------------------------------------------
     # Id-space traversal fast paths (duck-typed hooks for traversal.py)
     # ------------------------------------------------------------------
     def _bfs_distances(
@@ -424,10 +594,23 @@ class ColumnarDiGraph(DiGraph):
         """BFS entirely in id space: int-keyed frontier dicts and direct
         list-indexed adjacency, translating back to nodes only once at the
         end.  Same contract as :func:`repro.graphs.traversal.bfs_distances`.
+
+        Unbounded sweeps dispatch to the vectorized CSR kernel when the
+        numpy kernels are active; bounded balls stay on the dict twin
+        (small frontiers lose to snapshot overhead).
         """
         sid = self._interner._ids.get(source)
         if sid is None:
             raise GraphError(f"node {source!r} not in graph")
+        if max_depth is None and kernels.use_numpy():
+            indptr, indices = self._csr_arrays(reverse)
+            dist = kernels.bfs_distances_csr(indptr, indices, [sid])
+            nodes = self._interner._nodes
+            reached = kernels.np.flatnonzero(dist >= 0)
+            return {
+                nodes[i]: d
+                for i, d in zip(reached.tolist(), dist[reached].tolist())
+            }
         adj = self._opred if reverse else self._osucc
         dist: Dict[int, int] = {sid: 0}
         queue = deque([sid])
@@ -447,8 +630,17 @@ class ColumnarDiGraph(DiGraph):
         self, sources: Iterable[Node], reverse: bool = False
     ) -> Set[Node]:
         """Id-space closure; same contract as
-        :func:`repro.graphs.traversal.reachable_set`."""
+        :func:`repro.graphs.traversal.reachable_set`.  Dispatches to the
+        vectorized CSR kernel when the numpy kernels are active."""
         ids = self._interner._ids
+        if kernels.use_numpy():
+            seeds = [i for i in (ids.get(s) for s in sources) if i is not None]
+            if not seeds:
+                return set()
+            indptr, indices = self._csr_arrays(reverse)
+            reached = kernels.reachable_csr(indptr, indices, seeds)
+            nodes = self._interner._nodes
+            return {nodes[i] for i in reached.tolist()}
         adj = self._opred if reverse else self._osucc
         seen: Set[int] = set()
         queue = deque()
@@ -699,16 +891,42 @@ class ColumnarDiGraph(DiGraph):
     def free_slot_count(self) -> int:
         return self._interner.free_count()
 
+    def lease_ids(self, on_remap: Optional[Any] = None) -> IdLease:
+        """Register externally-held id-space state with this graph.
+
+        While the returned :class:`IdLease` is live, :meth:`compact` will
+        call ``on_remap(old_to_new)`` after renumbering — or raise
+        :class:`GraphError` before touching anything if the lease has no
+        remap listener.  Structures caching dense ids across calls must
+        hold one (and :meth:`IdLease.release` it when done); ids read
+        without a lease are only valid until the next compaction.
+        """
+        lease = IdLease(self, on_remap)
+        self._leases.append(lease)
+        return lease
+
     def compact(self) -> Dict[int, int]:
         """Squeeze freed slots out of the id space.
 
         Live nodes are renumbered ``0..n-1`` in interning order; adjacency
         and columns are rewritten in place.  Returns the old→new id map
-        (empty when nothing moved).  Any externally-held ids become stale.
+        (empty when nothing moved).
+
+        Externally-held ids become stale: every live :class:`IdLease`
+        with a remap listener has the map applied to it after the
+        rewrite, and a live lease *without* one makes this raise
+        :class:`GraphError` (before any mutation) rather than silently
+        hand the holder wrong slots.
         """
         interner = self._interner
         if not interner._free:
             return {}
+        for lease in self._leases:
+            if lease._on_remap is None:
+                raise GraphError(
+                    "compact() would invalidate a live id lease with no "
+                    "remap listener; release the lease first"
+                )
         remap: Dict[int, int] = {}
         new_nodes: List[Any] = []
         for node, old in interner._ids.items():
@@ -726,11 +944,26 @@ class ColumnarDiGraph(DiGraph):
         interner._ids = {node: remap[old] for node, old in interner._ids.items()}
         interner._nodes = new_nodes
         interner._free = []
+        # Every id-keyed snapshot is now wrong: move both versions.
+        self._adj_ver += 1
+        self._attr_ver += 1
+        for lease in list(self._leases):
+            lease._on_remap(remap)
         return remap
 
     # ------------------------------------------------------------------
     # Bulk helpers
     # ------------------------------------------------------------------
+    def _fresh_caches(self) -> None:
+        """Initialize the version/cache/lease slots on a ``__new__`` twin
+        (caches and leases never transfer to copies)."""
+        self._adj_ver = 0
+        self._attr_ver = 0
+        self._csr_cache = {}
+        self._col_cache = {}
+        self._ids_cache = None
+        self._leases = []
+
     def copy(self) -> "ColumnarDiGraph":
         g = ColumnarDiGraph.__new__(ColumnarDiGraph)
         g._interner = self._interner.copy()
@@ -738,6 +971,7 @@ class ColumnarDiGraph(DiGraph):
         g._opred = [d.copy() if d is not None else None for d in self._opred]
         g._cols = {name: list(col) for name, col in self._cols.items()}
         g._num_edges = self._num_edges
+        g._fresh_caches()
         return g
 
     def reverse(self) -> "ColumnarDiGraph":
@@ -747,6 +981,7 @@ class ColumnarDiGraph(DiGraph):
         g._opred = [d.copy() if d is not None else None for d in self._osucc]
         g._cols = {name: list(col) for name, col in self._cols.items()}
         g._num_edges = self._num_edges
+        g._fresh_caches()
         return g
 
     def subgraph(self, nodes: Iterable[Node]) -> "ColumnarDiGraph":
@@ -759,6 +994,7 @@ class ColumnarDiGraph(DiGraph):
         g._opred = []
         g._cols = {}
         g._num_edges = 0
+        g._fresh_caches()
         remap: Dict[int, int] = {}
         # Intern in this graph's order for determinism.
         for node, old in self._interner._ids.items():

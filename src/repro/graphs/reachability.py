@@ -40,6 +40,7 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
+from . import kernels
 from .digraph import DiGraph
 from .scc import condensation
 from .traversal import reachable_set
@@ -62,6 +63,7 @@ class IntervalReachabilityIndex:
         "_comp_of",
         "_dag_children",
         "_dag_parents",
+        "_dag_csr",
         "_pre",
         "_post",
         "_low",
@@ -90,14 +92,26 @@ class IntervalReachabilityIndex:
     # Build
     # ------------------------------------------------------------------
     def _rebuild(self) -> None:
-        dag, comp_of = condensation(self._graph)
-        n = dag.num_nodes()
-        children: List[List[int]] = [[] for _ in range(n)]
-        parents: List[List[int]] = [[] for _ in range(n)]
-        for c in range(n):
-            for b in dag.children(c):
-                children[c].append(b)
-                parents[b].append(c)
+        # Columnar graphs expose a numpy condensation kernel that skips
+        # the intermediate DAG object entirely (and hands back CSR arrays
+        # for vectorized closures); it returns None when the kernels are
+        # inactive, and other backends lack the hook — both fall back to
+        # the generic condensation twin.
+        fast = getattr(self._graph, "_condensation_lists", None)
+        built = fast() if fast is not None else None
+        if built is not None:
+            n, children, parents, comp_of, dag_csr = built
+        else:
+            dag, comp_of = condensation(self._graph)
+            n = dag.num_nodes()
+            children = [[] for _ in range(n)]
+            parents = [[] for _ in range(n)]
+            for c in range(n):
+                for b in dag.children(c):
+                    children[c].append(b)
+                    parents[b].append(c)
+            dag_csr = None
+        self._dag_csr = dag_csr
         # GRAIL-style reject label: every condensation edge (c -> b) has
         # b < c (Tarjan is sinks-first), so the component index is a valid
         # postorder rank; fold the minimum over successors bottom-up.
@@ -272,8 +286,22 @@ class IntervalReachabilityIndex:
         source set does.
         """
         self.refresh_for_routing()
-        adj = self._dag_parents if reverse else self._dag_children
         comp_of = self._comp_of
+        if self._dag_csr is not None and kernels.use_numpy():
+            seeds: Set[int] = set()
+            for s in sources:
+                c = comp_of.get(s)
+                if c is not None:
+                    seeds.add(c)
+            if not seeds:
+                return set()
+            fwd_ptr, fwd_idx, rev_ptr, rev_idx = self._dag_csr
+            indptr, indices = (
+                (rev_ptr, rev_idx) if reverse else (fwd_ptr, fwd_idx)
+            )
+            reached = kernels.reachable_csr(indptr, indices, sorted(seeds))
+            return set(reached.tolist())
+        adj = self._dag_parents if reverse else self._dag_children
         seen: Set[int] = set()
         stack: List[int] = []
         for s in sources:

@@ -68,6 +68,14 @@ def reset_atom_evaluation_count() -> None:
     _ATOM_EVALUATIONS = 0
 
 
+def note_atom_evaluations(count: int) -> None:
+    """Credit ``count`` atom applications evaluated outside
+    ``Atom.satisfied_by`` (the numpy bulk kernels), so the global counter
+    keeps measuring evaluation *work* identically across kernel modes."""
+    global _ATOM_EVALUATIONS
+    _ATOM_EVALUATIONS += count
+
+
 class Atom:
     """One atomic formula ``attribute op constant``."""
 
@@ -214,7 +222,9 @@ _TOKEN = re.compile(
     r"\s*(?:(?P<op><=|>=|!=|==|=|<|>)"
     r"|(?P<and>&&?|\bAND\b|\band\b)"
     r"|(?P<str>'[^']*'|\"[^\"]*\")"
-    r"|(?P<num>-?(?:\d+\.\d*|\.\d+|\d+)(?:[eE][+-]?\d+)?)"
+    # Sign handling matches float()/int(): either sign may prefix any
+    # literal form, including scientific notation (``-1e-5``, ``+.5``).
+    r"|(?P<num>[+-]?(?:\d+\.\d*|\.\d+|\d+)(?:[eE][+-]?\d+)?)"
     r"|(?P<ident>[A-Za-z_][A-Za-z_0-9.]*))"
 )
 

@@ -128,7 +128,7 @@ def test_bench_pool_tiny_emits_machine_readable_json(tmp_path):
     doc = json.loads(out.read_text())
     assert set(doc["scenarios"]) == {
         "simulation", "bounded", "bounded-shared", "overlap",
-        "overlap-atoms", "reach-oracle",
+        "overlap-atoms", "reach-oracle", "kernels",
     }
     for name in ("simulation", "bounded"):
         scenario = doc["scenarios"][name]
@@ -203,6 +203,20 @@ def test_bench_pool_tiny_emits_machine_readable_json(tmp_path):
     # a True verdict.  False would mean the gate fired and failed.
     assert reach["columnar_wins"] is not False
     assert reach["consults_sublinear"] is True
+    # The kernel layer's headline: numpy beats the pure-Python twins on
+    # the bulk sweep and interval rebuild (hard-gated at full scale; at
+    # tiny scale the race is reported ungated, and without numpy the
+    # scenario documents itself as skipped).
+    kern = doc["scenarios"]["kernels"]
+    if "skipped" not in kern:
+        assert kern["results"]
+        for row in kern["results"]:
+            assert {
+                "n", "edges", "bulk_numpy_ms", "bulk_python_ms",
+                "interval_numpy_ms", "interval_python_ms",
+            } <= set(row)
+        assert kern["numpy_wins_bulk"] is not False
+        assert kern["numpy_wins_interval"] is not False
 
 
 def test_compare_bench_trend_accumulates_over_history(tmp_path):

@@ -1,0 +1,95 @@
+"""Unit tests for the CI trend sparkline renderer."""
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "benchmarks"))
+
+import render_trend  # noqa: E402
+
+
+def _history():
+    return [
+        {"ts": 1, "build": "101", "costs": {
+            "simulation/n=4/pool_ms": 1.0,
+            "kernels/n=48/bulk_numpy_ms": 0.1,
+        }},
+        {"ts": 2, "build": "102", "costs": {
+            "simulation/n=4/pool_ms": 2.0,
+            "kernels/n=48/bulk_numpy_ms": 0.1,
+            "kernels/n=48/bulk_python_ms": 0.4,
+        }},
+        {"ts": 3, "build": "103", "costs": {
+            "simulation/n=4/pool_ms": 4.0,
+            "kernels/n=48/bulk_python_ms": 0.3,
+        }},
+    ]
+
+
+class TestSparkline:
+    def test_min_maps_low_max_maps_high(self):
+        line = render_trend.sparkline([1.0, 2.0, 4.0])
+        assert line[0] == render_trend.SPARK_CHARS[0]
+        assert line[-1] == render_trend.SPARK_CHARS[-1]
+        assert len(line) == 3
+
+    def test_gaps_render_as_placeholder(self):
+        line = render_trend.sparkline([None, 1.0, None, 3.0])
+        assert line[0] == line[2] == render_trend.SPARK_GAP
+        assert line[1] != render_trend.SPARK_GAP
+
+    def test_constant_series_sits_mid_scale(self):
+        line = render_trend.sparkline([2.0, 2.0, 2.0])
+        mid = render_trend.SPARK_CHARS[len(render_trend.SPARK_CHARS) // 2]
+        assert line == mid * 3
+
+    def test_all_missing(self):
+        assert render_trend.sparkline([None, None]) == (
+            render_trend.SPARK_GAP * 2
+        )
+
+
+class TestSeries:
+    def test_alignment_and_gaps(self):
+        series = render_trend.load_series(_history())
+        assert series["simulation/n=4/pool_ms"] == [1.0, 2.0, 4.0]
+        assert series["kernels/n=48/bulk_numpy_ms"] == [0.1, 0.1, None]
+        assert series["kernels/n=48/bulk_python_ms"] == [None, 0.4, 0.3]
+
+    def test_delta_uses_first_and_last_present(self):
+        assert render_trend._delta([1.0, 2.0, 4.0]) == "+300%"
+        assert render_trend._delta([None, 2.0, 1.0]) == "-50%"
+        assert render_trend._delta([None, 3.0]) == "—"
+        assert render_trend._delta([]) == "—"
+
+
+class TestRender:
+    def test_tables_group_by_scenario(self):
+        out = render_trend.render(_history())
+        assert "### simulation" in out
+        assert "### kernels" in out
+        assert "`n=4/pool_ms`" in out
+        assert "`n=48/bulk_python_ms`" in out
+        assert "builds 101 → 103" in out
+
+    def test_figure_selection(self):
+        out = render_trend.render(_history(), figure="overview")
+        assert "3 snapshot(s)" in out
+        assert "### simulation" not in out
+
+    def test_main_fail_soft_on_missing_and_malformed(self, tmp_path, capsys):
+        assert render_trend.main([str(tmp_path / "absent.json")]) == 0
+        assert "skipped" in capsys.readouterr().out
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        assert render_trend.main([str(bad)]) == 0
+        assert "skipped" in capsys.readouterr().out
+
+    def test_main_renders_real_compare_bench_output(self, tmp_path, capsys):
+        trend = tmp_path / "BENCH_trend.json"
+        trend.write_text(json.dumps(_history()))
+        assert render_trend.main([str(trend)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("## Benchmark trend")
+        assert "| series | trend |" in out

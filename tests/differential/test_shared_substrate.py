@@ -22,14 +22,20 @@ family's shared-eligibility paths (flip adoption, withdrawal cascades,
 embedding re-anchoring) run under the same churn.
 
 The sweep runs once per ``(distance mode × eligibility scope × graph
-backend)``: the shared-distance pool takes the parametrized
-``eligibility_scope`` and ``graph backend`` while the per-query-distance
-pool takes the *opposite* of each, so all four (distance, eligibility)
-scope combinations are differentially exercised across the two scope
-values — and every sequence is simultaneously a dict ≡ columnar
-backend differential, because the two pools run the same op stream on
-opposite storage layouts and their graphs are asserted equal (via the
-backend-generic ``DiGraph.__eq__``) after every flush.  Distance modes
+backend × kernel mode)``: the shared-distance pool takes the
+parametrized ``eligibility_scope`` and ``graph backend`` while the
+per-query-distance pool takes the *opposite* of each, so all four
+(distance, eligibility) scope combinations are differentially exercised
+across the two scope values — and every sequence is simultaneously a
+dict ≡ columnar backend differential, because the two pools run the
+same op stream on opposite storage layouts and their graphs are
+asserted equal (via the backend-generic ``DiGraph.__eq__``) after every
+flush.  The ``REPRO_KERNELS`` sweep makes each of those sequences also
+a kernel differential: under ``numpy`` the columnar-backed pool runs
+the vectorized atom/BFS/condensation kernels while the dict-backed pool
+runs the pure-Python twins over the identical op stream, so the
+per-flush cross-pool equality checks gate numpy ≡ python equivalence
+end to end (under ``python`` both pools run the twins).  Distance modes
 cover all four structures, including the SCC-interval reachability
 oracle (``mode='interval'``).  After every flush, each registered
 query's match set under both pools must equal a from-scratch batch
@@ -84,6 +90,7 @@ import random
 import pytest
 
 from repro.engine import MatcherPool
+from repro.graphs import kernels
 from repro.graphs.digraph import DiGraph
 from repro.incremental.types import delete, insert
 from repro.matching.bounded import bounded_match
@@ -96,6 +103,9 @@ from repro.patterns.predicate import Atom, Predicate
 MODES = ["bfs", "landmark", "matrix", "interval"]
 ELIGIBILITY_SCOPES = ["shared", "per-query"]
 GRAPH_BACKENDS = ["dict", "columnar"]
+KERNEL_MODES = (
+    ["numpy", "python"] if kernels.numpy_available() else ["python"]
+)
 SEQUENCES = int(os.environ.get("SHARED_SUBSTRATE_SEQUENCES", "200"))
 BASE_SEED = 0x5D1575
 FLUSHES = 3
@@ -438,10 +448,14 @@ def _run_sequence(
             harness.check_deep()
 
 
+@pytest.mark.parametrize("kernels_mode", KERNEL_MODES)
 @pytest.mark.parametrize("backend", GRAPH_BACKENDS)
 @pytest.mark.parametrize("escope", ELIGIBILITY_SCOPES)
 @pytest.mark.parametrize("mode", MODES)
-def test_shared_substrate_differential_fuzz(mode, escope, backend):
+def test_shared_substrate_differential_fuzz(
+    mode, escope, backend, kernels_mode, monkeypatch
+):
+    monkeypatch.setenv("REPRO_KERNELS", kernels_mode)
     for i in range(SEQUENCES):
         seed = BASE_SEED * 1_000 + i
         try:
@@ -450,7 +464,8 @@ def test_shared_substrate_differential_fuzz(mode, escope, backend):
             raise AssertionError(
                 f"differential fuzz failure: mode={mode!r} "
                 f"eligibility_scope={escope!r} backend={backend!r} "
-                f"seed={seed} — replay with "
+                f"kernels={kernels_mode!r} seed={seed} — replay with "
+                f"REPRO_KERNELS={kernels_mode} "
                 f"_run_sequence({seed}, {mode!r}, {escope!r}, {backend!r})"
             ) from exc
 

@@ -172,6 +172,131 @@ class TestBackendEquivalence:
         assert c.node_id("ghost") is None
 
 
+class TestCompactLeaseContract:
+    """``compact()`` renumbers the id space; externally-cached ids must
+    either be remapped (lease with listener) or block the compaction
+    (lease without one).  The first test documents the pre-fix hazard the
+    contract exists for."""
+
+    @staticmethod
+    def _graph_with_free_slot():
+        c = ColumnarDiGraph()
+        for name, score in zip("abcd", range(1, 5)):
+            c.add_node(name, score=score)
+        c.remove_node("a")
+        assert c.free_slot_count() == 1
+        return c
+
+    def test_stale_id_reads_wrong_slot_after_unleased_compact(self):
+        c = self._graph_with_free_slot()
+        cached = c.node_id("c")  # held across compaction without a lease
+        c.compact()
+        # The cached id now addresses a *different* node's slot — reading
+        # through it silently answers with "d"'s score instead of "c"'s.
+        # This is the stale-id wrong answer the lease contract guards
+        # against; holders that cache ids must take a lease.
+        assert c.attr_column("score")[cached] == 4
+        assert c.get_attr("c", "score") == 3
+
+    def test_compact_raises_while_listenerless_lease_live(self):
+        c = self._graph_with_free_slot()
+        lease = c.lease_ids()
+        with pytest.raises(GraphError):
+            c.compact()
+        # Refused *before* any mutation: ids still valid, slot still free.
+        assert c.free_slot_count() == 1
+        assert c.get_attr("c", "score") == 3
+        lease.release()
+        assert lease.released
+        remap = c.compact()
+        assert remap and c.free_slot_count() == 0
+
+    def test_compact_applies_remap_to_lease_listeners(self):
+        c = self._graph_with_free_slot()
+        cached = {n: c.node_id(n) for n in "bcd"}
+
+        def on_remap(remap):
+            for n, i in cached.items():
+                cached[n] = remap[i]
+
+        c.lease_ids(on_remap)
+        c.compact()
+        # The listener ran post-rewrite: remapped ids answer correctly.
+        assert cached == {n: c.node_id(n) for n in "bcd"}
+        col = c.attr_column("score")
+        assert [col[cached[n]] for n in "bcd"] == [2, 3, 4]
+
+    def test_compact_without_free_slots_is_a_noop_even_under_lease(self):
+        c = ColumnarDiGraph([("a", "b")])
+        c.lease_ids()  # no listener — but nothing would be renumbered
+        assert c.compact() == {}
+
+    def test_double_release_raises(self):
+        c = ColumnarDiGraph([("a", "b")])
+        lease = c.lease_ids()
+        lease.release()
+        with pytest.raises(GraphError):
+            lease.release()
+
+    def test_released_lease_no_longer_blocks(self):
+        c = self._graph_with_free_slot()
+        c.lease_ids(lambda remap: None)  # listener-bearing: never blocks
+        blocking = c.lease_ids()
+        blocking.release()
+        assert c.compact()  # only the remap-capable lease remains
+
+
+class TestAsBackendRecycledSlots:
+    """Round-trip conversions on graphs whose interner has recycled
+    slots: attribute columns and adjacency must not bleed between the
+    slot's previous and current occupant in either direction."""
+
+    @staticmethod
+    def _churned_columnar():
+        c = ColumnarDiGraph(
+            [("a", "b"), ("b", "c"), ("c", "a")],
+            {"a": {"label": "A", "score": 1}, "b": {"label": "B"}},
+        )
+        c.remove_node("a")  # frees a slot holding label+score
+        c.add_node("z", label="Z")  # recycles it with *fewer* attrs
+        c.add_edge("z", "c")
+        c.add_edge("b", "z")
+        assert c.node_id("z") == 0  # actually recycled
+        return c
+
+    def test_columnar_to_dict_and_back(self):
+        c = self._churned_columnar()
+        d = as_backend(c, "dict")
+        assert d == c and c == d
+        # No bleed from the slot's previous occupant.
+        assert dict(d.attrs("z")) == {"label": "Z"}
+        assert set(d.edges()) == set(c.edges())
+        back = as_backend(d, "columnar")
+        assert isinstance(back, ColumnarDiGraph)
+        assert back == c and back == d
+        assert dict(back.attrs("z")) == {"label": "Z"}
+
+    def test_dict_to_columnar_after_columnar_churn(self):
+        d = DiGraph([("a", "b")], {"a": {"label": "A"}})
+        c = as_backend(d, "columnar")
+        c = c.copy()  # keep d pristine
+        c.remove_node("a")
+        c.add_node("q", score=7)  # recycled slot, different attr set
+        c.add_edge("q", "b")
+        d2 = as_backend(c, "dict")
+        assert d2 == c
+        assert dict(d2.attrs("q")) == {"score": 7}
+        assert as_backend(d2, "columnar") == c
+
+    def test_round_trip_after_compact(self):
+        c = self._churned_columnar()
+        c.remove_node("b")
+        c.compact()
+        d = as_backend(c, "dict")
+        assert d == c
+        assert as_backend(d, "columnar") == c
+
+
 @settings(max_examples=60, deadline=None)
 @given(small_graphs(), st.randoms(use_true_random=False))
 def test_random_churn_matches_dict_backend(g, rnd):

@@ -11,6 +11,7 @@ import random
 
 import pytest
 from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.graphs.columnar import as_backend
 from repro.graphs.digraph import DiGraph
@@ -138,6 +139,135 @@ class TestClosures:
         # via the empty path, i.e. iff it is itself a member.
         assert cl.contains("fresh")
         assert not cl.contains("other-fresh")
+
+
+class TestBudgetBoundaries:
+    """Boundary semantics of the budgeted rebuild policy: ``budget=0``
+    must tolerate *no* stale deletions at the routing entry point, and
+    nodes added after the last rebuild must answer soundly both before
+    and after a same-flush edge touches them."""
+
+    def test_budget_zero_first_delete_rebuilds_at_routing_consult(self):
+        g = DiGraph([("a", "b"), ("b", "c")])
+        r = IntervalReachabilityIndex(g, rebuild_budget=0)
+        before = r.rebuild_count
+        g.remove_edge("a", "b")
+        r.notify_edges_deleted()
+        # One pending delete exceeds a zero budget: may_reach answers
+        # exactly, not with the stale over-approximation.
+        assert not r.may_reach("a", "c")
+        assert r.rebuild_count == before + 1
+        assert not r.dirty
+
+    def test_budget_one_tolerates_exactly_one_delete(self):
+        g = DiGraph([("a", "b"), ("b", "c"), ("a", "d")])
+        r = IntervalReachabilityIndex(g, rebuild_budget=1)
+        before = r.rebuild_count
+        g.remove_edge("a", "b")
+        r.notify_edges_deleted()
+        # Within budget: stale answer over-approximates (sound), no rebuild.
+        assert r.may_reach("a", "c")
+        assert r.rebuild_count == before
+        g.remove_edge("a", "d")
+        r.notify_edges_deleted()
+        # Second delete crosses the budget: exact again.
+        assert not r.may_reach("a", "c")
+        assert r.rebuild_count == before + 1
+
+    def test_fresh_node_touched_by_same_flush_edge(self):
+        # A node added after the last rebuild is unknown to the labelling
+        # (isolated semantics) — sound only while it stays edge-less.  An
+        # edge touching it in the same flush arrives as an insertion and
+        # must force a rebuild before the next consult.
+        g = DiGraph([("a", "b")])
+        r = IntervalReachabilityIndex(g, rebuild_budget=2)
+        g.add_node("z")  # node adds carry no notification on purpose
+        g.add_edge("b", "z")
+        r.notify_edges_inserted()
+        g.add_edge("z", "c")  # "c" is itself brand new, same flush
+        r.notify_edges_inserted()
+        assert r.may_reach("a", "z")
+        assert r.may_reach("a", "c")
+        assert r.may_reach("z", "c")
+        assert not r.may_reach("c", "a")
+
+    def test_fresh_node_under_tolerated_deletes_stays_isolated_soundly(self):
+        g = DiGraph([("a", "b"), ("a", "c")])
+        r = IntervalReachabilityIndex(g, rebuild_budget=2)
+        g.remove_edge("a", "c")
+        r.notify_edges_deleted()
+        g.add_node("z")
+        # No rebuild happened (delete within budget), so "z" is unknown:
+        # reflexive via the empty path, unreachable from anything else —
+        # exactly the truth, since a fresh node is edge-less.
+        assert r.may_reach("z", "z")
+        assert not r.may_reach("a", "z")
+        assert not r.may_reach("z", "a")
+        assert r.may_reach("a", "c")  # stale delete: sound over-approx
+        assert not r.reachable("a", "c")  # exact entry point rebuilds
+
+    def test_removed_then_readded_node_never_underapproximates(self):
+        # remove_node + re-add recycles the name while the stale labelling
+        # still maps it to its old component; every answer must stay an
+        # over-approximation until an insertion forces the rebuild.
+        g = DiGraph([("a", "b"), ("b", "c")])
+        r = IntervalReachabilityIndex(g, rebuild_budget=4)
+        g.remove_node("b")
+        r.notify_node_removed()
+        g.add_node("b")  # fresh, edge-less, same name
+        assert r.may_reach("b", "b")
+        assert r.may_reach("a", "b")  # stale True: sound over-approx
+        assert not r.reachable("a", "b")
+        g.add_edge("c", "b")
+        r.notify_edges_inserted()
+        assert r.may_reach("c", "b")  # insert forced exactness
+        assert not r.may_reach("a", "b")
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    small_graphs(),
+    st.integers(min_value=0, max_value=3),
+    st.randoms(use_true_random=False),
+)
+def test_budget_sweep_never_underapproximates(g, budget, rnd):
+    """Property: for every budget in 0..3, across a random op stream of
+    edge inserts/deletes and node removals/re-adds, ``may_reach`` is never
+    falsely False against BFS ground truth (and ``reachable`` stays
+    exact).  Run on both graph backends — on columnar, re-adds recycle
+    interner slots under the oracle."""
+    for backend in ("dict", "columnar"):
+        h = as_backend(g.copy(), backend)
+        r = IntervalReachabilityIndex(h, rebuild_budget=budget)
+        nodes = list(range(10))
+        for step in range(40):
+            v, w = rnd.choice(nodes), rnd.choice(nodes)
+            roll = rnd.random()
+            if roll < 0.45:
+                h.add_node(v)
+                h.add_node(w)
+                if h.add_edge(v, w):
+                    r.notify_edges_inserted()
+            elif roll < 0.75:
+                if h.has_edge(v, w):
+                    h.remove_edge(v, w)
+                    r.notify_edges_deleted()
+            elif roll < 0.9:
+                if h.has_node(v):
+                    h.remove_node(v)
+                    r.notify_node_removed()
+            else:
+                h.add_node(v)  # possibly a re-add recycling a slot
+            x, y = rnd.choice(nodes), rnd.choice(nodes)
+            if h.has_node(x) and h.has_node(y):
+                truth = y in reachable_set(h, [x])
+                if truth:
+                    assert r.may_reach(x, y), (
+                        f"under-approximation: budget={budget} "
+                        f"backend={backend} step={step} pair=({x}, {y})"
+                    )
+                assert r.reachable(x, y) == truth
+        r.check_exact()
 
 
 @settings(max_examples=40, deadline=None)

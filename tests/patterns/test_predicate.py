@@ -272,3 +272,33 @@ class TestParser:
     def test_malformed_numeric_literal_named_in_error(self, lit):
         with pytest.raises(PredicateError, match="malformed numeric literal"):
             parse_predicate(f"x > {lit}")
+
+    @pytest.mark.parametrize(
+        "lit,value",
+        [
+            ("+5", 5),
+            ("+.5", 0.5),
+            ("+2.5e3", 2500.0),
+            ("+1E+3", 1000.0),
+            ("-1e-5", -1e-5),
+            ("-1E5", -100000.0),
+            ("+0", 0),
+        ],
+    )
+    def test_signed_literals_accepted(self, lit, value):
+        # Everything float()/int() accepts must parse: an explicit '+'
+        # sign and signed scientific notation included.
+        p = parse_predicate(f"x = {lit}")
+        (atom,) = p.atoms
+        assert atom.value == value
+        assert type(atom.value) is type(value)
+        assert p.satisfied_by({"x": value})
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["+", "++5", "+-5", "+e5", "+.", "+ 5", "x > +5y"],
+    )
+    def test_malformed_signed_literals_still_rejected(self, bad):
+        text = bad if bad.startswith("x ") else f"x = {bad}"
+        with pytest.raises(PredicateError):
+            parse_predicate(text)
