@@ -33,6 +33,15 @@ The scenarios, all over one shared graph holding labelled communities
   must be *exactly* flat in N once the vocabulary is interned — the
   scenario enforces equality and fails otherwise; per-query scope
   re-evaluates whole conjunctions per query (~linear in N);
+- ``shared-plan``: N bound-2 two-leg patterns drawn from only 4 distinct
+  *leg vocabularies* (query i re-spells partition ``i % 4``'s pattern
+  with its own node names), under ``plan_scope='shared'`` vs
+  ``'per-query'``.  The shared plan interns each pattern by canonical
+  fingerprint into 4 joins over 8 leg views, so per-flush view repairs
+  are a function of the distinct-leg vocabulary alone — the scenario
+  *enforces* that the view-repair count is exactly equal across all
+  N >= 4, and (at N >= 16, above the noise floor) that the shared flush
+  beats the per-query flush outright;
 - ``reach-oracle``: interval-mode routing cost dict vs columnar backend
   plus oracle-consult accounting on ``*``-bound patterns;
 - ``kernels``: the numpy kernel layer raced against its pure-Python
@@ -681,6 +690,201 @@ def run_overlap_atoms_scenario(sizes, graph, reps, num_ops):
 # row to participate in the ``columnar_wins`` gate; see the docstring.
 RACE_GATE_FLOOR_MS = 1.0
 
+# The shared-plan race is only judged from this many registered queries
+# up: below it the pool holds at most one query per distinct pattern, so
+# there is nothing to share and the comparison is not the claim.
+PLAN_GATE_MIN_N = 16
+
+
+def plan_pattern(i: int, k: int = 4) -> Pattern:
+    """Two-leg bound-2 pattern over leg vocabulary ``i % k``, spelled
+    with node names private to query ``i`` — canonical fingerprints,
+    not node-name spelling, must drive the plan's interning."""
+    a, b, c = cluster_labels(i % k)
+    p = Pattern()
+    x, y, z = f"x{i}", f"y{i}", f"z{i}"
+    p.add_node(x, f"label = {a}")
+    p.add_node(y, f"label = {b}")
+    p.add_node(z, f"label = {c}")
+    p.add_edge(x, y, 2)
+    p.add_edge(y, z, 2)
+    return p
+
+
+def plan_updates(graph, k, num_updates, seed=11):
+    """An edge stream spanning all ``k`` leg-vocabulary partitions, so
+    every interned view (not just partition 0's) sees repair work."""
+    per = max(2, num_updates // k)
+    ops = []
+    for i in range(k):
+        ops.extend(
+            label_partitioned_updates(
+                graph,
+                cluster_labels(i),
+                num_insertions=per // 2,
+                num_deletions=per - per // 2,
+                seed=seed + i,
+            )
+        )
+    return ops
+
+
+def run_plan_pool(graph, n, k, updates, plan_scope, reps):
+    """min-of-``reps`` flush timing of one plan-scoped pool; returns
+    ``(elapsed, pool, report)`` with stats from the final rep's flush."""
+    best = float("inf")
+    pool = report = None
+    for _ in range(reps):
+        pool = MatcherPool(graph.copy(), plan_scope=plan_scope)
+        for i in range(n):
+            pool.register(
+                plan_pattern(i, k), semantics="bounded", name=f"p{i}"
+            )
+        pool.stats.reset()
+        start = time.perf_counter()
+        report = pool.apply(updates)
+        best = min(best, time.perf_counter() - start)
+    return best, pool, report
+
+
+def run_shared_plan_scenario(sizes, graph, num_updates, reps, k=4):
+    """Shared multi-query plan vs per-query indexes, N bound-2 patterns
+    over ``k`` distinct leg vocabularies.
+
+    Two hard gates (both judged in-scenario, ``ok=False`` on failure):
+
+    - **flatness**: per-flush view repairs under the shared plan must be
+      *exactly* equal across every N >= k — once the leg vocabulary is
+      fully interned (2k views), repair work is a function of the update
+      stream alone, never of the number of registered queries;
+    - **outright win**: at every N >= ``PLAN_GATE_MIN_N`` whose per-query
+      flush clears ``RACE_GATE_FLOOR_MS`` (min-of-k timing, noise-floor
+      convention shared with the backend races), the shared plan's flush
+      must be strictly cheaper than the per-query flush.  Below the floor
+      or the minimum N the race is reported ungated (``None``).
+
+    Correctness gates both scopes against naive per-pattern indexes.
+    """
+    k = min(k, max(sizes))
+    updates = plan_updates(graph, k, num_updates)
+    print(
+        f"\n== scenario: shared-plan "
+        f"(N bound-2 patterns over {k} leg vocabularies, "
+        f"shared plan vs per-query indexes) =="
+    )
+    print(
+        f"{'N':>4} {'shared ms':>10} {'perq ms':>10} {'perq/shared':>12} "
+        f"{'view reps':>10} {'views':>6} {'joins':>6}"
+    )
+    ok = True
+    results = []
+    race_reps = max(reps, 5)
+    view_repairs = {}
+    for n in sizes:
+        row = {"n": n}
+        pools = {}
+        for scope in ("shared", "per-query"):
+            t, pool, _ = run_plan_pool(
+                graph.copy(), n, k, updates, scope, race_reps
+            )
+            pools[scope] = pool
+            key = "plan_shared" if scope == "shared" else "plan_per_query"
+            row[f"{key}_ms"] = round(t * 1e3, 3)
+        shared = pools["shared"]
+        view_repairs[n] = shared.stats.view_repairs
+        row["view_repairs"] = shared.stats.view_repairs
+        row["join_repairs"] = shared.stats.join_repairs
+        row["plan_views"] = shared.plan.num_views()
+        row["plan_joins"] = shared.plan.num_joins()
+        # Correctness: both scopes must match the naive per-pattern result.
+        _, indexes = run_naive(
+            graph, "bounded", n, updates,
+            pattern_fn=lambda i: plan_pattern(i, k),
+        )
+        for i, idx in enumerate(indexes):
+            expect = as_pairs(idx.matches())
+            for scope, pool in pools.items():
+                if as_pairs(pool.query(f"p{i}").matches()) != expect:
+                    print(
+                        f"MISMATCH shared-plan scope={scope} N={n} "
+                        f"pattern {i}",
+                        file=sys.stderr,
+                    )
+                    ok = False
+        ratio = (
+            row["plan_per_query_ms"] / row["plan_shared_ms"]
+            if row["plan_shared_ms"] > 0
+            else float("inf")
+        )
+        row["per_query_over_shared"] = round(ratio, 2)
+        print(
+            f"{n:>4} {row['plan_shared_ms']:>10.2f} "
+            f"{row['plan_per_query_ms']:>10.2f} {ratio:>11.1f}x "
+            f"{row['view_repairs']:>10} {row['plan_views']:>6} "
+            f"{row['plan_joins']:>6}"
+        )
+        results.append(row)
+    # Gate 1 (hard): view repairs exactly flat in N once the leg
+    # vocabulary is fully interned.
+    flat_counts = sorted({view_repairs[n] for n in sizes if n >= k})
+    repairs_flat = len(flat_counts) <= 1
+    if not repairs_flat:
+        print(
+            f"FLATNESS VIOLATION shared-plan: per-flush view repairs vary "
+            f"with N: { {n: view_repairs[n] for n in sizes if n >= k} }",
+            file=sys.stderr,
+        )
+        ok = False
+    # Gate 2 (hard above the noise floor): shared flush beats per-query
+    # outright once sharing is real (N >= PLAN_GATE_MIN_N).
+    gated = [
+        r for r in results
+        if r["n"] >= PLAN_GATE_MIN_N
+        and r["plan_per_query_ms"] >= RACE_GATE_FLOOR_MS
+    ]
+    shared_wins = (
+        all(r["per_query_over_shared"] > 1.0 for r in gated)
+        if gated else None
+    )
+    if shared_wins is False:
+        print(
+            "shared-plan: shared plan did not beat per-query flush cost",
+            file=sys.stderr,
+        )
+        ok = False
+    elif shared_wins is None:
+        print(
+            f"shared-plan: race ungated (no size >= {PLAN_GATE_MIN_N} "
+            f"with per-query flush over {RACE_GATE_FLOOR_MS}ms — "
+            f"noise-dominated at this scale)"
+        )
+    lo, hi = min(sizes), max(sizes)
+    times = {
+        key: {r["n"]: r[f"plan_{key}_ms"] for r in results}
+        for key in ("shared", "per_query")
+    }
+    growth = {
+        key: (times[key][hi] / times[key][lo] if times[key][lo] else 0.0)
+        for key in times
+    }
+    print(
+        f"plan flush cost grew {growth['shared']:.2f}x (shared) vs "
+        f"{growth['per_query']:.2f}x (per-query) from N={lo} to N={hi} "
+        f"({k} leg vocabularies, {2 * k} views); "
+        f"view_repairs_flat={repairs_flat} shared_wins={shared_wins}"
+    )
+    return ok, {
+        "sizes": sizes,
+        "reps": race_reps,
+        "leg_vocabularies": k,
+        "updates": len(updates),
+        "results": results,
+        "view_repairs_flat": repairs_flat,
+        "shared_wins": shared_wins,
+        "growth_shared": round(growth["shared"], 3),
+        "growth_per_query": round(growth["per_query"], 3),
+    }
+
 
 def run_reach_oracle_scenario(sizes, graph, updates, reps):
     """SCC-interval oracle routing + columnar id-space kernels, two legs.
@@ -1062,7 +1266,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--scenario",
         choices=[*SCENARIOS, "bounded-shared", "overlap", "overlap-atoms",
-                 "reach-oracle", "kernels", "all"],
+                 "shared-plan", "reach-oracle", "kernels", "all"],
         default="all",
         help="which workload to run",
     )
@@ -1107,7 +1311,8 @@ def main(argv=None) -> int:
 
     if args.scenario == "all":
         scenarios = [*SCENARIOS, "bounded-shared", "overlap",
-                     "overlap-atoms", "reach-oracle", "kernels"]
+                     "overlap-atoms", "shared-plan", "reach-oracle",
+                     "kernels"]
     else:
         scenarios = [args.scenario]
     ok = True
@@ -1132,6 +1337,14 @@ def main(argv=None) -> int:
         elif scenario == "overlap-atoms":
             s_ok, s_doc = run_overlap_atoms_scenario(
                 sizes, graph, reps, num_updates
+            )
+        elif scenario == "shared-plan":
+            # Per-query bounded indexes get expensive fast (that is the
+            # contrast being measured); a capped sweep already spans the
+            # N >= 16 gate.
+            plan_sizes = [n for n in sizes if n <= 16] or sizes[:1]
+            s_ok, s_doc = run_shared_plan_scenario(
+                plan_sizes, graph, num_updates, reps
             )
         elif scenario == "reach-oracle":
             # Oracle rebuilds are pool-level and O(|V|+|E|); the backend

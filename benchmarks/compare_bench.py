@@ -38,6 +38,7 @@ COST_KEYS = (
     "dict_ms", "columnar_ms", "landmark_ms",
     "bulk_numpy_ms", "bulk_python_ms",
     "interval_numpy_ms", "interval_python_ms",
+    "plan_shared_ms", "plan_per_query_ms",
 )
 
 

@@ -146,6 +146,15 @@ def main(argv=None) -> int:
         "private candidate-set copy per query",
     )
     pool.add_argument(
+        "--plan-scope",
+        default="per-query",
+        choices=["shared", "per-query"],
+        help="multi-query plan: 'shared' interns each pattern's legs into "
+        "refcount-leased pool-level views (repaired once per flush) and "
+        "joins query relations from their deltas; 'per-query' (default) "
+        "gives every query a private index",
+    )
+    pool.add_argument(
         "--updates",
         help="JSON update list applied as one coalesced, routed flush",
     )
@@ -173,6 +182,8 @@ def main(argv=None) -> int:
 
 
 def _routing_class(query) -> str:
+    if query.planned:
+        return "planned"
     if query.routes_all_edges:
         return "wildcard-edge"
     if query.distance_routed:
@@ -197,6 +208,7 @@ def _run_pool(args) -> int:
         graph,
         distance_scope=args.distance_scope,
         eligibility_scope=args.eligibility_scope,
+        plan_scope=args.plan_scope,
         graph_backend=args.graph_backend,
     )
     for path, mode in zip(args.patterns, modes):
@@ -214,6 +226,7 @@ def _run_pool(args) -> int:
     output = {
         "distance_scope": args.distance_scope,
         "eligibility_scope": args.eligibility_scope,
+        "plan_scope": args.plan_scope,
         "graph_backend": pool.graph_backend,
         "queries": {
             q.name: dict(_render_query(q), routing=_routing_class(q))
@@ -238,6 +251,9 @@ def _run_pool(args) -> int:
     output["shared_structures"]["eligibility_sets"] = (
         pool.eligibility.num_entries()
     )
+    output["shared_structures"]["plan_views"] = pool.plan.num_views()
+    output["shared_structures"]["plan_joins"] = pool.plan.num_joins()
+    output["shared_structures"]["plan_leases"] = pool.plan.num_leases()
     json.dump(output, sys.stdout, indent=2, default=repr)
     sys.stdout.write("\n")
     return 0

@@ -16,6 +16,10 @@
   flip), leased as read-views by queries and by the distance substrate,
   so per-flush atomic evaluations scale with distinct atoms rather than
   distinct conjunctions or pool size;
+- :class:`SharedPlan` — the pool-level multi-query plan: patterns
+  decomposed into canonical-fingerprint-interned leg views whose match
+  relations are maintained once per pool and joined per registered
+  query (``plan_scope='shared'``);
 - :class:`MatchDelta` / :class:`ChangeFeed` — the per-flush diff events
   and their drainable subscriber buffers.
 """
@@ -29,6 +33,7 @@ from .eligibility import (
     SharedEligibilityIndex,
 )
 from .feeds import ChangeFeed, MatchDelta
+from .plan import LegView, PlannedQuery, SharedJoin, SharedPlan
 from .pool import FlushReport, MatcherPool, PoolStats
 from .query import ContinuousQuery, build_index
 from .router import UpdateRouter
@@ -37,6 +42,10 @@ __all__ = [
     "MatcherPool",
     "ContinuousQuery",
     "UpdateRouter",
+    "SharedPlan",
+    "SharedJoin",
+    "LegView",
+    "PlannedQuery",
     "SharedDistanceSubstrate",
     "SubstrateStats",
     "SharedEligibilityIndex",

@@ -59,11 +59,13 @@ from ..patterns.predicate import Predicate
 from .distances import SharedDistanceSubstrate
 from .eligibility import SharedEligibilityIndex
 from .feeds import MatchDelta
+from .plan import SharedPlan
 from .query import ContinuousQuery
 from .router import UpdateRouter
 
 DISTANCE_SCOPES = ("shared", "per-query")
 ELIGIBILITY_SCOPES = ("shared", "per-query")
+PLAN_SCOPES = ("shared", "per-query")
 
 
 def _check_scope(
@@ -89,6 +91,11 @@ class PoolStats:
         "routed_pairs",
         "skipped_pairs",
         "observer_batches",
+        "view_repairs",
+        "join_repairs",
+        "join_pair_updates",
+        "plan_views",
+        "plan_leases",
     )
 
     def __init__(self) -> None:
@@ -105,6 +112,16 @@ class PoolStats:
         # (one per observing query per edge batch); the shared substrate's
         # counterpart is SubstrateStats.structure_batches.
         self.observer_batches = 0
+        # Shared-plan counters.  view_repairs counts views with a
+        # nonempty pair delta per flush — the quantity that must scale
+        # with *distinct legs*, not registered queries; join_repairs /
+        # join_pair_updates count per-join delta consumption.  plan_views
+        # and plan_leases are end-of-flush gauges, not cumulative.
+        self.view_repairs = 0
+        self.join_repairs = 0
+        self.join_pair_updates = 0
+        self.plan_views = 0
+        self.plan_leases = 0
 
     def __repr__(self) -> str:
         return (
@@ -147,6 +164,7 @@ class MatcherPool:
         graph: DiGraph,
         distance_scope: str = "shared",
         eligibility_scope: str = "shared",
+        plan_scope: str = "per-query",
         lm_budget: Optional[LandmarkBudget] = None,
         graph_backend: Optional[str] = None,
     ) -> None:
@@ -181,6 +199,13 @@ class MatcherPool:
         self.substrate = SharedDistanceSubstrate(
             graph, eligibility=self.eligibility, lm_budget=lm_budget
         )
+        # The multi-query plan: queries registered with plan_scope
+        # 'shared' (and a plannable semantics) are decomposed into
+        # interned leg views and join their match relations from the
+        # views' deltas instead of owning private indexes.  The default
+        # is 'per-query' — sharing is opt-in per pool or per register.
+        self.plan_scope = _check_scope(plan_scope, "plan_scope", PLAN_SCOPES)
+        self.plan = SharedPlan(self)
         self._router = UpdateRouter()
         self._queries: Dict[str, ContinuousQuery] = {}
         self._pending_edges: List[Update] = []
@@ -199,6 +224,7 @@ class MatcherPool:
         max_embeddings: Optional[int] = None,
         distance_scope: Optional[str] = None,
         eligibility_scope: Optional[str] = None,
+        plan_scope: Optional[str] = None,
     ) -> ContinuousQuery:
         """Register a standing query; its index is built immediately.
 
@@ -207,7 +233,13 @@ class MatcherPool:
         ``distance_scope`` / ``eligibility_scope`` override the pool
         defaults for this query: ``'shared'`` leases distance structures /
         eligible sets from the pool substrates, ``'per-query'`` owns
-        private ones.
+        private ones.  ``plan_scope='shared'`` rewrites the query against
+        the pool's multi-query plan (interned leg views + shared joins;
+        see :mod:`repro.engine.plan`) — on that path the query's match
+        relation lives in a shared join, whose views always use the
+        pool's substrate and eligibility, so the distance/eligibility
+        scope overrides do not apply.  Isomorphism queries are not
+        plannable and silently take the per-query path.
         """
         if self._pending_edges or self._pending_nodes:
             self.flush()
@@ -218,6 +250,15 @@ class MatcherPool:
             name = f"q{n}"
         if name in self._queries:
             raise ValueError(f"query name {name!r} already registered")
+        pscope = _check_scope(
+            plan_scope or self.plan_scope, "plan_scope", PLAN_SCOPES
+        )
+        if pscope == "shared" and self.plan.plannable(semantics):
+            query = self.plan.build_query(
+                name, pattern, semantics, distance_mode
+            )
+            self._queries[name] = query
+            return query
         scope = _check_scope(distance_scope or self.distance_scope)
         substrate = (
             self.substrate
@@ -250,8 +291,20 @@ class MatcherPool:
         dropped, so the pool stops paying its upkeep)."""
         if self._queries.get(query.name) is query:
             del self._queries[query.name]
-            self._router.unregister(query)
+            if not query.planned:
+                self._router.unregister(query)
+            # Planned queries release their join lease here; a join (or
+            # leg view) with no leaseholders left is dropped entirely.
             query.close()
+
+    def _attach_view(self, query: ContinuousQuery) -> None:
+        """Router-register one of the plan's internal leg views so the
+        flush phases repair it like any other query."""
+        self._router.register(query)
+
+    def _detach_view(self, query: ContinuousQuery) -> None:
+        self._router.unregister(query)
+        query.close()
 
     def query(self, name: str) -> ContinuousQuery:
         return self._queries[name]
@@ -338,7 +391,19 @@ class MatcherPool:
         self.stats.flushes += 1
         self.stats.edge_updates_queued += len(edge_ops)
         self.stats.attr_updates += len(node_ops)
-        touched: Dict[str, ContinuousQuery] = {}
+        # Keyed by id(): the routed population mixes user queries with the
+        # plan's internal leg views, whose names live in a separate space.
+        touched: Dict[int, ContinuousQuery] = {}
+        # The population the router decides over: non-planned user queries
+        # plus the plan's leg views (planned queries are never routed —
+        # the plan delivers their changes after the views are repaired).
+        routed_pop = [
+            q for q in self._queries.values() if not q.planned
+        ] + self.plan.views()
+        # Net eligibility flips accumulated across phases A and D for the
+        # plan's joins (views repair through normal routing; the joins
+        # additionally need the raw flips to adopt/retire pair nodes).
+        plan_flips: List[Tuple[Predicate, Node, bool]] = []
 
         # ---- Phase A: node additions / attribute merges ----------------
         # Per-query-eligibility queries route by predicate re-evaluation
@@ -362,10 +427,8 @@ class MatcherPool:
         # index adoption from final sets is equivalent to per-event
         # apply_node_added.
         report.attr_ops = len(node_ops)
-        legacy_scope = sum(
-            1 for q in self._queries.values() if not q.shared_eligibility
-        )
-        flip_scope = len(self._queries) - legacy_scope
+        legacy_scope = sum(1 for q in routed_pop if not q.shared_eligibility)
+        flip_scope = len(routed_pop) - legacy_scope
         events: List[Tuple[Node, Optional[Iterable[str]], bool]] = []
         for v, attrs in node_ops:
             if self.graph.has_node(v):
@@ -379,20 +442,21 @@ class MatcherPool:
                 events.append((v, list(attrs.keys()), False))
                 for q in legacy:
                     q.apply_attr_update(v, attrs)
-                    touched[q.name] = q
+                    touched[id(q)] = q
             else:
                 self.graph.add_node(v, **attrs)
                 events.append((v, None, True))
                 legacy = self._router.route_node(self.graph.attrs(v))
                 for q in legacy:
                     q.apply_node_added(v, attrs)
-                    touched[q.name] = q
+                    touched[id(q)] = q
             report.routed += len(legacy)
             report.skipped += legacy_scope - len(legacy)
         net_flips = (
             self.eligibility.observe_events(events) if events else []
         )
         if net_flips:
+            plan_flips.extend(net_flips)
             by_node: Dict[Node, List[Tuple[Predicate, bool]]] = {}
             for pred, v, gained in net_flips:
                 by_node.setdefault(v, []).append((pred, gained))
@@ -401,7 +465,7 @@ class MatcherPool:
             )
             for q in flipped:
                 q.apply_eligibility_flip_batch(by_node)
-                touched[q.name] = q
+                touched[id(q)] = q
             report.routed += len(flipped)
             report.skipped += flip_scope - len(flipped)
         elif node_ops and flip_scope:
@@ -425,20 +489,25 @@ class MatcherPool:
         # repair).  Routing and prep consult the *pre-edit* graph and
         # distance structures: a broken pair's old witness path decomposes
         # over pre-deletion distances.
-        routed_dels: Dict[str, List[Tuple[Node, Node]]] = {}
+        routed_dels: Dict[
+            int, Tuple[ContinuousQuery, List[Tuple[Node, Node]]]
+        ] = {}
         for v, w in deletions:
             qs = self._router.route_edge(
                 v, w, self.graph.attrs(v), self.graph.attrs(w)
             )
             for q in qs:
-                routed_dels.setdefault(q.name, []).append((v, w))
-                touched[q.name] = q
+                entry = routed_dels.get(id(q))
+                if entry is None:
+                    entry = routed_dels[id(q)] = (q, [])
+                entry[1].append((v, w))
+                touched[id(q)] = q
             report.routed += len(qs)
-            report.skipped += len(self._queries) - len(qs)
-        prepared = {
-            name: self._queries[name].prepare_deletions(edges)
-            for name, edges in routed_dels.items()
-        }
+            report.skipped += len(routed_pop) - len(qs)
+        prepared = [
+            (q, q.prepare_deletions(edges))
+            for q, edges in routed_dels.values()
+        ]
         for v, w in deletions:
             self.graph.remove_edge(v, w)
         if deletions:
@@ -446,8 +515,8 @@ class MatcherPool:
             self.stats.observer_batches += len(observers)
             for q in observers:
                 q.observe_deletions(deletions)
-        for name, prep in prepared.items():
-            self._queries[name].repair_deletions(prep)
+        for q, prep in prepared:
+            q.repair_deletions(prep)
 
         # ---- Phase D: insertions (edit -> observe -> route -> repair ->
         # fresh nodes).  Routing happens *after* the edit and structure
@@ -470,26 +539,31 @@ class MatcherPool:
         # below.
         fresh_gains: Set[Predicate] = set()
         for node in fresh_nodes:
-            fresh_gains.update(
-                p for p, _ in self.eligibility.observe_node_added(node)
-            )
+            gains = self.eligibility.observe_node_added(node)
+            fresh_gains.update(p for p, _ in gains)
+            plan_flips.extend((p, node, g) for p, g in gains)
         if insertions:
             self.substrate.observe_inserted(insertions)
             self.stats.observer_batches += len(observers)
             for q in observers:
                 q.observe_insertions(insertions)
-        routed_ins: Dict[str, List[Tuple[Node, Node]]] = {}
+        routed_ins: Dict[
+            int, Tuple[ContinuousQuery, List[Tuple[Node, Node]]]
+        ] = {}
         for v, w in insertions:
             qs = self._router.route_edge(
                 v, w, self.graph.attrs(v), self.graph.attrs(w)
             )
             for q in qs:
-                routed_ins.setdefault(q.name, []).append((v, w))
-                touched[q.name] = q
+                entry = routed_ins.get(id(q))
+                if entry is None:
+                    entry = routed_ins[id(q)] = (q, [])
+                entry[1].append((v, w))
+                touched[id(q)] = q
             report.routed += len(qs)
-            report.skipped += len(self._queries) - len(qs)
-        for name, edges in routed_ins.items():
-            self._queries[name].repair_insertions(edges)
+            report.skipped += len(routed_pop) - len(qs)
+        for q, edges in routed_ins.values():
+            q.repair_insertions(edges)
         # Fresh attribute-less endpoints can still match wildcard (TRUE)
         # predicates — e.g. a childless or single-node pattern — so they
         # are announced after edge repair (registration is idempotent).
@@ -501,13 +575,24 @@ class MatcherPool:
             for node in fresh_nodes:
                 for q in wildcard_queries:
                     q.apply_node_added(node, {})
-                    touched[q.name] = q
+                    touched[id(q)] = q
             report.routed += len(wildcard_queries)
-            report.skipped += len(self._queries) - len(wildcard_queries)
+            report.skipped += len(routed_pop) - len(wildcard_queries)
+
+        # ---- Plan delivery: views are fully repaired; drain each view's
+        # pair delta once and patch every join that leases it, so planned
+        # queries emit alongside everyone else in phase E.
+        if self.plan.active():
+            for q in self.plan.deliver(plan_flips):
+                touched[id(q)] = q
+        self.stats.plan_views = self.plan.num_views()
+        self.stats.plan_leases = self.plan.num_leases()
 
         # ---- Phase E: publish match deltas -----------------------------
-        for name, q in touched.items():
-            report.deltas[name] = q.emit_delta(report.seq)
+        for q in touched.values():
+            if q.internal:
+                continue
+            report.deltas[q.name] = q.emit_delta(report.seq)
         self.stats.routed_pairs += report.routed
         self.stats.skipped_pairs += report.skipped
         # End-of-flush upkeep: BatchLM re-selection when InsLM growth blew

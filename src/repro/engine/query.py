@@ -79,6 +79,10 @@ def build_index(
 class ContinuousQuery:
     """A standing ``(pattern, semantics)`` query over a shared graph."""
 
+    # True on plan-rewritten subclasses (see repro.engine.plan) — those
+    # queries are never router-registered.
+    planned = False
+
     def __init__(
         self,
         name: str,
@@ -89,19 +93,23 @@ class ContinuousQuery:
         max_embeddings: Optional[int] = None,
         substrate=None,
         eligibility=None,
+        internal: bool = False,
     ) -> None:
         self.name = name
         self.pattern = pattern
         self.graph = graph
         self.semantics = semantics
-        self.index = build_index(
+        # Internal queries (the plan's leg views) are repaired like any
+        # other query but never emit user-facing deltas.
+        self.internal = internal
+        self.index = self._build_index(
             pattern,
             graph,
             semantics,
-            distance_mode=distance_mode,
-            max_embeddings=max_embeddings,
-            substrate=substrate,
-            eligibility=eligibility,
+            distance_mode,
+            max_embeddings,
+            substrate,
+            eligibility,
         )
         self._feeds: List[ChangeFeed] = []
         self.last_delta: Optional[MatchDelta] = None
@@ -188,6 +196,22 @@ class ContinuousQuery:
                     self._pair_counts[pair] = self._pair_counts.get(pair, 0) + 1
         else:
             self._was_total = self.index.is_total()
+
+    def _build_index(
+        self, pattern, graph, semantics, distance_mode, max_embeddings,
+        substrate, eligibility,
+    ):
+        """Index construction hook; plan-rewritten subclasses override it
+        to attach a shared-join adapter instead of a private index."""
+        return build_index(
+            pattern,
+            graph,
+            semantics,
+            distance_mode=distance_mode,
+            max_embeddings=max_embeddings,
+            substrate=substrate,
+            eligibility=eligibility,
+        )
 
     # ------------------------------------------------------------------
     # Results

@@ -71,6 +71,7 @@ from ..matching.relation import MatchRelation, totalize
 from ..matching.simulation import candidate_sets
 from ..patterns.pattern import Bound, Pattern, PatternNode
 from ..patterns.predicate import Predicate
+from .delta import DeltaLog
 from .incsim import IncStats, SimulationIndex
 from .types import Update, delete as upd_delete, insert as upd_insert, net_updates
 
@@ -133,6 +134,10 @@ class BoundedSimulationIndex:
         self._pair_graph = DiGraph()
         self._build_pair_graph()
         self._inner = SimulationIndex(_layered_pattern(pattern), self._pair_graph)
+        # Opt-in pair-edge change log (enable_pair_delta): the plan layer's
+        # leg views export their relation deltas through it so downstream
+        # joins consume changes instead of re-deriving them.
+        self._pair_delta: Optional[DeltaLog] = None
         self._lm: Optional[LandmarkIndex] = None
         self._matrix: Optional[DistanceMatrix] = None
         self._minima: Optional[EligibleLegMinima] = None
@@ -249,6 +254,48 @@ class BoundedSimulationIndex:
             {(u, v) for (_, (u, v)) in added},
             {(u, v) for (_, (u, v)) in removed},
         )
+
+    def _apply_pair_batch(self, pair_updates: List[Update]) -> None:
+        """Feed pair-graph edits to the inner index, logging net changes
+        when pair-delta export is enabled.
+
+        Netting against the current pair graph before logging is
+        behavior-preserving (the inner index nets internally anyway) and
+        keeps the exported delta exact: a pending-delete-plus-reinsert of
+        a surviving pair cancels out instead of being reported twice.
+        """
+        if self._pair_delta is None:
+            self._inner.apply_batch(pair_updates)
+            return
+        net = net_updates(self._pair_graph, pair_updates)
+        for upd in net:
+            if upd.op == "insert":
+                self._pair_delta.add((upd.source, upd.target))
+            else:
+                self._pair_delta.remove((upd.source, upd.target))
+        self._inner.apply_batch(net)
+
+    def enable_pair_delta(self) -> None:
+        """Start logging net pair-edge changes for :meth:`pop_pair_delta`.
+
+        Consumers (the plan layer's leg views) read the current relation
+        wholesale via :meth:`pair_edges` at attach time, then consume
+        deltas from the next flush on — so enabling starts the log empty.
+        """
+        if self._pair_delta is None:
+            self._pair_delta = DeltaLog()
+
+    def pop_pair_delta(self) -> Tuple[Set[Tuple], Set[Tuple]]:
+        """Net ``(added, removed)`` pair edges ``((u, a), (u2, c))`` since
+        the last pop.  Requires :meth:`enable_pair_delta`."""
+        if self._pair_delta is None:
+            raise RuntimeError("pair-delta export not enabled on this index")
+        added, removed = self._pair_delta.pop()
+        return set(added), set(removed)
+
+    def pair_edges(self) -> Iterable[Tuple[Tuple, Tuple]]:
+        """The current pair relation as ``((u, a), (u2, c))`` edges."""
+        return self._pair_graph.edges()
 
     def candidates(self) -> MatchRelation:
         return {
@@ -415,7 +462,7 @@ class BoundedSimulationIndex:
                 if self._minima is not None:
                     self._minima.note_lost(u, v)
         if pair_updates:
-            self._inner.apply_batch(pair_updates)
+            self._apply_pair_batch(pair_updates)
         # Retire after the edges are gone so leaf-layer matches drop too.
         for v, _gained, lost in events:
             for u in lost:
@@ -448,7 +495,7 @@ class BoundedSimulationIndex:
                         ):
                             inserts.append(upd_insert((u0, a), (u, v)))
         if inserts:
-            self._inner.apply_batch(inserts)
+            self._apply_pair_batch(inserts)
 
     def _apply_layer_flips(
         self, v: Node, gained: List[PatternNode], lost: List[PatternNode]
@@ -473,7 +520,7 @@ class BoundedSimulationIndex:
                 self._minima.note_lost(u, v)
             self._dirty_layer_closures(u)
         if pair_updates:
-            self._inner.apply_batch(pair_updates)
+            self._apply_pair_batch(pair_updates)
         # Retire after the edges are gone so leaf-layer matches drop too.
         for u in lost:
             self._inner.retire_node((u, v))
@@ -500,7 +547,7 @@ class BoundedSimulationIndex:
                     if a in self.eligible[u0] and (bound is None or d <= bound):
                         inserts.append(upd_insert((u0, a), (u, v)))
         if inserts:
-            self._inner.apply_batch(inserts)
+            self._apply_pair_batch(inserts)
 
     # ------------------------------------------------------------------
     # Distance-structure maintenance helpers
@@ -702,7 +749,7 @@ class BoundedSimulationIndex:
         bins, bouts = self._balls_around(x, y)
         pair_updates = self._pairs_created_by_insert(x, y, bins, bouts)
         if pair_updates:
-            self._inner.apply_batch(pair_updates)
+            self._apply_pair_batch(pair_updates)
         return True
 
     def delete_edge(self, x: Node, y: Node) -> bool:
@@ -721,7 +768,7 @@ class BoundedSimulationIndex:
             self._summary.note_deleted([(x, y)])
         pair_updates = self._pairs_broken_by_delete(x, y, bins, bouts)
         if pair_updates:
-            self._inner.apply_batch(pair_updates)
+            self._apply_pair_batch(pair_updates)
         return True
 
     # ------------------------------------------------------------------
@@ -789,7 +836,7 @@ class BoundedSimulationIndex:
             )
 
         if pair_updates:
-            self._inner.apply_batch(pair_updates)
+            self._apply_pair_batch(pair_updates)
 
     def apply_batch_naive(self, updates: Iterable[Update]) -> None:
         """Unit-at-a-time processing (the IncBMatch_n-style baseline)."""
@@ -1112,7 +1159,7 @@ class BoundedSimulationIndex:
         if suspects:
             pair_updates = self._recheck_suspects(suspects)
             if pair_updates:
-                self._inner.apply_batch(pair_updates)
+                self._apply_pair_batch(pair_updates)
 
     def repair_inserted_edges(self, edges: Iterable[Tuple[Node, Node]]) -> None:
         """IncBMatch+ for edges already present in the shared graph.
@@ -1134,7 +1181,7 @@ class BoundedSimulationIndex:
                 self._pairs_created_by_insert(x, y, bins, bouts)
             )
         if pair_updates:
-            self._inner.apply_batch(pair_updates)
+            self._apply_pair_batch(pair_updates)
 
     # ------------------------------------------------------------------
     # Invariants (tests)

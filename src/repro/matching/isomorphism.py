@@ -82,13 +82,14 @@ def iter_embeddings(
 
     def feasible(u: PatternNode, v: Node, assignment: Embedding) -> bool:
         # Every already-assigned pattern neighbour must be a graph neighbour
-        # in the right direction.
+        # in the right direction.  ``u`` itself counts as assigned-to-``v``
+        # here, so a self-loop pattern edge demands a self-loop on ``v``.
         for u2 in pattern.children(u):
-            w = assignment.get(u2)
+            w = v if u2 == u else assignment.get(u2)
             if w is not None and not graph.has_edge(v, w):
                 return False
         for u0 in pattern.parents(u):
-            w = assignment.get(u0)
+            w = v if u0 == u else assignment.get(u0)
             if w is not None and not graph.has_edge(w, v):
                 return False
         # Cheap lookahead: pattern children/parents map to distinct graph

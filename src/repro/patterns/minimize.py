@@ -21,9 +21,9 @@ develops but this query class does not require.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
-from .pattern import Pattern, PatternError, PatternNode
+from .pattern import Bound, Pattern, PatternError, PatternNode
 
 
 def pattern_self_simulation(pattern: Pattern) -> Set[Tuple[PatternNode, PatternNode]]:
@@ -95,3 +95,162 @@ def minimize_pattern(pattern: Pattern) -> Tuple[Pattern, Dict[PatternNode, Patte
     for x, x2 in pattern.edges():
         minimized.add_edge(rep[x], rep[x2], 1)
     return minimized, rep
+
+
+# ----------------------------------------------------------------------
+# Canonical form: name-independent pattern fingerprints
+# ----------------------------------------------------------------------
+#
+# Two patterns that differ only in node names (or in simulation-redundant
+# nodes, for normal patterns) must hash equal so the pool-level plan can
+# intern them — and intern identical *sub*-patterns appearing inside
+# different registered patterns.  The canonical form is computed by the
+# classic individualization-refinement scheme: WL-style color refinement
+# (initial color = predicate, refined by the multiset of (bound, neighbor
+# color) over out- and in-edges) followed by branching inside the first
+# non-singleton color class, taking the lexicographically least encoding
+# over all discrete refinements reached.  Patterns are tiny (a handful of
+# nodes), so the worst-case factorial tie-break is immaterial.
+
+# A bound sorts as (0, k) when finite and (1, 0) for '*' — comparable and
+# hashable regardless of mixture.
+_BoundKey = Tuple[int, int]
+
+
+def _bound_key(bound: Bound) -> _BoundKey:
+    return (1, 0) if bound is None else (0, bound)
+
+
+class CanonicalForm:
+    """The canonical relabeling of a pattern.
+
+    - ``key``: a hashable, name-independent fingerprint — equal iff the
+      (minimized) patterns are isomorphic as predicate/bound-labelled
+      graphs;
+    - ``pattern``: the canonical pattern itself, on nodes ``0..n-1``;
+    - ``renaming``: original node -> canonical index (composed through the
+      minimization representative map, so merged nodes share an index).
+    """
+
+    __slots__ = ("key", "pattern", "renaming")
+
+    def __init__(
+        self,
+        key: Tuple,
+        pattern: Pattern,
+        renaming: Dict[PatternNode, int],
+    ) -> None:
+        self.key = key
+        self.pattern = pattern
+        self.renaming = renaming
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CanonicalForm(n={self.pattern.num_nodes()}, key={self.key!r})"
+
+
+def _refine(
+    nodes: List[PatternNode],
+    colors: Dict[PatternNode, int],
+    out_adj: Dict[PatternNode, List[Tuple[_BoundKey, PatternNode]]],
+    in_adj: Dict[PatternNode, List[Tuple[_BoundKey, PatternNode]]],
+) -> Dict[PatternNode, int]:
+    """Color refinement to a fixpoint; colors are normalized so equal
+    signatures — an isomorphism invariant — get equal ids."""
+    while True:
+        sigs = {
+            v: (
+                colors[v],
+                tuple(sorted((bk, colors[w]) for bk, w in out_adj[v])),
+                tuple(sorted((bk, colors[w]) for bk, w in in_adj[v])),
+            )
+            for v in nodes
+        }
+        ids = {sig: i for i, sig in enumerate(sorted(set(sigs.values())))}
+        refined = {v: ids[sigs[v]] for v in nodes}
+        if len(set(refined.values())) == len(set(colors.values())):
+            return refined
+        colors = refined
+
+
+def _certificate(
+    order: List[PatternNode],
+    pred_keys: Dict[PatternNode, str],
+    edges: Iterable[Tuple[PatternNode, PatternNode, _BoundKey]],
+) -> Tuple:
+    index = {v: i for i, v in enumerate(order)}
+    return (
+        len(order),
+        tuple(pred_keys[v] for v in order),
+        tuple(sorted((index[u], index[u2], bk) for u, u2, bk in edges)),
+    )
+
+
+def canonical_pattern(pattern: Pattern) -> CanonicalForm:
+    """The name-independent canonical form of ``pattern``.
+
+    Normal patterns are minimized first (simulation-equivalent nodes
+    collapse, so redundant spellings of the same query fingerprint
+    equal); b-patterns — where minimization is undefined — canonicalize
+    as given.  The returned :class:`CanonicalForm` carries the hashable
+    fingerprint ``key``, the canonical pattern on nodes ``0..n-1``, and
+    the original-node -> canonical-index renaming.
+    """
+    if pattern.is_normal():
+        base, rep = minimize_pattern(pattern)
+    else:
+        base, rep = pattern, {v: v for v in pattern.nodes()}
+
+    nodes = list(base.nodes())
+    pred_keys = {v: repr(base.predicate(v)) for v in nodes}
+    edges = [(u, u2, _bound_key(base.bound(u, u2))) for u, u2 in base.edges()]
+    out_adj: Dict[PatternNode, List[Tuple[_BoundKey, PatternNode]]] = {
+        v: [] for v in nodes
+    }
+    in_adj: Dict[PatternNode, List[Tuple[_BoundKey, PatternNode]]] = {
+        v: [] for v in nodes
+    }
+    for u, u2, bk in edges:
+        out_adj[u].append((bk, u2))
+        in_adj[u2].append((bk, u))
+
+    initial_ids = {k: i for i, k in enumerate(sorted(set(pred_keys.values())))}
+    colors = {v: initial_ids[pred_keys[v]] for v in nodes}
+
+    best: List[Optional[Tuple[Tuple, List[PatternNode]]]] = [None]
+
+    def search(colors: Dict[PatternNode, int]) -> None:
+        colors = _refine(nodes, colors, out_adj, in_adj)
+        by_color: Dict[int, List[PatternNode]] = {}
+        for v in nodes:
+            by_color.setdefault(colors[v], []).append(v)
+        target = None
+        for c in sorted(by_color):
+            if len(by_color[c]) > 1:
+                target = by_color[c]
+                break
+        if target is None:
+            order = sorted(nodes, key=colors.__getitem__)
+            cert = _certificate(order, pred_keys, edges)
+            if best[0] is None or cert < best[0][0]:
+                best[0] = (cert, order)
+            return
+        for v in target:
+            # Individualize v: double every color (preserving order) and
+            # give v the even slot of its class — a fresh, strictly
+            # smaller color than its former classmates.
+            branched = {u: 2 * colors[u] + 1 for u in nodes}
+            branched[v] = 2 * colors[v]
+            search(branched)
+
+    search(colors)
+    assert best[0] is not None
+    cert, order = best[0]
+
+    index = {v: i for i, v in enumerate(order)}
+    canonical = Pattern()
+    for v in order:
+        canonical.add_node(index[v], base.predicate(v))
+    for u, u2 in base.edges():
+        canonical.add_edge(index[u], index[u2], base.bound(u, u2))
+    renaming = {orig: index[rep[orig]] for orig in pattern.nodes()}
+    return CanonicalForm(cert, canonical, renaming)

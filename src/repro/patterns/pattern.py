@@ -226,6 +226,19 @@ class Pattern:
             if not self._graph.has_edge(u, u2):
                 raise PatternError(f"bound recorded for missing edge {edge!r}")
 
+    def fingerprint(self) -> Tuple:
+        """A hashable, name-independent structural fingerprint.
+
+        Two patterns fingerprint equal iff they are isomorphic as
+        predicate/bound-labelled graphs after minimization (normal
+        patterns minimize first; b-patterns canonicalize as given) — the
+        key the pool-level plan interns shared structure by.  Delegates
+        to :func:`~repro.patterns.minimize.canonical_pattern`.
+        """
+        from .minimize import canonical_pattern
+
+        return canonical_pattern(self).key
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Pattern):
             return NotImplemented
@@ -235,8 +248,18 @@ class Pattern:
             and self._predicates == other._predicates
         )
 
-    def __hash__(self) -> int:  # pragma: no cover - mutable, identity hash
-        return id(self)
+    def __hash__(self) -> int:
+        # Structural, consistent with __eq__ (which compares node sets,
+        # predicates, and bounds; the node set is exactly the predicate
+        # map's key set).  Patterns are mutable: hashing one and then
+        # adding nodes/edges while it sits in a set or dict key corrupts
+        # the container — hash only construction-complete patterns.
+        return hash(
+            (
+                frozenset(self._predicates.items()),
+                frozenset(self._bounds.items()),
+            )
+        )
 
     def __repr__(self) -> str:
         return (

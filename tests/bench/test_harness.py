@@ -128,7 +128,7 @@ def test_bench_pool_tiny_emits_machine_readable_json(tmp_path):
     doc = json.loads(out.read_text())
     assert set(doc["scenarios"]) == {
         "simulation", "bounded", "bounded-shared", "overlap",
-        "overlap-atoms", "reach-oracle", "kernels",
+        "overlap-atoms", "shared-plan", "reach-oracle", "kernels",
     }
     for name in ("simulation", "bounded"):
         scenario = doc["scenarios"][name]
@@ -186,6 +186,25 @@ def test_bench_pool_tiny_emits_machine_readable_json(tmp_path):
         r["per_query_atom_evals"] for r in atoms["results"]
     ]
     assert per_query_atom_evals[-1] > per_query_atom_evals[0]
+    # The multi-query plan's headline: per-flush view repairs are
+    # EXACTLY flat in query count once the leg vocabulary is interned
+    # (hard-gated by the scenario — exit code 0 above); the N=16
+    # outright-win race only fires at full scale, so at tiny scale it
+    # must be reported ungated (None), never a fired-and-failed False.
+    plan = doc["scenarios"]["shared-plan"]
+    assert plan["results"]
+    for row in plan["results"]:
+        assert {
+            "n", "plan_shared_ms", "plan_per_query_ms",
+            "view_repairs", "plan_views", "plan_joins",
+        } <= set(row)
+    assert plan["view_repairs_flat"] is True
+    assert plan["shared_wins"] is not False
+    k = plan["leg_vocabularies"]
+    plan_repairs = [
+        r["view_repairs"] for r in plan["results"] if r["n"] >= k
+    ]
+    assert len(set(plan_repairs)) == 1, plan_repairs
     # The interval oracle's headline: the columnar backend wins the
     # flush race and consults stay sublinear in the eligible population
     # (both hard-gated by the scenario — exit code 0 above — so here we

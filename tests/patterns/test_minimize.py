@@ -101,3 +101,141 @@ def test_minimization_is_idempotent(p):
     m2, rep2 = minimize_pattern(m1)
     assert m2.num_nodes() == m1.num_nodes()
     assert all(rep2[u] == u for u in m1.nodes())
+
+
+# ----------------------------------------------------------------------
+# Canonical form (name-independent fingerprints)
+# ----------------------------------------------------------------------
+
+import random
+
+from hypothesis import strategies as st
+
+from repro.graphs.digraph import DiGraph
+from repro.patterns.generator import random_pattern
+from repro.patterns.minimize import canonical_pattern
+
+
+def _relabeled(p: Pattern, seed: int) -> Pattern:
+    """The same pattern under a random node renaming."""
+    rng = random.Random(seed)
+    names = list(p.nodes())
+    fresh = [f"r{i}" for i in range(len(names))]
+    rng.shuffle(fresh)
+    mapping = dict(zip(names, fresh))
+    q = Pattern()
+    for u in names:
+        q.add_node(mapping[u], p.predicate(u))
+    for u, u2 in p.edges():
+        q.add_edge(mapping[u], mapping[u2], p.bound(u, u2))
+    return q
+
+
+class TestCanonicalForm:
+    def test_twins_fold_to_shared_index(self):
+        canon = canonical_pattern(twin_pattern())
+        assert canon.pattern.num_nodes() == 2
+        assert canon.renaming["b1"] == canon.renaming["b2"]
+
+    def test_minimized_and_redundant_spellings_agree(self):
+        redundant = twin_pattern()
+        minimal = Pattern.normal_from_labels(
+            {"a": "A", "b": "B"}, [("a", "b")]
+        )
+        assert (
+            canonical_pattern(redundant).key == canonical_pattern(minimal).key
+        )
+
+    def test_self_loop(self):
+        p = Pattern.from_spec({"x": "label = A"}, [("x", "x", 2)])
+        q = Pattern.from_spec({"other": "label = A"}, [("other", "other", 2)])
+        assert canonical_pattern(p).key == canonical_pattern(q).key
+        loop_edge = next(iter(canonical_pattern(p).pattern.edges()))
+        assert loop_edge[0] == loop_edge[1]
+
+    def test_duplicate_leg_patterns(self):
+        # Same leg vocabulary (A -2-> B) appearing twice from one source
+        # node is NOT the same pattern as a single leg.
+        single = Pattern.from_spec(
+            {"x": "label = A", "y": "label = B"}, [("x", "y", 2)]
+        )
+        double = Pattern.from_spec(
+            {"x": "label = A", "y": "label = B", "z": "label = B"},
+            [("x", "y", 2), ("x", "z", 2)],
+        )
+        assert canonical_pattern(single).key != canonical_pattern(double).key
+
+    def test_bounds_distinguish(self):
+        spec = {"x": "label = A", "y": "label = B"}
+        k2 = Pattern.from_spec(spec, [("x", "y", 2)])
+        k3 = Pattern.from_spec(spec, [("x", "y", 3)])
+        star = Pattern.from_spec(spec, [("x", "y", "*")])
+        keys = {
+            canonical_pattern(p).key for p in (k2, k3, star)
+        }
+        assert len(keys) == 3
+
+    def test_fingerprint_delegates(self):
+        p = twin_pattern()
+        assert p.fingerprint() == canonical_pattern(p).key
+
+    def test_equal_patterns_hash_equal(self):
+        p = Pattern.from_spec(
+            {"x": "label = A", "y": "label = B"}, [("x", "y", 2)]
+        )
+        q = Pattern.from_spec(
+            {"x": "label = A", "y": "label = B"}, [("x", "y", 2)]
+        )
+        assert p == q and hash(p) == hash(q)
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_patterns(max_bound=3, allow_star=True), st.integers(0, 2**16))
+def test_canonical_key_invariant_under_relabeling(p, seed):
+    """The headline property: isomorphic spellings fingerprint equal."""
+    assert canonical_pattern(p).key == canonical_pattern(_relabeled(p, seed)).key
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_patterns(max_bound=3, allow_star=True))
+def test_canonicalization_is_idempotent(p):
+    canon = canonical_pattern(p)
+    again = canonical_pattern(canon.pattern)
+    assert again.key == canon.key
+    assert again.pattern == canon.pattern
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_graphs(), small_patterns(max_bound=1, allow_star=False))
+def test_canonical_pattern_preserves_matches(g, p):
+    """Renaming through ``canon.renaming`` preserves per-node match sets
+    (canonicalization composes minimization with a bijective relabel)."""
+    canon = canonical_pattern(p)
+    original = maximum_simulation(p, g)
+    relabeled = maximum_simulation(canon.pattern, g)
+    for u in p.nodes():
+        assert original[u] == relabeled[canon.renaming[u]], (u, canon.renaming)
+
+
+def test_generator_patterns_relabel_consistently():
+    """Generator-produced patterns (mixed bounds, inequality atoms, stars)
+    fingerprint equal across random relabelings."""
+    g = DiGraph()
+    rng = random.Random(7)
+    for i in range(20):
+        g.add_node(i, label=rng.choice("ABC"), score=rng.randint(0, 9))
+    for _ in range(40):
+        g.add_edge(rng.randrange(20), rng.randrange(20))
+    for seed in range(25):
+        p = random_pattern(
+            g,
+            num_nodes=rng.randint(1, 4),
+            num_edges=rng.randint(0, 5),
+            preds_per_node=rng.randint(1, 2),
+            max_bound=3,
+            star_probability=0.2,
+            seed=seed,
+        )
+        key = canonical_pattern(p).key
+        for relabel_seed in range(3):
+            assert canonical_pattern(_relabeled(p, relabel_seed)).key == key
