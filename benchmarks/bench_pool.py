@@ -1244,6 +1244,222 @@ def run_kernels_scenario(sizes, cluster_size, reps):
     }
 
 
+# The temporal scenario draws its standing queries from a small pattern
+# vocabulary so shared-substrate upkeep per flush is EXACTLY flat once
+# every distinct pattern is registered (n >= vocabulary size) — a
+# deterministic counter gate rather than a timing race.
+TEMPORAL_PATTERN_VOCAB = 4
+TEMPORAL_WINDOW = 10.0
+
+
+def temporal_pattern(i: int) -> Pattern:
+    return bounded_pattern(i % TEMPORAL_PATTERN_VOCAB)
+
+
+def run_temporal_scenario(sizes, graph, num_churn, reps):
+    """Sliding-window expiry: bulk vs per-edge deletion, flat upkeep.
+
+    Three legs per pool size N (landmark mode, shared scopes, patterns
+    from a ``TEMPORAL_PATTERN_VOCAB``-sized vocabulary):
+
+    - **bulk expiry** (``expiry_bulk_ms``): a windowed pool ingests one
+      churn batch at t=0, the clock advances past the window, and ONE
+      flush retires every expired edge as a single coalesced deletion
+      batch (netting, one substrate sync, one routing pass, one suspect
+      recheck batch);
+    - **per-edge deletions** (``expiry_per_edge_ms``): a window-less twin
+      pool retires the *same* edges as one-at-a-time deletion flushes —
+      the cost bulk expiry must beat (gate ``bulk_expiry_wins``, judged
+      only on rows whose per-edge leg clears ``RACE_GATE_FLOOR_MS``,
+      min-of-k timing);
+    - **steady-state window step** (``windowed_ms``): advance one window,
+      queue a fresh churn batch, flush — expiry of the old batch and
+      ingest of the new one ride the same flush.
+
+    Deterministic gates, fired at every scale:
+
+    - ``upkeep_flat``: the shared substrate's structure-level batch count
+      for the bulk-expiry flush is identical at every N >= vocabulary
+      size (windowed flush cost flat in standing-query count);
+    - ``zero_expiry_rebuilds``: :meth:`MatcherPool.rebuild_counters` is
+      unchanged across the expiry flush — bulk expiry rides the
+      decremental repair paths only, never a from-scratch rebuild.
+
+    Correctness: the windowed pool, the per-edge twin, and a fresh
+    from-scratch index on the truncated graph must all agree.
+    """
+    print(
+        "\n== scenario: temporal (sliding-window bulk expiry vs per-edge "
+        "deletion flushes; landmark mode) =="
+    )
+    churn = [
+        u for u in label_partitioned_updates(
+            graph, cluster_labels(0),
+            num_insertions=num_churn, num_deletions=0, seed=31,
+        )
+    ]
+    # A second, disjoint churn batch for the steady-state window step
+    # (generated against a graph that already holds batch 1).
+    warm = graph.copy()
+    for u in churn:
+        warm.add_edge(*u.edge)
+    churn2 = [
+        u for u in label_partitioned_updates(
+            warm, cluster_labels(0),
+            num_insertions=num_churn, num_deletions=0, seed=37,
+        )
+    ]
+    race_reps = max(reps, 5)
+    k = TEMPORAL_PATTERN_VOCAB
+    print(
+        f"{'N':>4} {'bulk ms':>9} {'per-edge ms':>12} {'ratio':>7} "
+        f"{'step ms':>9} {'expired':>8} {'upkeep':>7} {'rebuilds':>9}"
+    )
+    ok = True
+    results = []
+
+    def make_pool(n, window):
+        pool = MatcherPool(graph.copy(), window=window)
+        for i in range(n):
+            pool.register(
+                temporal_pattern(i),
+                semantics="bounded",
+                name=f"p{i}",
+                distance_mode="landmark",
+            )
+        return pool
+
+    for n in sizes:
+        row = {"n": n}
+        # --- leg 1: one bulk-expiry flush --------------------------------
+        bulk_times = []
+        pool = report = None
+        upkeep = rebuild_delta = None
+        for _ in range(race_reps):
+            pool = make_pool(n, TEMPORAL_WINDOW)
+            pool.apply(churn)
+            pool.advance(TEMPORAL_WINDOW + 1)
+            upkeep_before = pool.substrate.stats.structure_batches
+            rebuilds_before = pool.rebuild_counters()["total"]
+            start = time.perf_counter()
+            report = pool.flush()
+            bulk_times.append(time.perf_counter() - start)
+            upkeep = pool.substrate.stats.structure_batches - upkeep_before
+            rebuild_delta = pool.rebuild_counters()["total"] - rebuilds_before
+        row["expiry_bulk_ms"] = round(min(bulk_times) * 1e3, 3)
+        row["expired"] = report.expired
+        row["structure_batches"] = upkeep
+        row["rebuild_delta"] = rebuild_delta
+        if report.expired != len(churn):
+            print(
+                f"MISMATCH temporal N={n}: expired {report.expired} of "
+                f"{len(churn)} churn edges",
+                file=sys.stderr,
+            )
+            ok = False
+        # --- leg 2: the same deletions, one flush each -------------------
+        per_edge_times = []
+        twin = None
+        for _ in range(race_reps):
+            twin = make_pool(n, None)
+            twin.apply(churn)
+            start = time.perf_counter()
+            for u in churn:
+                twin.queue(delete(*u.edge))
+                twin.flush()
+            per_edge_times.append(time.perf_counter() - start)
+        row["expiry_per_edge_ms"] = round(min(per_edge_times) * 1e3, 3)
+        # --- leg 3: steady-state window step (expire + ingest) -----------
+        step_times = []
+        for _ in range(race_reps):
+            spool = make_pool(n, TEMPORAL_WINDOW)
+            spool.apply(churn)
+            spool.advance(TEMPORAL_WINDOW + 1)
+            spool.queue_updates(churn2)
+            start = time.perf_counter()
+            spool.flush()
+            step_times.append(time.perf_counter() - start)
+        row["windowed_ms"] = round(min(step_times) * 1e3, 3)
+        # --- correctness: windowed == per-edge twin == from-scratch ------
+        pool.check_temporal_invariants()
+        for i in range(min(n, k)):
+            expect = as_pairs(
+                BoundedSimulationIndex(
+                    temporal_pattern(i), pool.graph.copy()
+                ).matches()
+            )
+            for label, p in (("windowed", pool), ("per-edge", twin)):
+                got = as_pairs(p.query(f"p{i}").matches())
+                if got != expect:
+                    print(
+                        f"MISMATCH temporal N={n} pattern {i} "
+                        f"({label} pool vs from-scratch)",
+                        file=sys.stderr,
+                    )
+                    ok = False
+        ratio = (
+            row["expiry_per_edge_ms"] / row["expiry_bulk_ms"]
+            if row["expiry_bulk_ms"]
+            else float("inf")
+        )
+        row["per_edge_over_bulk"] = round(ratio, 2)
+        print(
+            f"{n:>4} {row['expiry_bulk_ms']:>9.2f} "
+            f"{row['expiry_per_edge_ms']:>12.2f} {ratio:>6.2f}x "
+            f"{row['windowed_ms']:>9.2f} {row['expired']:>8} "
+            f"{upkeep:>7} {rebuild_delta:>9}"
+        )
+        results.append(row)
+    gated = [
+        r for r in results if r["expiry_per_edge_ms"] >= RACE_GATE_FLOOR_MS
+    ]
+    bulk_expiry_wins = (
+        all(r["per_edge_over_bulk"] > 1.0 for r in gated) if gated else None
+    )
+    flat_rows = [r["structure_batches"] for r in results if r["n"] >= k]
+    upkeep_flat = len(set(flat_rows)) <= 1
+    zero_expiry_rebuilds = all(r["rebuild_delta"] == 0 for r in results)
+    print(
+        f"bulk_expiry_wins={bulk_expiry_wins} upkeep_flat={upkeep_flat} "
+        f"zero_expiry_rebuilds={zero_expiry_rebuilds}"
+    )
+    if bulk_expiry_wins is False:
+        print(
+            "temporal: bulk expiry did not beat per-edge deletion flushes",
+            file=sys.stderr,
+        )
+        ok = False
+    elif bulk_expiry_wins is None:
+        print(
+            f"temporal: race ungated (all per-edge runs under "
+            f"{RACE_GATE_FLOOR_MS}ms — noise-dominated at this scale)"
+        )
+    if not upkeep_flat:
+        print(
+            "temporal: expiry-flush structure batches grew with pool size "
+            f"beyond the {k}-pattern vocabulary: {flat_rows}",
+            file=sys.stderr,
+        )
+        ok = False
+    if not zero_expiry_rebuilds:
+        print(
+            "temporal: bulk expiry triggered full-structure rebuilds",
+            file=sys.stderr,
+        )
+        ok = False
+    return ok, {
+        "sizes": sizes,
+        "reps": race_reps,
+        "window": TEMPORAL_WINDOW,
+        "churn": len(churn),
+        "pattern_vocabulary": k,
+        "results": results,
+        "bulk_expiry_wins": bulk_expiry_wins,
+        "upkeep_flat": upkeep_flat,
+        "zero_expiry_rebuilds": zero_expiry_rebuilds,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -1266,7 +1482,8 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--scenario",
         choices=[*SCENARIOS, "bounded-shared", "overlap", "overlap-atoms",
-                 "shared-plan", "reach-oracle", "kernels", "all"],
+                 "shared-plan", "reach-oracle", "kernels", "temporal",
+                 "all"],
         default="all",
         help="which workload to run",
     )
@@ -1312,7 +1529,7 @@ def main(argv=None) -> int:
     if args.scenario == "all":
         scenarios = [*SCENARIOS, "bounded-shared", "overlap",
                      "overlap-atoms", "shared-plan", "reach-oracle",
-                     "kernels"]
+                     "kernels", "temporal"]
     else:
         scenarios = [args.scenario]
     ok = True
@@ -1355,6 +1572,13 @@ def main(argv=None) -> int:
             )
         elif scenario == "kernels":
             s_ok, s_doc = run_kernels_scenario(sizes, cluster_size, reps)
+        elif scenario == "temporal":
+            # The per-edge leg pays one flush per churn edge; a capped
+            # sweep already spans the vocabulary-flat gate (k=4).
+            temporal_sizes = [n for n in sizes if n <= 16] or sizes[:1]
+            s_ok, s_doc = run_temporal_scenario(
+                temporal_sizes, graph, num_updates, reps
+            )
         else:
             s_ok, s_doc = run_scenario(
                 scenario, sizes, graph, updates, reps, args.distance_mode

@@ -39,6 +39,7 @@ COST_KEYS = (
     "bulk_numpy_ms", "bulk_python_ms",
     "interval_numpy_ms", "interval_python_ms",
     "plan_shared_ms", "plan_per_query_ms",
+    "expiry_bulk_ms", "expiry_per_edge_ms", "windowed_ms",
 )
 
 

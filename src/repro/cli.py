@@ -12,7 +12,11 @@ File formats:
 - pattern: ``{"nodes": [{"id": ..., "predicate": "job = DB"}, ...],
   "edges": [{"source": ..., "target": ..., "bound": 2|null}, ...]}``
   (see :mod:`repro.patterns.io`; ``null`` bound = ``*``);
-- updates: ``[["insert", v, w], ["delete", v, w], ...]``.
+- updates: ``[["insert", v, w], ["delete", v, w], ...]``;
+- trace (``pool --replay``): JSONL, one timestamped event per line —
+  ``{"ts": 3.5, "op": "insert", "v": ..., "w": ...}`` or
+  ``{"ts": 4.0, "op": "node", "v": ..., "attrs": {...}}``
+  (see :mod:`repro.workloads.replay`).
 """
 
 from __future__ import annotations
@@ -158,6 +162,30 @@ def main(argv=None) -> int:
         "--updates",
         help="JSON update list applied as one coalesced, routed flush",
     )
+    pool.add_argument(
+        "--window",
+        type=float,
+        default=None,
+        metavar="W",
+        help="temporal pool: stamp every inserted edge and bulk-expire "
+        "edges older than W time units at each flush",
+    )
+    pool.add_argument(
+        "--replay",
+        metavar="TRACE.jsonl",
+        help="replay a timestamped JSONL event trace (one event per "
+        "line: {\"ts\": ..., \"op\": \"insert\"|\"delete\"|\"node\", ...}) "
+        "through the pool as window-aligned flush batches instead of "
+        "applying --updates",
+    )
+    pool.add_argument(
+        "--flush-every",
+        type=float,
+        default=1.0,
+        metavar="T",
+        help="replay bucket width: trace events sharing floor(ts/T) are "
+        "applied in one flush (default 1.0)",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "pool":
@@ -192,7 +220,6 @@ def _routing_class(query) -> str:
 
 
 def _run_pool(args) -> int:
-    graph = load_graph(args.graph)
     modes = list(args.distance_mode)
     if len(modes) == 1:
         modes = modes * len(args.patterns)
@@ -204,25 +231,34 @@ def _run_pool(args) -> int:
             file=sys.stderr,
         )
         return 2
-    pool = MatcherPool(
-        graph,
-        distance_scope=args.distance_scope,
-        eligibility_scope=args.eligibility_scope,
-        plan_scope=args.plan_scope,
-        graph_backend=args.graph_backend,
-    )
-    for path, mode in zip(args.patterns, modes):
-        name = Path(path).stem
-        suffix = 2
-        while name in pool:  # distinct files may share a stem
-            name = f"{Path(path).stem}{suffix}"
-            suffix += 1
-        pool.register(
-            load_pattern(path),
-            semantics=args.semantics,
-            name=name,
-            distance_mode=mode,
+
+    def make_pool() -> MatcherPool:
+        pool = MatcherPool(
+            load_graph(args.graph),
+            distance_scope=args.distance_scope,
+            eligibility_scope=args.eligibility_scope,
+            plan_scope=args.plan_scope,
+            graph_backend=args.graph_backend,
+            window=args.window,
         )
+        for path, mode in zip(args.patterns, modes):
+            name = Path(path).stem
+            suffix = 2
+            while name in pool:  # distinct files may share a stem
+                name = f"{Path(path).stem}{suffix}"
+                suffix += 1
+            pool.register(
+                load_pattern(path),
+                semantics=args.semantics,
+                name=name,
+                distance_mode=mode,
+            )
+        return pool
+
+    if args.replay:
+        return _run_replay(args, make_pool)
+
+    pool = make_pool()
     output = {
         "distance_scope": args.distance_scope,
         "eligibility_scope": args.eligibility_scope,
@@ -254,6 +290,38 @@ def _run_pool(args) -> int:
     output["shared_structures"]["plan_views"] = pool.plan.num_views()
     output["shared_structures"]["plan_joins"] = pool.plan.num_joins()
     output["shared_structures"]["plan_leases"] = pool.plan.num_leases()
+    json.dump(output, sys.stdout, indent=2, default=repr)
+    sys.stdout.write("\n")
+    return 0
+
+
+def _run_replay(args, make_pool) -> int:
+    from .workloads.replay import Replayer, Trace, TraceError
+
+    try:
+        trace = Trace.load_jsonl(args.replay)
+    except (OSError, TraceError) as exc:
+        print(f"replay failed: {exc}", file=sys.stderr)
+        return 2
+    replayer = Replayer(trace, make_pool, flush_every=args.flush_every)
+    pool = replayer.run()
+    output = {
+        "replay": {
+            "trace": args.replay,
+            "events": len(trace),
+            "flush_every": args.flush_every,
+            "window": args.window,
+            "flushes": pool.stats.flushes,
+            "checkpoints": len(replayer.checkpoints),
+            "expired_edges": pool.stats.expired_edges,
+            "final_ts": pool.now,
+            "fingerprint": replayer.checkpoints[-1].fingerprint,
+        },
+        "queries": {
+            q.name: dict(_render_query(q), routing=_routing_class(q))
+            for q in pool.queries()
+        },
+    }
     json.dump(output, sys.stdout, indent=2, default=repr)
     sys.stdout.write("\n")
     return 0

@@ -457,6 +457,26 @@ class SharedDistanceSubstrate:
     def num_fields(self) -> int:
         return len(self._fields)
 
+    def rebuild_counters(self) -> Dict[str, int]:
+        """Cumulative full-structure rebuild counts for every live shared
+        structure: BatchLM re-selections, interval-labelling rebuilds
+        (initial build included), and ball-field from-scratch recomputes.
+
+        The temporal suites snapshot this around a bulk-expiry flush:
+        expiry must ride the decremental paths (``apply_batch(deleted=)``,
+        ``shrink_edges``, budget-tolerated oracle staleness) and leave
+        every counter untouched.
+        """
+        return {
+            "lm_rebuilds": self.stats.lm_rebuilds,
+            "reach_rebuilds": (
+                self._reach.rebuild_count if self._reach is not None else 0
+            ),
+            "field_rebuilds": sum(
+                e[0].rebuilds for e in self._fields.values()
+            ),
+        }
+
     def live_structures(self) -> Dict[str, int]:
         """How many shared structures are alive (and their lease counts)."""
         return {

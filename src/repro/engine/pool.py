@@ -41,14 +41,27 @@ distinct predicates, not pool size.  Node events then route as predicate
 re-evaluation.  ``eligibility_scope='per-query'`` keeps the private
 candidate-set fallback.
 
+A pool constructed with ``window=...`` (or fed per-insert ``ttl``
+overrides) is **temporal**: every inserted edge is stamped with a logical
+(or caller-supplied) timestamp, and each flush begins by retiring every
+out-of-window edge in ONE coalesced deletion batch that rides the normal
+pre-edit deletion phase — so eligibility posting sets, ball fields,
+landmark minima, the interval oracle, and shared-plan views all absorb a
+single netted decremental batch per flush instead of N scattered deletes.
+Expiry deletes are queued *before* user updates, so re-inserting an
+expired edge within the same flush nets to zero graph work and simply
+refreshes the stamp (the ``minDelta`` cancellation doing double duty).
+Standing queries registered with ``ttl=`` retire themselves the same way.
+
 The single-pattern :class:`~repro.core.engine.Matcher` facade is a thin
 view over a one-query pool, so both paths share this plumbing.
 """
 
 from __future__ import annotations
 
+import heapq
 import os
-from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from ..graphs.columnar import as_backend
 from ..graphs.digraph import DiGraph, Node
@@ -96,6 +109,8 @@ class PoolStats:
         "join_pair_updates",
         "plan_views",
         "plan_leases",
+        "expired_edges",
+        "expired_queries",
     )
 
     def __init__(self) -> None:
@@ -122,6 +137,10 @@ class PoolStats:
         self.join_pair_updates = 0
         self.plan_views = 0
         self.plan_leases = 0
+        # Temporal counters: edges retired by window/TTL expiry and
+        # standing queries auto-unregistered by a register-time TTL.
+        self.expired_edges = 0
+        self.expired_queries = 0
 
     def __repr__(self) -> str:
         return (
@@ -135,7 +154,10 @@ class PoolStats:
 class FlushReport:
     """What one flush did: net updates applied, routing, and deltas."""
 
-    __slots__ = ("seq", "net", "attr_ops", "deltas", "routed", "skipped")
+    __slots__ = (
+        "seq", "net", "attr_ops", "deltas", "routed", "skipped",
+        "expired", "expired_queries",
+    )
 
     def __init__(self, seq: int) -> None:
         self.seq = seq
@@ -144,6 +166,11 @@ class FlushReport:
         self.deltas: Dict[str, MatchDelta] = {}
         self.routed = 0
         self.skipped = 0
+        # Edges retired by window/TTL expiry this flush (their deletes are
+        # part of ``net`` unless a same-flush re-insert cancelled them) and
+        # standing queries whose TTL elapsed.
+        self.expired = 0
+        self.expired_queries = 0
 
     def changed(self) -> bool:
         return bool(self.net) or self.attr_ops > 0
@@ -152,7 +179,8 @@ class FlushReport:
         return (
             f"FlushReport(seq={self.seq}, net={len(self.net)}, "
             f"attr_ops={self.attr_ops}, routed={self.routed}, "
-            f"skipped={self.skipped}, touched={len(self.deltas)})"
+            f"skipped={self.skipped}, expired={self.expired}, "
+            f"touched={len(self.deltas)})"
         )
 
 
@@ -167,6 +195,8 @@ class MatcherPool:
         plan_scope: str = "per-query",
         lm_budget: Optional[LandmarkBudget] = None,
         graph_backend: Optional[str] = None,
+        window: Optional[float] = None,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         # ``graph_backend`` selects the storage backend every consumer in
         # this pool runs on: ``'dict'`` (plain DiGraph) or ``'columnar'``
@@ -211,6 +241,61 @@ class MatcherPool:
         self._pending_edges: List[Update] = []
         self._pending_nodes: List[Tuple[Node, Dict[str, Any]]] = []
         self._seq = 0
+        # --- temporal state -------------------------------------------
+        # ``window`` gives every stamped edge a default lifetime; per-edge
+        # ``ttl`` overrides it.  Time is logical (advance()) unless a
+        # ``clock`` callable is supplied, in which case each flush samples
+        # it.  Expiry bookkeeping is a stamp map plus a lazy min-heap
+        # (stale heap entries — stamp refreshed or edge deleted — are
+        # skipped at pop time instead of being removed eagerly).
+        if window is not None and window <= 0:
+            raise ValueError(f"window must be > 0, got {window!r}")
+        self.window = window
+        self._clock = clock
+        self._now: float = clock() if clock is not None else 0.0
+        # edge -> (ts, ttl) queued since the last flush (last write wins).
+        self._pending_stamps: Dict[Tuple[Node, Node], Tuple[Optional[float], Optional[float]]] = {}
+        # edge -> (birth, expire_at) for every live stamped edge.
+        self._edge_stamps: Dict[Tuple[Node, Node], Tuple[float, float]] = {}
+        self._expiry_heap: List[Tuple[float, int, Tuple[Node, Node]]] = []
+        self._heap_seq = 0
+        # Pool time as of the last flush: advance() may move ``_now`` past
+        # live stamps between flushes, so invariants compare against this.
+        self._flushed_at: float = self._now
+
+    # ------------------------------------------------------------------
+    # Temporal clock
+    # ------------------------------------------------------------------
+    @property
+    def temporal(self) -> bool:
+        """Does this pool stamp inserts with a default window lifetime?"""
+        return self.window is not None
+
+    @property
+    def now(self) -> float:
+        """The pool's current time (logical unless a clock was supplied)."""
+        return self._now
+
+    def advance(self, ts: float) -> float:
+        """Move the logical clock forward to ``ts`` (monotone).
+
+        Expiry happens at the next :meth:`flush`, not here — advancing is
+        free however far the clock jumps.  Pools built with an external
+        ``clock`` sample it at each flush instead and reject manual
+        advancement.
+        """
+        if self._clock is not None:
+            raise RuntimeError(
+                "pool time follows the supplied clock; advance() is only "
+                "for logical-clock pools"
+            )
+        if ts < self._now:
+            raise ValueError(
+                f"cannot advance pool time backwards: now={self._now}, "
+                f"got {ts}"
+            )
+        self._now = ts
+        return self._now
 
     # ------------------------------------------------------------------
     # Registration
@@ -225,6 +310,7 @@ class MatcherPool:
         distance_scope: Optional[str] = None,
         eligibility_scope: Optional[str] = None,
         plan_scope: Optional[str] = None,
+        ttl: Optional[float] = None,
     ) -> ContinuousQuery:
         """Register a standing query; its index is built immediately.
 
@@ -240,7 +326,13 @@ class MatcherPool:
         pool's substrate and eligibility, so the distance/eligibility
         scope overrides do not apply.  Isomorphism queries are not
         plannable and silently take the per-query path.
+
+        ``ttl`` gives the query itself a lifetime: once pool time passes
+        ``now + ttl`` the next flush auto-unregisters it (leases released,
+        feeds closed) before doing any other work.
         """
+        if ttl is not None and ttl <= 0:
+            raise ValueError(f"ttl must be > 0, got {ttl!r}")
         if self._pending_edges or self._pending_nodes:
             self.flush()
         if name is None:
@@ -257,6 +349,8 @@ class MatcherPool:
             query = self.plan.build_query(
                 name, pattern, semantics, distance_mode
             )
+            if ttl is not None:
+                query.expires_at = self._now + ttl
             self._queries[name] = query
             return query
         scope = _check_scope(distance_scope or self.distance_scope)
@@ -281,6 +375,8 @@ class MatcherPool:
             substrate=substrate,
             eligibility=eligibility,
         )
+        if ttl is not None:
+            query.expires_at = self._now + ttl
         self._queries[name] = query
         self._router.register(query)
         return query
@@ -321,12 +417,49 @@ class MatcherPool:
     # ------------------------------------------------------------------
     # Update intake
     # ------------------------------------------------------------------
-    def queue(self, update: Update) -> None:
-        """Buffer one edge update for the next flush."""
+    def queue(
+        self,
+        update: Update,
+        ts: Optional[float] = None,
+        ttl: Optional[float] = None,
+    ) -> None:
+        """Buffer one edge update for the next flush.
+
+        ``ts`` stamps an insert's birth time (default: pool time at the
+        flush that applies it); ``ttl`` overrides the pool window for this
+        edge.  Either is valid only on inserts — deletions have no
+        lifetime.  In a temporal pool every insert is stamped; elsewhere a
+        stamp is recorded only when ``ttl`` is given.  Re-queueing the
+        same edge overwrites the pending stamp (last write wins, matching
+        :func:`~repro.incremental.types.net_updates`).
+        """
+        if ts is not None or ttl is not None:
+            if update.op != "insert":
+                raise ValueError(
+                    "ts/ttl apply to insertions only; "
+                    f"got a {update.op!r} update for {update.edge!r}"
+                )
+            if ttl is not None and ttl <= 0:
+                raise ValueError(f"ttl must be > 0, got {ttl!r}")
+        if update.op == "insert" and (self.temporal or ttl is not None):
+            self._pending_stamps[update.edge] = (ts, ttl)
         self._pending_edges.append(update)
 
-    def queue_updates(self, updates: Iterable[Update]) -> None:
-        self._pending_edges.extend(updates)
+    def queue_updates(
+        self,
+        updates: Iterable[Update],
+        ts: Optional[float] = None,
+        ttl: Optional[float] = None,
+    ) -> None:
+        if ts is not None or ttl is not None or self.temporal:
+            for u in updates:
+                self.queue(
+                    u,
+                    ts=ts if u.op == "insert" else None,
+                    ttl=ttl if u.op == "insert" else None,
+                )
+        else:
+            self._pending_edges.extend(updates)
 
     def queue_node(self, v: Node, **attrs: Any) -> None:
         """Buffer a node addition / attribute merge for the next flush."""
@@ -372,9 +505,14 @@ class MatcherPool:
         self.queue_node(v, **attrs)
         self.flush()
 
-    def apply(self, updates: Iterable[Update]) -> FlushReport:
+    def apply(
+        self,
+        updates: Iterable[Update],
+        ts: Optional[float] = None,
+        ttl: Optional[float] = None,
+    ) -> FlushReport:
         """Queue a batch of edge updates and flush once (coalesced)."""
-        self.queue_updates(updates)
+        self.queue_updates(updates, ts=ts, ttl=ttl)
         return self.flush()
 
     # ------------------------------------------------------------------
@@ -386,11 +524,50 @@ class MatcherPool:
         self._seq += 1
         node_ops = self._pending_nodes
         edge_ops = self._pending_edges
+        stamps = self._pending_stamps
         self._pending_nodes = []
         self._pending_edges = []
+        self._pending_stamps = {}
         self.stats.flushes += 1
         self.stats.edge_updates_queued += len(edge_ops)
         self.stats.attr_updates += len(node_ops)
+
+        # ---- Phase T: time + bulk expiry -------------------------------
+        # One coalesced deletion batch per flush: every live stamp whose
+        # expiry has passed becomes a delete PREPENDED to the user's ops,
+        # so a same-flush re-insert of an expired edge wins under
+        # net_updates' last-write ordering — the pair cancels to zero
+        # graph work and the stamp is simply refreshed.  Stamps that are
+        # dead on arrival (explicit ``ts`` already out of window at flush
+        # time) get a delete APPENDED instead, so such an edge never
+        # outlives the flush that would have materialized it.  TTL'd
+        # queries retire first: an expired query must not be repaired or
+        # emit deltas for a batch it no longer observes.
+        if self._clock is not None:
+            t = self._clock()
+            if t > self._now:
+                self._now = t
+        for q in [
+            q for q in self._queries.values()
+            if q.expires_at is not None and q.expires_at <= self._now
+        ]:
+            self.unregister(q)
+            report.expired_queries += 1
+        self.stats.expired_queries += report.expired_queries
+        expired = self._collect_expired()
+        if expired:
+            edge_ops = [delete(v, w) for v, w in expired] + edge_ops
+            report.expired = len(expired)
+            self.stats.expired_edges += len(expired)
+        if stamps:
+            dead = [
+                e for e, (ts, ttl) in stamps.items()
+                if self._expire_at(ts, ttl) <= self._now
+            ]
+            if dead:
+                edge_ops = edge_ops + [delete(v, w) for v, w in dead]
+                for e in dead:
+                    del stamps[e]
         # Keyed by id(): the routed population mixes user queries with the
         # plan's internal leg views, whose names live in a separate space.
         touched: Dict[int, ContinuousQuery] = {}
@@ -579,6 +756,11 @@ class MatcherPool:
             report.routed += len(wildcard_queries)
             report.skipped += len(routed_pop) - len(wildcard_queries)
 
+        # ---- Stamp upkeep: net deletions drop their stamps; stamped
+        # inserts that survived into the final graph record (birth,
+        # expire_at) and enter the expiry heap.
+        self._apply_stamps(net, stamps)
+
         # ---- Plan delivery: views are fully repaired; drain each view's
         # pair delta once and patch every join that leases it, so planned
         # queries emit alongside everyone else in phase E.
@@ -598,7 +780,95 @@ class MatcherPool:
         # End-of-flush upkeep: BatchLM re-selection when InsLM growth blew
         # past the shared landmark index's size budget.
         self.substrate.enforce_lm_budget()
+        self._flushed_at = self._now
         return report
+
+    # ------------------------------------------------------------------
+    # Temporal bookkeeping
+    # ------------------------------------------------------------------
+    def _expire_at(
+        self, ts: Optional[float], ttl: Optional[float]
+    ) -> float:
+        """When a stamp queued as ``(ts, ttl)`` dies.  Stamps are only
+        recorded when the pool has a window or the insert carried a TTL,
+        so the lifetime is never None here."""
+        birth = self._now if ts is None else ts
+        life = self.window if ttl is None else ttl
+        return birth + life
+
+    def _collect_expired(self) -> List[Tuple[Node, Node]]:
+        """Pop every stamp with ``expire_at <= now`` off the heap.
+
+        Heap entries are never removed eagerly — a stamp refreshed by a
+        re-insert or dropped by an explicit delete leaves its old entry
+        behind, recognized here by disagreeing with the live stamp map
+        and skipped.
+        """
+        heap = self._expiry_heap
+        out: List[Tuple[Node, Node]] = []
+        while heap and heap[0][0] <= self._now:
+            expire_at, _, edge = heapq.heappop(heap)
+            st = self._edge_stamps.get(edge)
+            if st is not None and st[1] == expire_at:
+                out.append(edge)
+        return out
+
+    def _apply_stamps(self, net: List[Update], stamps) -> None:
+        """Post-edit stamp reconciliation for one flush."""
+        if self._edge_stamps:
+            for u in net:
+                if u.op == "delete":
+                    self._edge_stamps.pop(u.edge, None)
+        for edge, (ts, ttl) in stamps.items():
+            # A stamp only takes effect if its edge is actually in the
+            # final graph — an insert cancelled by a later same-flush
+            # delete leaves nothing to expire.
+            if not self.graph.has_edge(*edge):
+                continue
+            expire_at = self._expire_at(ts, ttl)
+            birth = self._now if ts is None else ts
+            self._edge_stamps[edge] = (birth, expire_at)
+            self._heap_seq += 1
+            heapq.heappush(
+                self._expiry_heap, (expire_at, self._heap_seq, edge)
+            )
+
+    def live_edge_stamps(self) -> Dict[Tuple[Node, Node], Tuple[float, float]]:
+        """``edge -> (birth, expire_at)`` for every live stamped edge."""
+        return dict(self._edge_stamps)
+
+    def rebuild_counters(self) -> Dict[str, int]:
+        """Cumulative full-structure rebuild counts across every substrate
+        this pool maintains — shared and per-query alike.
+
+        The temporal test suites snapshot this around an expiry flush to
+        assert bulk expiry rides the decremental repair paths: ball
+        fields shrink, landmark vectors apply deletion batches, the
+        interval oracle tolerates deletions under its budget, and none of
+        them rebuild from scratch.
+        """
+        counters = dict(self.substrate.rebuild_counters())
+        per_query = 0
+        for q in list(self._queries.values()) + self.plan.views():
+            counts = getattr(q.index, "structure_rebuilds", None)
+            if counts is not None:
+                per_query += counts()
+        counters["per_query_rebuilds"] = per_query
+        counters["total"] = sum(counters.values())
+        return counters
+
+    def check_temporal_invariants(self) -> None:
+        """Every live stamp points at a live graph edge, and nothing
+        expired survived the latest flush."""
+        for edge, (birth, expire_at) in self._edge_stamps.items():
+            assert self.graph.has_edge(*edge), (
+                f"stamp for {edge!r} outlived its edge"
+            )
+            assert expire_at > self._flushed_at, (
+                f"edge {edge!r} expired at {expire_at} but survived a "
+                f"flush at now={self._flushed_at}"
+            )
+            assert birth <= expire_at
 
     def __repr__(self) -> str:
         return (

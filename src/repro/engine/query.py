@@ -82,6 +82,10 @@ class ContinuousQuery:
     # True on plan-rewritten subclasses (see repro.engine.plan) — those
     # queries are never router-registered.
     planned = False
+    # Pool time at which a TTL'd registration retires (pool.register(...,
+    # ttl=...)); None = the query lives until unregistered.  The pool
+    # auto-unregisters expired queries at the top of each flush.
+    expires_at: Optional[float] = None
 
     def __init__(
         self,

@@ -93,7 +93,7 @@ class BallField:
     All edge notifications expect the graph to have been mutated already.
     """
 
-    __slots__ = ("_graph", "sources", "radius", "reverse", "dist")
+    __slots__ = ("_graph", "sources", "radius", "reverse", "dist", "rebuilds")
 
     def __init__(
         self,
@@ -107,9 +107,15 @@ class BallField:
         self.radius = radius
         self.reverse = reverse
         self.dist: Dict[Node, int] = {}
+        # Full from-scratch recomputations, the initial build included.
+        # Steady-state maintenance (shrink/grow/source flips/re-caps) is
+        # incremental and must never bump this — the pool's temporal
+        # suites assert a zero delta across bulk-expiry flushes.
+        self.rebuilds = 0
         self.rebuild()
 
     def rebuild(self) -> None:
+        self.rebuilds += 1
         self.dist = _capped_multi_source(
             self._graph, self.sources, self.radius, self.reverse
         )

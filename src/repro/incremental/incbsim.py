@@ -39,8 +39,10 @@ a data edge changes.
   routing oracle over-approximates "within bound k" by "reachable", with
   per-(predicate, direction) :class:`ReachClosure` caches making each
   consult an O(1) component-membership test (sublinear in the eligible
-  sets); suspect rechecks use exact reachability for ``*`` bounds and
-  grouped bounded BFS for finite ones.  Cheapest upkeep of the four —
+  sets); suspect rechecks use exact reachability for ``*`` bounds when
+  the labelling is clean and grouped bounded BFS otherwise (a dirty
+  labelling never rebuilds just for rechecks — bulk deletion batches
+  such as window expiry stay decremental).  Cheapest upkeep of the four —
   the labelling rebuilds lazily under a staleness budget that only ever
   errs toward routing *more* edges (deletions tolerated, insertions
   force a rebuild).
@@ -647,18 +649,24 @@ class BoundedSimulationIndex:
         early-exit query; otherwise suspects are grouped by source so each
         source pays a single bounded BFS regardless of how many deleted
         edges implicated it.  In ``interval`` mode, ``*``-bound pairs ask
-        the reachability oracle exactly (the exact entry point rebuilds a
-        dirty labelling once, then every consult is near-O(1)); finite
-        bounds need true distances, so they fall back to the grouped BFS.
+        the reachability oracle exactly when its labelling is clean (each
+        consult is then near-O(1)); a *dirty* labelling would pay a full
+        rebuild just to answer rechecks — ruinous for bulk decremental
+        batches such as sliding-window expiry — so dirty oracles route
+        ``*``-bound suspects through the grouped BFS too (exact on the
+        post-deletion graph) and keep their budgeted lazy-rebuild policy
+        intact.  Finite bounds need true distances, so they always take
+        the grouped BFS.
         """
         out: List[Update] = []
         if self.distance_mode == "interval":
             reach = self._ensure_reach()
             graph = self.graph
             bounded: Dict[PatternEdge, Set[Tuple[Node, Node]]] = {}
+            dirty = reach.dirty
             for (u, u2), pairs in suspects.items():
                 bound = self._bounds[(u, u2)]
-                if bound is not None:
+                if bound is not None or dirty:
                     if pairs:
                         bounded[(u, u2)] = pairs
                     continue
@@ -888,6 +896,19 @@ class BoundedSimulationIndex:
 
     def ball_summary(self) -> Optional[EligibleBallSummary]:
         return self._summary
+
+    def structure_rebuilds(self) -> int:
+        """Full from-scratch recomputations of this index's *private*
+        distance structures (leased shared ones are counted by the
+        substrate's :meth:`~repro.engine.distances.SharedDistanceSubstrate.
+        rebuild_counters`).  Initial builds count; the pool's temporal
+        suites assert the delta across a bulk-expiry flush is zero."""
+        total = 0
+        if self._summary is not None:
+            total += self._summary.rebuilds
+        if self._reach is not None and not self._reach_leased:
+            total += self._reach.rebuild_count
+        return total
 
     def _ensure_reach(self) -> IntervalReachabilityIndex:
         """The interval oracle — leased from the substrate at registration

@@ -1,6 +1,15 @@
-"""Workloads: dataset stand-ins and update-stream generators."""
+"""Workloads: dataset stand-ins, update-stream generators, and
+timestamped-trace replay."""
 
 from .datasets import citation_like, youtube_like
+from .replay import (
+    Replayer,
+    Trace,
+    TraceError,
+    TraceEvent,
+    pool_fingerprint,
+    synthetic_trace,
+)
 from .updates import (
     degree_biased_deletions,
     degree_biased_insertions,
@@ -17,4 +26,10 @@ __all__ = [
     "label_partitioned_updates",
     "mixed_updates",
     "snapshot_diff",
+    "Replayer",
+    "Trace",
+    "TraceError",
+    "TraceEvent",
+    "pool_fingerprint",
+    "synthetic_trace",
 ]

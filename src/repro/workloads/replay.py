@@ -1,0 +1,305 @@
+"""Deterministic timestamped-trace replay through a temporal MatcherPool.
+
+A :class:`Trace` is an append-only, timestamp-ordered sequence of
+:class:`TraceEvent`\\ s — edge inserts/deletes and node attribute events —
+loadable from and savable to JSONL (one event per line), so real dataset
+extracts and generator output share one format.  :func:`synthetic_trace`
+produces seeded traces whose deletions are always valid (a shadow edge set
+tracks what the trace has built so far).
+
+A :class:`Replayer` streams a trace through a pool as **window-aligned
+flush batches**: events are bucketed by ``floor(ts / flush_every)``, pool
+time advances to each event's timestamp, and one flush runs per bucket —
+so bulk expiry fires at bucket boundaries exactly as it would under live
+ingest.  After every flush the replayer records a checkpoint ``(events
+consumed, pool time, flush seq, state fingerprint)``; :meth:`Replayer.seek`
+rebuilds a fresh pool and replays the prefix up to any checkpoint, and
+determinism means the rebuilt pool's fingerprint equals the recorded one
+(the property the unit tests pin).
+
+Timestamps must be nondecreasing — :class:`Trace` rejects out-of-order
+appends and loads with a :class:`TraceError` naming the offending event,
+because a silently re-sorted trace would replay differently than it was
+recorded.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, List, NamedTuple, Optional, Tuple
+
+from ..engine.pool import MatcherPool
+from ..graphs.digraph import DiGraph, Node
+from ..incremental.types import delete, insert
+
+OPS = ("insert", "delete", "node")
+
+
+class TraceError(ValueError):
+    """A malformed trace: bad op, missing field, or time running backwards."""
+
+
+class TraceEvent(NamedTuple):
+    """One timestamped event: an edge op or a node attribute merge."""
+
+    ts: float
+    op: str  # 'insert' | 'delete' | 'node'
+    v: Node
+    w: Optional[Node] = None  # edge ops only
+    attrs: Optional[Dict[str, Any]] = None  # 'node' events only
+
+    def to_json(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {"ts": self.ts, "op": self.op, "v": self.v}
+        if self.op == "node":
+            doc["attrs"] = self.attrs or {}
+        else:
+            doc["w"] = self.w
+        return doc
+
+    @classmethod
+    def from_json(cls, doc: Dict[str, Any]) -> "TraceEvent":
+        try:
+            ts = float(doc["ts"])
+            op = doc["op"]
+            v = doc["v"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TraceError(f"event missing ts/op/v: {doc!r}") from exc
+        if op not in OPS:
+            raise TraceError(f"unknown trace op {op!r} (expected one of {OPS})")
+        if op == "node":
+            attrs = doc.get("attrs") or {}
+            if not isinstance(attrs, dict):
+                raise TraceError(f"node event attrs must be a mapping: {doc!r}")
+            return cls(ts, op, v, attrs=attrs)
+        if "w" not in doc:
+            raise TraceError(f"edge event missing target 'w': {doc!r}")
+        return cls(ts, op, v, w=doc["w"])
+
+
+class Trace:
+    """A timestamp-ordered event sequence (nondecreasing ``ts``)."""
+
+    def __init__(self, events: Optional[List[TraceEvent]] = None) -> None:
+        self._events: List[TraceEvent] = []
+        for ev in events or []:
+            self.append(ev)
+
+    def append(self, event: TraceEvent) -> None:
+        if self._events and event.ts < self._events[-1].ts:
+            raise TraceError(
+                f"out-of-order timestamp at event {len(self._events)}: "
+                f"{event.ts} precedes event {len(self._events) - 1} "
+                f"at {self._events[-1].ts} (traces must be nondecreasing "
+                f"in ts)"
+            )
+        self._events.append(event)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def __getitem__(self, i):
+        return self._events[i]
+
+    # ------------------------------------------------------------------
+    # JSONL round-trip
+    # ------------------------------------------------------------------
+    def save_jsonl(self, path) -> None:
+        lines = [json.dumps(ev.to_json(), sort_keys=True) for ev in self._events]
+        Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))
+
+    @classmethod
+    def load_jsonl(cls, path) -> "Trace":
+        trace = cls()
+        for lineno, line in enumerate(
+            Path(path).read_text().splitlines(), start=1
+        ):
+            if not line.strip():
+                continue
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceError(f"{path}:{lineno}: not valid JSON: {exc}") from exc
+            try:
+                trace.append(TraceEvent.from_json(doc))
+            except TraceError as exc:
+                raise TraceError(f"{path}:{lineno}: {exc}") from exc
+        return trace
+
+
+def synthetic_trace(
+    length: int,
+    seed: int = 0,
+    num_nodes: int = 24,
+    labels: Tuple[str, ...] = ("A", "B", "C"),
+    start: float = 0.0,
+    step: float = 1.0,
+    delete_fraction: float = 0.2,
+    node_fraction: float = 0.1,
+) -> Trace:
+    """A seeded, valid-by-construction trace over ``num_nodes`` nodes.
+
+    Deletions are only emitted for edges the trace has inserted and not
+    yet deleted (a shadow edge set enforces it), so every event applies.
+    Timestamps advance by ``U(0, step)`` per event from ``start`` —
+    deterministic in ``seed``.
+    """
+    import random
+
+    rng = random.Random(seed)
+    nodes = [f"v{i}" for i in range(num_nodes)]
+    trace = Trace()
+    live: List[Tuple[Node, Node]] = []
+    live_set = set()
+    ts = start
+    # Seed node events first so early edges land on labelled nodes.
+    for v in nodes:
+        trace.append(
+            TraceEvent(ts, "node", v, attrs={"label": rng.choice(labels)})
+        )
+    while len(trace) < num_nodes + length:
+        ts += rng.random() * step
+        roll = rng.random()
+        if roll < delete_fraction and live:
+            i = rng.randrange(len(live))
+            v, w = live[i]
+            live[i] = live[-1]
+            live.pop()
+            live_set.discard((v, w))
+            trace.append(TraceEvent(ts, "delete", v, w=w))
+        elif roll < delete_fraction + node_fraction:
+            trace.append(
+                TraceEvent(
+                    ts, "node", rng.choice(nodes),
+                    attrs={"label": rng.choice(labels)},
+                )
+            )
+        else:
+            v, w = rng.choice(nodes), rng.choice(nodes)
+            if v == w or (v, w) in live_set:
+                continue
+            live.append((v, w))
+            live_set.add((v, w))
+            trace.append(TraceEvent(ts, "insert", v, w=w))
+    return trace
+
+
+def pool_fingerprint(pool: MatcherPool) -> str:
+    """A stable digest of observable pool state: graph nodes + attrs,
+    edges, live stamps, pool time, and every user query's results."""
+    h = hashlib.sha256()
+
+    def feed(tag: str, items) -> None:
+        h.update(tag.encode())
+        for item in sorted(repr(i) for i in items):
+            h.update(item.encode())
+
+    g = pool.graph
+    feed("nodes", ((v, sorted(g.attrs(v).items())) for v in g.nodes()))
+    feed("edges", g.edges())
+    feed("stamps", pool.live_edge_stamps().items())
+    h.update(repr(pool.now).encode())
+    for q in sorted(pool.queries(), key=lambda q: q.name):
+        if q.semantics == "isomorphism":
+            feed(q.name, (sorted(e.items()) for e in q.embeddings()))
+        else:
+            feed(
+                q.name,
+                ((u, sorted(vs)) for u, vs in q.matches().items()),
+            )
+    return h.hexdigest()
+
+
+class Checkpoint(NamedTuple):
+    """State marker after one replayed flush."""
+
+    events: int  # trace events consumed so far
+    ts: float  # pool time at the flush
+    seq: int  # pool flush sequence number
+    fingerprint: str
+
+
+class Replayer:
+    """Stream a trace through a pool as window-aligned flush batches.
+
+    ``make_pool`` builds a fresh pool (queries registered, window set) —
+    it is called once per replay, so :meth:`seek` can reconstruct any
+    prefix from scratch.  ``flush_every`` sets the bucket width: events
+    with equal ``floor(ts / flush_every)`` share one flush.
+    """
+
+    def __init__(
+        self,
+        trace: Trace,
+        make_pool: Callable[[], MatcherPool],
+        flush_every: float = 1.0,
+    ) -> None:
+        if flush_every <= 0:
+            raise ValueError(f"flush_every must be > 0, got {flush_every!r}")
+        self.trace = trace
+        self.make_pool = make_pool
+        self.flush_every = flush_every
+        self.checkpoints: List[Checkpoint] = []
+
+    def _bucket(self, ts: float) -> int:
+        return int(math.floor(ts / self.flush_every))
+
+    def _feed(self, pool: MatcherPool, ev: TraceEvent) -> None:
+        if ev.ts > pool.now:
+            pool.advance(ev.ts)
+        if ev.op == "insert":
+            pool.queue(insert(ev.v, ev.w), ts=ev.ts)
+        elif ev.op == "delete":
+            pool.queue(delete(ev.v, ev.w))
+        else:
+            pool.queue_node(ev.v, **(ev.attrs or {}))
+
+    def run(self, upto: Optional[int] = None) -> MatcherPool:
+        """Replay the first ``upto`` events (default: all) through a fresh
+        pool, flushing at every bucket boundary and once at the end;
+        checkpoints are (re)recorded along the way."""
+        events = list(self.trace)[: len(self.trace) if upto is None else upto]
+        pool = self.make_pool()
+        self.checkpoints = []
+        bucket: Optional[int] = None
+        consumed = 0
+        for ev in events:
+            b = self._bucket(ev.ts)
+            if bucket is not None and b != bucket and pool.pending:
+                pool.flush()
+                self.checkpoints.append(
+                    Checkpoint(
+                        consumed, pool.now, pool.stats.flushes,
+                        pool_fingerprint(pool),
+                    )
+                )
+            bucket = b
+            self._feed(pool, ev)
+            consumed += 1
+        if pool.pending or not self.checkpoints:
+            pool.flush()
+            self.checkpoints.append(
+                Checkpoint(
+                    consumed, pool.now, pool.stats.flushes,
+                    pool_fingerprint(pool),
+                )
+            )
+        return pool
+
+    def seek(self, checkpoint: Checkpoint) -> MatcherPool:
+        """Rebuild a fresh pool replaying exactly the checkpoint's prefix.
+
+        Determinism contract: the returned pool's fingerprint equals
+        ``checkpoint.fingerprint`` (same prefix => identical state).
+        """
+        saved = self.checkpoints
+        try:
+            pool = self.run(upto=checkpoint.events)
+        finally:
+            self.checkpoints = saved
+        return pool

@@ -129,6 +129,7 @@ def test_bench_pool_tiny_emits_machine_readable_json(tmp_path):
     assert set(doc["scenarios"]) == {
         "simulation", "bounded", "bounded-shared", "overlap",
         "overlap-atoms", "shared-plan", "reach-oracle", "kernels",
+        "temporal",
     }
     for name in ("simulation", "bounded"):
         scenario = doc["scenarios"][name]
@@ -236,6 +237,30 @@ def test_bench_pool_tiny_emits_machine_readable_json(tmp_path):
             } <= set(row)
         assert kern["numpy_wins_bulk"] is not False
         assert kern["numpy_wins_interval"] is not False
+    # The temporal pool's headline: retiring a whole window of expired
+    # edges in one coalesced deletion batch beats deleting them one
+    # flush at a time, windowed steady-state upkeep is EXACTLY flat in
+    # standing-query count over the fixed pattern vocabulary, and bulk
+    # expiry triggers ZERO full-structure rebuilds (the latter two are
+    # deterministic counter gates, hard even at tiny scale; the timing
+    # race is floor-gated, so tiny scale may report it ungated — None —
+    # but never a fired-and-failed False).
+    temporal = doc["scenarios"]["temporal"]
+    assert temporal["results"]
+    for row in temporal["results"]:
+        assert {
+            "n", "expiry_bulk_ms", "expiry_per_edge_ms", "windowed_ms",
+            "expired", "structure_batches", "rebuild_delta",
+            "per_edge_over_bulk",
+        } <= set(row)
+        assert row["rebuild_delta"] == 0
+    assert temporal["bulk_expiry_wins"] is not False
+    assert temporal["upkeep_flat"] is True
+    assert temporal["zero_expiry_rebuilds"] is True
+    batches = [
+        r["structure_batches"] for r in temporal["results"] if r["n"] >= 4
+    ]
+    assert len(set(batches)) == 1, batches
 
 
 def test_compare_bench_trend_accumulates_over_history(tmp_path):

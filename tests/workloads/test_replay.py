@@ -1,0 +1,202 @@
+"""Tests for the timestamped-trace replay harness.
+
+Pins the determinism contract (checkpoint/seek rebuilds exactly the
+recorded fingerprint), the JSONL round-trip, and the out-of-order
+timestamp rejection with a line-numbered error.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine import MatcherPool
+from repro.graphs.digraph import DiGraph
+from repro.incremental.types import insert
+from repro.patterns.pattern import Pattern
+from repro.workloads.replay import (
+    Replayer,
+    Trace,
+    TraceError,
+    TraceEvent,
+    pool_fingerprint,
+    synthetic_trace,
+)
+
+
+def _base_graph() -> DiGraph:
+    g = DiGraph()
+    for i in range(4):
+        g.add_node(f"v{i}", label="A")
+    return g
+
+
+def _make_pool() -> MatcherPool:
+    pool = MatcherPool(_base_graph(), window=5.0)
+    pool.register(
+        Pattern.from_spec(
+            {"u": "label = A", "w": "label = B"}, [("u", "w", 2)]
+        ),
+        semantics="bounded",
+        name="q",
+    )
+    return pool
+
+
+class TestTraceEvent:
+    def test_edge_round_trip(self):
+        ev = TraceEvent(1.5, "insert", "a", w="b")
+        assert TraceEvent.from_json(ev.to_json()) == ev
+
+    def test_node_round_trip(self):
+        ev = TraceEvent(2.0, "node", "a", attrs={"label": "B"})
+        assert TraceEvent.from_json(ev.to_json()) == ev
+
+    def test_node_without_attrs_round_trips_empty(self):
+        ev = TraceEvent.from_json({"ts": 1, "op": "node", "v": "a"})
+        assert ev.attrs == {}
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(TraceError, match="unknown trace op"):
+            TraceEvent.from_json({"ts": 1, "op": "upsert", "v": "a", "w": "b"})
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(TraceError, match="missing ts/op/v"):
+            TraceEvent.from_json({"op": "insert", "v": "a", "w": "b"})
+        with pytest.raises(TraceError, match="missing target"):
+            TraceEvent.from_json({"ts": 1, "op": "insert", "v": "a"})
+
+    def test_bad_attrs_rejected(self):
+        with pytest.raises(TraceError, match="attrs must be a mapping"):
+            TraceEvent.from_json(
+                {"ts": 1, "op": "node", "v": "a", "attrs": [1, 2]}
+            )
+
+
+class TestTrace:
+    def test_append_enforces_nondecreasing_ts(self):
+        trace = Trace()
+        trace.append(TraceEvent(1.0, "insert", "a", w="b"))
+        trace.append(TraceEvent(1.0, "insert", "b", w="c"))  # equal ok
+        with pytest.raises(TraceError, match="out-of-order timestamp"):
+            trace.append(TraceEvent(0.5, "insert", "c", w="d"))
+
+    def test_jsonl_round_trip(self, tmp_path):
+        trace = synthetic_trace(30, seed=7)
+        path = tmp_path / "trace.jsonl"
+        trace.save_jsonl(path)
+        loaded = Trace.load_jsonl(path)
+        assert list(loaded) == list(trace)
+        # Saving the loaded trace reproduces the file byte for byte.
+        path2 = tmp_path / "again.jsonl"
+        loaded.save_jsonl(path2)
+        assert path.read_text() == path2.read_text()
+
+    def test_empty_trace_round_trip(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        Trace().save_jsonl(path)
+        assert len(Trace.load_jsonl(path)) == 0
+
+    def test_load_names_the_offending_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps({"ts": 5, "op": "insert", "v": "a", "w": "b"})
+            + "\n"
+            + json.dumps({"ts": 1, "op": "insert", "v": "c", "w": "d"})
+            + "\n"
+        )
+        with pytest.raises(TraceError, match=r"bad\.jsonl:2: out-of-order"):
+            Trace.load_jsonl(path)
+
+    def test_load_rejects_invalid_json_with_line_number(self, tmp_path):
+        path = tmp_path / "garbled.jsonl"
+        path.write_text('{"ts": 1, "op": "insert"\n')
+        with pytest.raises(TraceError, match=r"garbled\.jsonl:1: not valid"):
+            Trace.load_jsonl(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "blanks.jsonl"
+        path.write_text(
+            '\n{"ts": 1, "op": "insert", "v": "a", "w": "b"}\n\n'
+        )
+        assert len(Trace.load_jsonl(path)) == 1
+
+
+class TestSyntheticTrace:
+    def test_deterministic_in_seed(self):
+        assert list(synthetic_trace(50, seed=3)) == list(
+            synthetic_trace(50, seed=3)
+        )
+        assert list(synthetic_trace(50, seed=3)) != list(
+            synthetic_trace(50, seed=4)
+        )
+
+    def test_length_and_ordering(self):
+        trace = synthetic_trace(40, seed=1, num_nodes=10)
+        assert len(trace) == 10 + 40  # node seeding + requested events
+        ts = [ev.ts for ev in trace]
+        assert ts == sorted(ts)
+
+    def test_deletes_only_live_edges(self):
+        live = set()
+        for ev in synthetic_trace(200, seed=5, delete_fraction=0.4):
+            if ev.op == "insert":
+                assert (ev.v, ev.w) not in live
+                live.add((ev.v, ev.w))
+            elif ev.op == "delete":
+                assert (ev.v, ev.w) in live
+                live.remove((ev.v, ev.w))
+
+
+class TestReplayer:
+    def test_flush_every_must_be_positive(self):
+        with pytest.raises(ValueError, match="flush_every"):
+            Replayer(Trace(), _make_pool, flush_every=0.0)
+
+    def test_run_buckets_and_expires(self):
+        trace = synthetic_trace(60, seed=11)
+        replayer = Replayer(trace, _make_pool, flush_every=2.0)
+        pool = replayer.run()
+        assert pool.stats.flushes == len(replayer.checkpoints)
+        assert pool.stats.expired_edges > 0  # window=5 over a long trace
+        assert replayer.checkpoints[-1].events == len(trace)
+        # Checkpoints advance monotonically in consumed events and time.
+        events = [c.events for c in replayer.checkpoints]
+        assert events == sorted(events)
+        pool.check_temporal_invariants()
+
+    def test_seek_rebuilds_recorded_fingerprint(self):
+        trace = synthetic_trace(60, seed=13)
+        replayer = Replayer(trace, _make_pool, flush_every=2.0)
+        replayer.run()
+        checkpoints = list(replayer.checkpoints)
+        assert len(checkpoints) >= 3
+        for cp in (checkpoints[0], checkpoints[len(checkpoints) // 2],
+                   checkpoints[-1]):
+            pool = replayer.seek(cp)
+            assert pool_fingerprint(pool) == cp.fingerprint
+        # Seeking leaves the full-run checkpoint list intact.
+        assert replayer.checkpoints == checkpoints
+
+    def test_rerun_is_deterministic(self):
+        trace = synthetic_trace(40, seed=17)
+        replayer = Replayer(trace, _make_pool, flush_every=1.0)
+        first = pool_fingerprint(replayer.run())
+        second = pool_fingerprint(replayer.run())
+        assert first == second
+
+    def test_empty_trace_still_checkpoints_once(self):
+        replayer = Replayer(Trace(), _make_pool)
+        pool = replayer.run()
+        assert len(replayer.checkpoints) == 1
+        assert replayer.checkpoints[0].events == 0
+        assert pool.stats.flushes == 1
+
+    def test_fingerprint_sensitive_to_state(self):
+        trace = synthetic_trace(40, seed=19)
+        replayer = Replayer(trace, _make_pool, flush_every=2.0)
+        pool = replayer.run()
+        before = pool_fingerprint(pool)
+        pool.apply([insert("v0", "v1")])
+        assert pool_fingerprint(pool) != before
